@@ -1,0 +1,72 @@
+// Command reactdb-bench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the rows/series the paper reports; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	reactdb-bench -list
+//	reactdb-bench -experiment fig5
+//	reactdb-bench -all [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"reactdb/internal/experiments"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available experiment ids and exit")
+		experiment = flag.String("experiment", "", "run a single experiment (e.g. fig5, tab1)")
+		all        = flag.Bool("all", false, "run every experiment")
+		full       = flag.Bool("full", false, "use the full (paper-sized) sweeps instead of the quick ones")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Full: *full}
+	registry := experiments.Registry()
+
+	runOne := func(id string) error {
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		table, err := runner(opts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	switch {
+	case *experiment != "":
+		if err := runOne(*experiment); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *all:
+		for _, id := range experiments.IDs() {
+			if err := runOne(id); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,71 @@
+// Exchange: the paper's running example (Figure 1) — a digital currency
+// exchange authorizing payments against per-provider risk limits — written in
+// the reactor model and executed under the three strategies of Appendix G.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"reactdb"
+	"reactdb/internal/engine"
+	"reactdb/internal/workload/exchange"
+)
+
+func main() {
+	params := exchange.DefaultParams()
+	params.Providers = 6
+	params.OrdersPerProvider = 300
+
+	cfg := engine.NewSharedNothing(params.Providers + 1)
+	cfg.Placement = exchange.Placement(cfg.Containers)
+	cfg.Costs = reactdb.Costs{Send: 40 * time.Microsecond, Receive: 80 * time.Microsecond}
+
+	db, err := reactdb.Open(exchange.NewDefinition(params), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := exchange.Load(db, params); err != nil {
+		log.Fatal(err)
+	}
+
+	// Authorize a payment: the Exchange reactor asynchronously asks every
+	// Provider reactor for its risk-adjusted exposure (calc_risk includes the
+	// expensive sim_risk computation), then books the order on the paying
+	// provider — all in one serializable transaction.
+	now := int64(1)
+	simLoad := int64(50_000) // random numbers per provider in sim_risk
+	for _, strategy := range exchange.Strategies() {
+		start := time.Now()
+		risk, err := db.Execute(exchange.ExchangeReactor, exchange.ProcedureFor(strategy),
+			exchange.ProviderName(2), int64(4242), 120.0, now, simLoad, int64(0))
+		if err != nil {
+			log.Fatalf("auth_pay (%s): %v", strategy, err)
+		}
+		now++
+		fmt.Printf("%-22s authorized (total risk %.2f) in %v\n",
+			strategy, risk.(float64), time.Since(start).Round(100*time.Microsecond))
+	}
+
+	// A payment that violates the global risk limit aborts atomically: no
+	// order is booked and no provider risk cache is updated.
+	if err := reloadWithTightLimit(db, params); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func reloadWithTightLimit(db *reactdb.Database, params exchange.Params) error {
+	_, err := db.Execute(exchange.ExchangeReactor, exchange.ProcAuthPay,
+		exchange.ProviderName(0), int64(7), 1e18, int64(100), int64(10), int64(0))
+	if reactdb.IsUserAbort(err) {
+		fmt.Println("oversized payment correctly aborted:", err)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println("warning: oversized payment unexpectedly authorized")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Quickstart: declare a reactor type, deploy it under two different database
+// architectures, and run transactions — the smallest end-to-end use of the
+// public reactdb API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reactdb"
+)
+
+func main() {
+	// A "Counter" reactor type: one relation, two procedures.
+	counter := reactdb.NewReactorType("Counter").
+		AddRelation(reactdb.MustSchema("state",
+			[]reactdb.Column{{Name: "id", Type: reactdb.Int64}, {Name: "value", Type: reactdb.Int64}}, "id")).
+		AddProcedure("init", func(ctx reactdb.Context, args reactdb.Args) (any, error) {
+			return nil, ctx.Insert("state", reactdb.Row{int64(0), int64(0)})
+		}).
+		AddProcedure("add", func(ctx reactdb.Context, args reactdb.Args) (any, error) {
+			row, err := ctx.Get("state", int64(0))
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				return nil, reactdb.Abortf("counter %s not initialized", ctx.Reactor())
+			}
+			next := row.Int64(1) + args.Int64(0)
+			return next, ctx.Update("state", reactdb.Row{int64(0), next})
+		}).
+		AddProcedure("add_both", func(ctx reactdb.Context, args reactdb.Args) (any, error) {
+			// A cross-reactor transaction: add to this counter and, in the same
+			// serializable transaction, to another one via an asynchronous call.
+			other := args.String(0)
+			fut, err := ctx.Call(other, "add", args.Int64(1))
+			if err != nil {
+				return nil, err
+			}
+			local, err := ctx.Call(ctx.Reactor(), "add", args.Int64(1))
+			if err != nil {
+				return nil, err
+			}
+			if err := reactdb.WaitAll(fut, local); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		})
+
+	// The logical database: two named counter reactors.
+	def := reactdb.NewDatabaseDef().MustAddType(counter)
+	def.MustDeclareReactors("Counter", "hits", "misses")
+
+	// The same declaration deployed under two architectures.
+	for _, cfg := range []reactdb.Config{
+		reactdb.SharedEverythingWithAffinity(2),
+		reactdb.SharedNothing(2),
+	} {
+		db, err := reactdb.Open(def, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range []string{"hits", "misses"} {
+			if _, err := db.Execute(name, "init"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := db.Execute("hits", "add_both", "misses", int64(5)); err != nil {
+			log.Fatal(err)
+		}
+		v, err := db.Execute("hits", "add", int64(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deployment %-40s hits=%d\n", cfg.Strategy, v.(int64))
+		db.Close()
+	}
+}

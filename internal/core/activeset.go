@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ActiveSet implements the dynamic intra-transaction safety condition of
+// §2.2.4: for a given root transaction, at most one execution context may be
+// active on a given reactor at any time. The runtime conservatively aborts a
+// transaction that asynchronously invokes a sub-transaction on a reactor which
+// already has another sub-transaction of the same root transaction active
+// (cyclic call structures, or diamond-shaped asynchronous fan-ins).
+//
+// One ActiveSet exists per root transaction; its methods are safe for
+// concurrent use by the executors running the transaction's sub-transactions.
+type ActiveSet struct {
+	mu     sync.Mutex
+	active map[string]int // reactor name -> number of active execution contexts
+}
+
+// NewActiveSet returns an empty active set.
+func NewActiveSet() *ActiveSet {
+	return &ActiveSet{active: make(map[string]int)}
+}
+
+// Enter registers a new sub-transaction execution context on the reactor. It
+// returns ErrDangerousStructure (wrapped with the reactor name) if another
+// sub-transaction of the same root transaction is already active there.
+func (a *ActiveSet) Enter(reactor string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active[reactor] > 0 {
+		return fmt.Errorf("%w: reactor %s", ErrDangerousStructure, reactor)
+	}
+	a.active[reactor]++
+	return nil
+}
+
+// Exit unregisters a completed sub-transaction execution context.
+func (a *ActiveSet) Exit(reactor string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active[reactor] > 0 {
+		a.active[reactor]--
+	}
+}
+
+// ActiveOn reports whether the reactor currently has an active execution
+// context for this root transaction.
+func (a *ActiveSet) ActiveOn(reactor string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active[reactor] > 0
+}
+
+// Size returns the number of reactors with at least one active execution
+// context.
+func (a *ActiveSet) Size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, c := range a.active {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}

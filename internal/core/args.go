@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// Args carries the positional arguments of a procedure invocation. Accessors
+// normalize the common numeric widths so call sites can pass untyped constants.
+type Args []any
+
+// Len returns the number of arguments.
+func (a Args) Len() int { return len(a) }
+
+// Int64 returns argument i as an int64.
+func (a Args) Int64(i int) int64 {
+	switch v := a[i].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	case int32:
+		return int64(v)
+	default:
+		panic(fmt.Sprintf("reactor: argument %d is %T, not an integer", i, a[i]))
+	}
+}
+
+// Float64 returns argument i as a float64, accepting integer inputs.
+func (a Args) Float64(i int) float64 {
+	switch v := a[i].(type) {
+	case float64:
+		return v
+	case float32:
+		return float64(v)
+	case int64:
+		return float64(v)
+	case int:
+		return float64(v)
+	default:
+		panic(fmt.Sprintf("reactor: argument %d is %T, not a number", i, a[i]))
+	}
+}
+
+// String returns argument i as a string.
+func (a Args) String(i int) string {
+	v, ok := a[i].(string)
+	if !ok {
+		panic(fmt.Sprintf("reactor: argument %d is %T, not a string", i, a[i]))
+	}
+	return v
+}
+
+// Bool returns argument i as a bool.
+func (a Args) Bool(i int) bool {
+	v, ok := a[i].(bool)
+	if !ok {
+		panic(fmt.Sprintf("reactor: argument %d is %T, not a bool", i, a[i]))
+	}
+	return v
+}
+
+// Strings returns argument i as a string slice.
+func (a Args) Strings(i int) []string {
+	v, ok := a[i].([]string)
+	if !ok {
+		panic(fmt.Sprintf("reactor: argument %d is %T, not []string", i, a[i]))
+	}
+	return v
+}
+
+// Int64s returns argument i as an int64 slice.
+func (a Args) Int64s(i int) []int64 {
+	v, ok := a[i].([]int64)
+	if !ok {
+		panic(fmt.Sprintf("reactor: argument %d is %T, not []int64", i, a[i]))
+	}
+	return v
+}

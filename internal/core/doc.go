@@ -1,0 +1,24 @@
+// Package core implements the reactor programming model — the paper's primary
+// contribution (§2). A reactor is an application-defined logical actor that
+// encapsulates relations and processes asynchronous function calls with
+// transactional (conflict-serializable) guarantees.
+//
+// The package defines:
+//
+//   - reactor types (Type): the relation schemas a reactor encapsulates and
+//     the procedures that may be invoked on it;
+//   - the logical database declaration (DatabaseDef): named reactors bound to
+//     types, matching the paper's "declare the names and types of the reactors
+//     constituting the database";
+//   - the procedure execution interface (Context): declarative access to the
+//     current reactor's relations plus asynchronous cross-reactor calls
+//     returning futures;
+//   - futures (Future) and argument handling (Args);
+//   - the intra-transaction safety condition of §2.2.4 (ActiveSet): at most
+//     one execution context per (root transaction, reactor) at any time.
+//
+// The runtime that executes procedures — containers, transaction executors,
+// routers, concurrency control and commitment — lives in package engine; core
+// is deliberately runtime-agnostic so that application code depends only on
+// the programming model.
+package core

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the reactor programming model.
+var (
+	// ErrUserAbort is returned (possibly wrapped) when a procedure aborts the
+	// transaction for an application-level reason, e.g. a violated balance or
+	// risk limit. The root transaction rolls back, exactly as in the paper:
+	// "any condition leading to an abort in a sub-transaction leads to the
+	// abort of the corresponding root transaction."
+	ErrUserAbort = errors.New("reactor: user abort")
+
+	// ErrDangerousStructure is returned when the dynamic safety condition of
+	// §2.2.4 is violated: a sub-transaction is invoked on a reactor that
+	// already has another sub-transaction of the same root transaction active.
+	ErrDangerousStructure = errors.New("reactor: dangerous call structure (concurrent sub-transactions on the same reactor)")
+
+	// ErrUnknownReactor is returned for calls that address a reactor name not
+	// declared in the database.
+	ErrUnknownReactor = errors.New("reactor: unknown reactor")
+
+	// ErrUnknownProcedure is returned for calls to a procedure that the target
+	// reactor's type does not define.
+	ErrUnknownProcedure = errors.New("reactor: unknown procedure")
+
+	// ErrUnknownRelation is returned by queries against a relation the current
+	// reactor's type does not encapsulate.
+	ErrUnknownRelation = errors.New("reactor: unknown relation")
+
+	// ErrNoSuchRow is returned by point updates/deletes of a missing key.
+	ErrNoSuchRow = errors.New("reactor: no such row")
+)
+
+// Abortf builds an application-level abort error. Procedures return it to
+// abort the root transaction; the message is reported to the client.
+func Abortf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUserAbort, fmt.Sprintf(format, args...))
+}
+
+// IsUserAbort reports whether err is an application-level abort.
+func IsUserAbort(err error) bool { return errors.Is(err, ErrUserAbort) }

@@ -1,0 +1,137 @@
+// Package costmodel implements the computational cost model of the reactor
+// programming model (paper §2.4, Figure 3): an analytical latency model for
+// fork-join sub-transactions that developers use to compare alternative
+// program formulations. The experiment drivers calibrate its parameters from
+// profiled runs and compare predictions with observed latencies (Figure 6,
+// Table 1, Appendix C/D).
+package costmodel
+
+import "time"
+
+// Params are the calibrated cost parameters: the communication costs Cs
+// (sending a sub-transaction invocation to another reactor's container) and Cr
+// (receiving its result). Processing costs are per-node properties of the
+// sub-transaction tree.
+type Params struct {
+	Cs time.Duration
+	Cr time.Duration
+}
+
+// SubTxn describes one fork-join (sub-)transaction for prediction purposes:
+// sequential processing logic, sequential synchronous children, then a single
+// fork point of asynchronous children overlapped with optional processing and
+// synchronous children (§2.4).
+type SubTxn struct {
+	// Container identifies the container (transaction executor group) the
+	// sub-transaction runs on; communication costs apply only between
+	// different containers.
+	Container int
+	// Pseq is the processing logic executed sequentially before the fork
+	// point (the paper's Pseq).
+	Pseq time.Duration
+	// SyncSeq are children invoked synchronously, one after another, before
+	// the fork point.
+	SyncSeq []*SubTxn
+	// Async are children invoked asynchronously at the fork point, in
+	// invocation order (the order matters: each invocation's send cost delays
+	// the following ones).
+	Async []*SubTxn
+	// Povp is processing logic overlapped with the asynchronous children.
+	Povp time.Duration
+	// SyncOvp are children invoked synchronously while the asynchronous
+	// children execute.
+	SyncOvp []*SubTxn
+}
+
+// Components is the latency breakdown corresponding to the terms of the cost
+// equation, matching the bars of the paper's Figure 6.
+type Components struct {
+	// SyncExecution is Pseq plus the latency of sequential synchronous
+	// children (first two terms of the equation).
+	SyncExecution time.Duration
+	// Cs is the total send cost charged on this sub-transaction (third term's
+	// send half plus the sends inside the async prefix term).
+	Cs time.Duration
+	// Cr is the total receive cost charged on this sub-transaction.
+	Cr time.Duration
+	// AsyncExecution is the fork-join term: the maximum of the slowest
+	// asynchronous child chain and the overlapped processing.
+	AsyncExecution time.Duration
+}
+
+// Total returns the predicted latency: the sum of all components.
+func (c Components) Total() time.Duration {
+	return c.SyncExecution + c.Cs + c.Cr + c.AsyncExecution
+}
+
+// Latency evaluates the cost equation of Figure 3 for the sub-transaction,
+// recursively. It assumes the parallelism of asynchronous children is fully
+// realized, as the paper does.
+func Latency(st *SubTxn, p Params) time.Duration {
+	return Predict(st, p).Total()
+}
+
+// Predict evaluates the cost equation and returns the per-component
+// breakdown.
+func Predict(st *SubTxn, p Params) Components {
+	var c Components
+
+	// Sequential part: Pseq + Σ L(sync child) + Σ (Cs + Cr) for remote
+	// destinations of the synchronous sequential children.
+	c.SyncExecution = st.Pseq
+	for _, child := range st.SyncSeq {
+		c.SyncExecution += Latency(child, p)
+		if child.Container != st.Container {
+			c.Cs += p.Cs
+			c.Cr += p.Cr
+		}
+	}
+
+	// Fork-join part: max over async children of (child latency + Cr + send
+	// costs of the async prefix up to and including that child), compared
+	// with the overlapped processing and synchronous children.
+	var asyncTerm time.Duration
+	var prefixSend time.Duration
+	for _, child := range st.Async {
+		if child.Container != st.Container {
+			prefixSend += p.Cs
+		}
+		chain := Latency(child, p) + prefixSend
+		if child.Container != st.Container {
+			chain += p.Cr
+		}
+		if chain > asyncTerm {
+			asyncTerm = chain
+		}
+	}
+
+	overlapped := st.Povp
+	for _, child := range st.SyncOvp {
+		overlapped += Latency(child, p)
+		if child.Container != st.Container {
+			overlapped += p.Cs + p.Cr
+		}
+	}
+	if overlapped > asyncTerm {
+		asyncTerm = overlapped
+	}
+	c.AsyncExecution = asyncTerm
+	return c
+}
+
+// Sequential builds a purely sequential sub-transaction: processing followed
+// by synchronous children.
+func Sequential(container int, processing time.Duration, children ...*SubTxn) *SubTxn {
+	return &SubTxn{Container: container, Pseq: processing, SyncSeq: children}
+}
+
+// ForkJoin builds a fork-join sub-transaction: sequential processing, then a
+// fan-out of asynchronous children overlapped with the given processing.
+func ForkJoin(container int, pseq, povp time.Duration, async ...*SubTxn) *SubTxn {
+	return &SubTxn{Container: container, Pseq: pseq, Povp: povp, Async: async}
+}
+
+// Leaf builds a childless sub-transaction with the given processing cost.
+func Leaf(container int, processing time.Duration) *SubTxn {
+	return &SubTxn{Container: container, Pseq: processing}
+}

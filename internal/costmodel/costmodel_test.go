@@ -1,0 +1,185 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const (
+	us = time.Microsecond
+	ms = time.Millisecond
+)
+
+func params() Params { return Params{Cs: 10 * us, Cr: 20 * us} }
+
+func TestLeafLatencyIsProcessing(t *testing.T) {
+	if got := Latency(Leaf(0, 50*us), params()); got != 50*us {
+		t.Fatalf("leaf latency = %v, want 50µs", got)
+	}
+}
+
+func TestSequentialLocalChildrenAddUpWithoutCommunication(t *testing.T) {
+	st := Sequential(0, 10*us, Leaf(0, 20*us), Leaf(0, 30*us))
+	c := Predict(st, params())
+	if c.SyncExecution != 60*us || c.Cs != 0 || c.Cr != 0 || c.AsyncExecution != 0 {
+		t.Fatalf("unexpected breakdown: %+v", c)
+	}
+}
+
+func TestSequentialRemoteChildrenPayCommunicationPerChild(t *testing.T) {
+	st := Sequential(0, 10*us, Leaf(1, 20*us), Leaf(2, 30*us))
+	c := Predict(st, params())
+	if c.SyncExecution != 60*us {
+		t.Fatalf("sync execution = %v", c.SyncExecution)
+	}
+	if c.Cs != 20*us || c.Cr != 40*us {
+		t.Fatalf("communication = (%v, %v), want (20µs, 40µs)", c.Cs, c.Cr)
+	}
+	if got := Latency(st, params()); got != 120*us {
+		t.Fatalf("total = %v, want 120µs", got)
+	}
+}
+
+func TestForkJoinTakesMaxOfAsyncChains(t *testing.T) {
+	// Two remote async children of 100µs and 40µs: the slowest chain pays its
+	// own latency, the prefix sends, and one receive.
+	st := ForkJoin(0, 0, 0, Leaf(1, 100*us), Leaf(2, 40*us))
+	p := params()
+	c := Predict(st, p)
+	// Chain 1: Cs + L + Cr = 10 + 100 + 20 = 130µs.
+	// Chain 2: 2*Cs + 40 + 20 = 80µs.
+	if c.AsyncExecution != 130*us {
+		t.Fatalf("async term = %v, want 130µs", c.AsyncExecution)
+	}
+	if c.SyncExecution != 0 || c.Cs != 0 || c.Cr != 0 {
+		t.Fatalf("fork-join breakdown has unexpected sequential terms: %+v", c)
+	}
+}
+
+func TestForkJoinOverlappedProcessingDominatesWhenLarger(t *testing.T) {
+	st := ForkJoin(0, 5*us, 500*us, Leaf(1, 100*us))
+	c := Predict(st, params())
+	if c.AsyncExecution != 500*us {
+		t.Fatalf("async term should be the overlapped processing, got %v", c.AsyncExecution)
+	}
+	if c.SyncExecution != 5*us {
+		t.Fatalf("Pseq not accounted: %+v", c)
+	}
+}
+
+func TestSyncOvpChildrenCountTowardOverlap(t *testing.T) {
+	st := &SubTxn{
+		Container: 0,
+		Async:     []*SubTxn{Leaf(1, 10*us)},
+		SyncOvp:   []*SubTxn{Leaf(0, 200*us)},
+	}
+	c := Predict(st, params())
+	if c.AsyncExecution != 200*us {
+		t.Fatalf("overlapped synchronous child should dominate, got %v", c.AsyncExecution)
+	}
+	// A remote overlapped synchronous child also pays communication.
+	st.SyncOvp = []*SubTxn{Leaf(2, 200*us)}
+	c = Predict(st, params())
+	if c.AsyncExecution != 230*us {
+		t.Fatalf("remote overlapped sync child should pay Cs+Cr, got %v", c.AsyncExecution)
+	}
+}
+
+func TestLocalAsyncChildrenPayNoCommunication(t *testing.T) {
+	st := ForkJoin(0, 0, 0, Leaf(0, 100*us), Leaf(0, 60*us))
+	if got := Latency(st, params()); got != 100*us {
+		t.Fatalf("local async children should not pay communication, got %v", got)
+	}
+}
+
+func TestNestedRecursion(t *testing.T) {
+	// A root that sequentially calls a remote fork-join child.
+	child := ForkJoin(1, 10*us, 0, Leaf(2, 50*us))
+	root := Sequential(0, 20*us, child)
+	p := params()
+	// Child latency: 10 + (Cs + 50 + Cr) = 90µs. Root: 20 + 90 + Cs + Cr = 140µs.
+	if got := Latency(root, p); got != 140*us {
+		t.Fatalf("nested latency = %v, want 140µs", got)
+	}
+}
+
+// TestMultiTransferFormulationOrdering encodes the four Smallbank
+// multi-transfer formulations of §4.1.4 for a given size and checks that the
+// model predicts the ordering the paper reports in Figure 5:
+// fully-sync >= partially-async >= fully-async >= opt.
+func TestMultiTransferFormulationOrdering(t *testing.T) {
+	p := Params{Cs: 5 * us, Cr: 12 * us}
+	const write = 3 * us // processing cost of one credit/debit
+	for size := 1; size <= 7; size++ {
+		fullySync := &SubTxn{Container: 0}
+		partiallyAsync := &SubTxn{Container: 0}
+		fullyAsync := &SubTxn{Container: 0}
+		opt := &SubTxn{Container: 0}
+		for i := 0; i < size; i++ {
+			dest := i + 1
+			// fully-sync: transfer sub-txn = sync credit (remote) + sync debit (local).
+			transferSync := Sequential(0, 0, Leaf(dest, write), Leaf(0, write))
+			fullySync.SyncSeq = append(fullySync.SyncSeq, transferSync)
+			// partially-async: credit async, debit sync, per transfer.
+			transferPart := &SubTxn{Container: 0,
+				Async:   []*SubTxn{Leaf(dest, write)},
+				SyncOvp: []*SubTxn{Leaf(0, write)},
+			}
+			partiallyAsync.SyncSeq = append(partiallyAsync.SyncSeq, transferPart)
+			// fully-async: all credits async at one fork point, debits sync after.
+			fullyAsync.Async = append(fullyAsync.Async, Leaf(dest, write))
+			fullyAsync.SyncOvp = append(fullyAsync.SyncOvp, Leaf(0, write))
+			// opt: all credits async, a single debit.
+			opt.Async = append(opt.Async, Leaf(dest, write))
+		}
+		opt.SyncOvp = []*SubTxn{Leaf(0, write)}
+
+		lSync := Latency(fullySync, p)
+		lPart := Latency(partiallyAsync, p)
+		lAsync := Latency(fullyAsync, p)
+		lOpt := Latency(opt, p)
+		if !(lSync >= lPart && lPart >= lAsync && lAsync >= lOpt) {
+			t.Fatalf("size %d: ordering violated: sync=%v part=%v async=%v opt=%v",
+				size, lSync, lPart, lAsync, lOpt)
+		}
+		if size >= 3 && !(lSync > lOpt) {
+			t.Fatalf("size %d: fully-sync should be strictly slower than opt", size)
+		}
+	}
+}
+
+func TestLatencyMonotoneInParametersProperty(t *testing.T) {
+	// Property: increasing Cs, Cr or any processing cost never decreases the
+	// predicted latency of a fork-join transaction.
+	f := func(nRaw, csRaw, crRaw, procRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		base := Params{Cs: time.Duration(csRaw) * us, Cr: time.Duration(crRaw) * us}
+		bigger := Params{Cs: base.Cs + 5*us, Cr: base.Cr + 5*us}
+		proc := time.Duration(procRaw) * us
+		build := func(extra time.Duration) *SubTxn {
+			st := &SubTxn{Container: 0, Pseq: proc}
+			for i := 0; i < n; i++ {
+				st.Async = append(st.Async, Leaf(i+1, proc+extra))
+			}
+			return st
+		}
+		if Latency(build(0), bigger) < Latency(build(0), base) {
+			return false
+		}
+		return Latency(build(10*us), base) >= Latency(build(0), base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentsTotalMatchesLatency(t *testing.T) {
+	st := Sequential(0, 10*us,
+		Leaf(1, 20*us),
+		ForkJoin(0, 5*us, 15*us, Leaf(2, 30*us), Leaf(3, 40*us)))
+	p := params()
+	if Predict(st, p).Total() != Latency(st, p) {
+		t.Fatalf("Components.Total must equal Latency")
+	}
+}

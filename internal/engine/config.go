@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"reactdb/internal/vclock"
+)
+
+// Strategy names the deployment strategies of §3.3. The strategy value is
+// informational (experiments report it); the actual behaviour is fully
+// determined by the other Config fields, which the constructors below set.
+type Strategy string
+
+// Deployment strategies evaluated in the paper.
+const (
+	// SharedEverythingWithoutAffinity (S1): a single container in which any
+	// executor can handle transactions for any reactor; a round-robin router
+	// load-balances root transactions across executors.
+	SharedEverythingWithoutAffinity Strategy = "shared-everything-without-affinity"
+	// SharedEverythingWithAffinity (S2): a single container with an
+	// affinity-based router so that root transactions for a given reactor are
+	// always processed by the same executor.
+	SharedEverythingWithAffinity Strategy = "shared-everything-with-affinity"
+	// SharedNothing (S3): as many containers as executors; each reactor is
+	// mapped to exactly one executor. Whether the deployment behaves as
+	// shared-nothing-sync or shared-nothing-async depends on how the
+	// application program synchronizes on futures, not on the configuration.
+	SharedNothing Strategy = "shared-nothing"
+)
+
+// RouterKind selects the transaction routing policy within a container.
+type RouterKind string
+
+// Router kinds.
+const (
+	RouterRoundRobin RouterKind = "round-robin"
+	RouterAffinity   RouterKind = "affinity"
+)
+
+// Config describes a ReactDB deployment: how many containers and executors to
+// create, how reactors map to containers and executors, the routing policy,
+// and the virtual-core cost parameters. Editing the configuration and
+// restarting the database changes the architecture without any change to
+// application code.
+type Config struct {
+	// Strategy is the deployment strategy this configuration realizes.
+	Strategy Strategy
+
+	// Containers is the number of database containers (isolated storage +
+	// concurrency control domains).
+	Containers int
+
+	// ExecutorsPerContainer is the number of transaction executors (virtual
+	// cores) in each container.
+	ExecutorsPerContainer int
+
+	// Router selects how a container routes incoming root transactions to its
+	// executors.
+	Router RouterKind
+
+	// Placement maps a reactor name to the index of the container hosting it.
+	// The result is clamped into [0, Containers). If nil, reactors are
+	// hash-partitioned across containers.
+	Placement func(reactor string) int
+
+	// Affinity maps a reactor name to the index of its preferred executor
+	// within its container, used by the affinity router. The result is
+	// clamped into [0, ExecutorsPerContainer). If nil, a hash of the reactor
+	// name is used.
+	Affinity func(reactor string) int
+
+	// Costs are the virtual-core cost parameters (communication, affinity
+	// miss, per-transaction processing). The zero value disables all modeled
+	// costs, leaving only the real cost of executing Go code.
+	Costs vclock.Costs
+
+	// EpochInterval is how often each container advances its OCC epoch. Zero
+	// disables epoch advancement (fine without durability).
+	EpochInterval time.Duration
+
+	// DisableCC disables the commit protocol (validation, locking, TID
+	// generation). It exists only to measure containerization overhead with
+	// empty transactions, as in Appendix F.3, and must not be used with
+	// workloads that write data.
+	DisableCC bool
+
+	// DisableActiveSetCheck turns off the dynamic safety condition of §2.2.4.
+	// Used by the ablation benchmarks.
+	DisableActiveSetCheck bool
+
+	// DisableSameContainerInlining forces sub-transaction calls to reactors in
+	// the same container through the asynchronous dispatch path instead of
+	// executing them synchronously on the calling executor. Used by the
+	// ablation benchmarks; the default (false) matches the paper (§3.2.1).
+	DisableSameContainerInlining bool
+
+	// DisableCooperativeMultitasking keeps the executor core held while a
+	// request waits for a remote sub-transaction result, i.e. the executor
+	// cannot pick up other work during the wait. Used by ablation benchmarks;
+	// the default (false) matches §3.2.3.
+	DisableCooperativeMultitasking bool
+}
+
+// Validate checks the configuration and applies defaults for zero fields.
+func (c *Config) Validate() error {
+	if c.Containers <= 0 {
+		c.Containers = 1
+	}
+	if c.ExecutorsPerContainer <= 0 {
+		c.ExecutorsPerContainer = 1
+	}
+	if c.Router == "" {
+		c.Router = RouterAffinity
+	}
+	if c.Router != RouterRoundRobin && c.Router != RouterAffinity {
+		return fmt.Errorf("engine: unknown router kind %q", c.Router)
+	}
+	if c.Strategy == "" {
+		c.Strategy = Strategy(fmt.Sprintf("custom-%dx%d-%s", c.Containers, c.ExecutorsPerContainer, c.Router))
+	}
+	return nil
+}
+
+// hashString gives a stable non-negative hash for placement defaults.
+func hashString(s string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return int(h.Sum32() & 0x7fffffff)
+}
+
+// placementFor resolves the container index for a reactor.
+func (c *Config) placementFor(reactor string) int {
+	idx := 0
+	if c.Placement != nil {
+		idx = c.Placement(reactor)
+	} else {
+		idx = hashString(reactor)
+	}
+	idx %= c.Containers
+	if idx < 0 {
+		idx += c.Containers
+	}
+	return idx
+}
+
+// affinityFor resolves the preferred executor index for a reactor.
+func (c *Config) affinityFor(reactor string) int {
+	idx := 0
+	if c.Affinity != nil {
+		idx = c.Affinity(reactor)
+	} else {
+		idx = hashString(reactor)
+	}
+	idx %= c.ExecutorsPerContainer
+	if idx < 0 {
+		idx += c.ExecutorsPerContainer
+	}
+	return idx
+}
+
+// NewSharedEverythingWithoutAffinity returns the S1 deployment with the given
+// number of transaction executors in a single container.
+func NewSharedEverythingWithoutAffinity(executors int) Config {
+	return Config{
+		Strategy:              SharedEverythingWithoutAffinity,
+		Containers:            1,
+		ExecutorsPerContainer: executors,
+		Router:                RouterRoundRobin,
+	}
+}
+
+// NewSharedEverythingWithAffinity returns the S2 deployment with the given
+// number of transaction executors in a single container.
+func NewSharedEverythingWithAffinity(executors int) Config {
+	return Config{
+		Strategy:              SharedEverythingWithAffinity,
+		Containers:            1,
+		ExecutorsPerContainer: executors,
+		Router:                RouterAffinity,
+	}
+}
+
+// NewSharedNothing returns the S3 deployment with the given number of
+// containers, one executor each.
+func NewSharedNothing(containers int) Config {
+	return Config{
+		Strategy:              SharedNothing,
+		Containers:            containers,
+		ExecutorsPerContainer: 1,
+		Router:                RouterAffinity,
+	}
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"reactdb/internal/occ"
+	"reactdb/internal/rel"
+)
+
+// Container is a database container (paper §3.1): an isolated portion of the
+// machine with its own storage (the catalogs of the reactors mapped to it),
+// its own concurrency control domain, and its own transaction executors.
+// Containers never share data; transactions spanning containers go through the
+// two-phase commit coordinator.
+type Container struct {
+	db        *Database
+	id        int
+	domain    *occ.Domain
+	executors []*Executor
+	router    Router
+
+	// catalogs holds the relational state of every reactor mapped to this
+	// container, keyed by reactor name. The map is built at Open time and
+	// never mutated afterwards, so it is safe for concurrent reads.
+	catalogs map[string]*rel.Catalog
+
+	// affinityMu guards lastExecutor, which records the executor that last
+	// processed each reactor; it backs the affinity-miss cost model.
+	affinityMu   sync.Mutex
+	lastExecutor map[string]int
+}
+
+func newContainer(db *Database, id int) *Container {
+	c := &Container{
+		db:           db,
+		id:           id,
+		domain:       occ.NewDomain(fmt.Sprintf("container-%d", id)),
+		catalogs:     make(map[string]*rel.Catalog),
+		lastExecutor: make(map[string]int),
+	}
+	for i := 0; i < db.cfg.ExecutorsPerContainer; i++ {
+		c.executors = append(c.executors, newExecutor(c, i))
+	}
+	c.router = newRouter(db.cfg.Router, c)
+	return c
+}
+
+// ID returns the container's index within the database.
+func (c *Container) ID() int { return c.id }
+
+// Domain returns the container's concurrency control domain.
+func (c *Container) Domain() *occ.Domain { return c.domain }
+
+// Executors returns the container's transaction executors.
+func (c *Container) Executors() []*Executor { return c.executors }
+
+// addReactor creates the catalog for a reactor of the given type, creating one
+// table per relation declared by the type.
+func (c *Container) addReactor(name string, schemas []*rel.Schema) error {
+	if _, dup := c.catalogs[name]; dup {
+		return fmt.Errorf("engine: reactor %q mapped to container %d twice", name, c.id)
+	}
+	cat := rel.NewCatalog()
+	for _, s := range schemas {
+		if _, err := cat.CreateTable(s); err != nil {
+			return err
+		}
+	}
+	c.catalogs[name] = cat
+	return nil
+}
+
+// catalog returns the catalog of a reactor hosted by this container, or nil.
+func (c *Container) catalog(reactor string) *rel.Catalog { return c.catalogs[reactor] }
+
+// noteExecutorFor records that executor is about to process a request for the
+// reactor and reports whether a different executor processed it last (an
+// affinity miss).
+func (c *Container) noteExecutorFor(reactor string, executor int) bool {
+	c.affinityMu.Lock()
+	last, seen := c.lastExecutor[reactor]
+	c.lastExecutor[reactor] = executor
+	c.affinityMu.Unlock()
+	return seen && last != executor
+}

@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"reactdb/internal/core"
+	"reactdb/internal/kv"
+	"reactdb/internal/occ"
+	"reactdb/internal/rel"
+	"reactdb/internal/vclock"
+)
+
+// coreSession tracks ownership of an executor's virtual core by the goroutine
+// running one (sub-)transaction task. It is used by exactly one goroutine, so
+// it needs no synchronization; the wait hooks of futures created by that
+// goroutine run on the same goroutine inside Future.Get.
+type coreSession struct {
+	exec       *Executor
+	acquiredAt time.Time
+	held       bool
+}
+
+func (s *coreSession) acquire() {
+	if s.held {
+		return
+	}
+	s.acquiredAt = s.exec.acquire()
+	s.held = true
+}
+
+func (s *coreSession) release() {
+	if !s.held {
+		return
+	}
+	s.exec.release(s.acquiredAt)
+	s.held = false
+}
+
+// execContext implements core.Context for one (sub-)transaction executing on
+// one reactor. Sub-transactions inlined on the same executor share the
+// coreSession of their parent; sub-transactions dispatched to other containers
+// get their own task, executor and session.
+type execContext struct {
+	db        *Database
+	root      *rootTxn
+	container *Container
+	executor  *Executor
+	session   *coreSession
+	reactor   string
+	catalog   *rel.Catalog
+	txn       *occ.Txn
+	children  []*core.Future
+	rng       *rand.Rand
+}
+
+var _ core.Context = (*execContext)(nil)
+
+// Reactor implements core.Context.
+func (c *execContext) Reactor() string { return c.reactor }
+
+// Rand implements core.Context. The source is seeded from the root transaction
+// id and the reactor name so runs are reproducible given a fixed workload.
+func (c *execContext) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(int64(c.root.id)*1_000_003 + int64(hashString(c.reactor))))
+	}
+	return c.rng
+}
+
+// Work implements core.Context: simulated CPU-bound processing on the
+// executor's virtual core.
+func (c *execContext) Work(d time.Duration) { vclock.Work(d) }
+
+// Schema implements core.Context.
+func (c *execContext) Schema(relation string) (*rel.Schema, error) {
+	tbl, err := c.table(relation)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Schema(), nil
+}
+
+func (c *execContext) table(relation string) (*rel.Table, error) {
+	tbl := c.catalog.Table(relation)
+	if tbl == nil {
+		return nil, fmt.Errorf("%w: %s on reactor %s", core.ErrUnknownRelation, relation, c.reactor)
+	}
+	return tbl, nil
+}
+
+func (c *execContext) lockKey(relation, key string) string {
+	return c.reactor + "\x00" + relation + "\x00" + key
+}
+
+// Get implements core.Context.
+func (c *execContext) Get(relation string, keyVals ...any) (rel.Row, error) {
+	tbl, err := c.table(relation)
+	if err != nil {
+		return nil, err
+	}
+	key, err := tbl.Schema().EncodeKey(keyVals...)
+	if err != nil {
+		return nil, err
+	}
+	rec := tbl.Get(key)
+	if rec == nil {
+		// Reading a missing key creates an anti-dependency on inserts of that
+		// key; guard it with the table's structural version.
+		if err := c.txn.RegisterScan(tbl); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	data, present, err := c.txn.Read(rec)
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	return tbl.Schema().DecodeRow(data)
+}
+
+// Insert implements core.Context.
+func (c *execContext) Insert(relation string, row rel.Row) error {
+	tbl, err := c.table(relation)
+	if err != nil {
+		return err
+	}
+	key, err := tbl.Schema().KeyOf(row)
+	if err != nil {
+		return err
+	}
+	data, err := tbl.Schema().EncodeRow(row)
+	if err != nil {
+		return err
+	}
+	rec, _ := tbl.GetOrInsert(key)
+	if err := c.txn.Insert(rec, c.lockKey(relation, key), data, tbl); err != nil {
+		if errors.Is(err, occ.ErrDuplicateKey) {
+			// The key was committed by a concurrent transaction after this one
+			// began (the serial-order insert would have succeeded); report a
+			// serialization conflict so clients treat it as a retryable abort.
+			return fmt.Errorf("%w: concurrent insert of the same key into %s.%s", ErrConflict, c.reactor, relation)
+		}
+		return err
+	}
+	return nil
+}
+
+// Update implements core.Context.
+func (c *execContext) Update(relation string, row rel.Row) error {
+	tbl, err := c.table(relation)
+	if err != nil {
+		return err
+	}
+	key, err := tbl.Schema().KeyOf(row)
+	if err != nil {
+		return err
+	}
+	data, err := tbl.Schema().EncodeRow(row)
+	if err != nil {
+		return err
+	}
+	rec := tbl.Get(key)
+	if rec == nil {
+		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
+	}
+	if _, present, err := c.txn.Read(rec); err != nil {
+		return err
+	} else if !present {
+		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
+	}
+	return c.txn.Write(rec, c.lockKey(relation, key), data)
+}
+
+// Delete implements core.Context.
+func (c *execContext) Delete(relation string, keyVals ...any) error {
+	tbl, err := c.table(relation)
+	if err != nil {
+		return err
+	}
+	key, err := tbl.Schema().EncodeKey(keyVals...)
+	if err != nil {
+		return err
+	}
+	rec := tbl.Get(key)
+	if rec == nil {
+		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
+	}
+	if _, present, err := c.txn.Read(rec); err != nil {
+		return err
+	} else if !present {
+		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
+	}
+	return c.txn.Delete(rec, c.lockKey(relation, key), tbl)
+}
+
+// Scan implements core.Context.
+func (c *execContext) Scan(relation string, fn func(row rel.Row) bool, prefixVals ...any) error {
+	return c.scan(relation, fn, false, prefixVals...)
+}
+
+// ScanDesc implements core.Context.
+func (c *execContext) ScanDesc(relation string, fn func(row rel.Row) bool, prefixVals ...any) error {
+	return c.scan(relation, fn, true, prefixVals...)
+}
+
+func (c *execContext) scan(relation string, fn func(row rel.Row) bool, descending bool, prefixVals ...any) error {
+	tbl, err := c.table(relation)
+	if err != nil {
+		return err
+	}
+	if err := c.txn.RegisterScan(tbl); err != nil {
+		return err
+	}
+	lo, hi := "", ""
+	if len(prefixVals) > 0 {
+		prefix, err := tbl.Schema().EncodeKey(prefixVals...)
+		if err != nil {
+			return err
+		}
+		lo, hi = prefix, rel.KeyPrefixSuccessor(prefix)
+	}
+	var iterErr error
+	visit := func(key string, rec *kv.Record) bool {
+		data, present, err := c.txn.Read(rec)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		if !present {
+			return true
+		}
+		row, err := tbl.Schema().DecodeRow(data)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		return fn(row)
+	}
+	if descending {
+		tbl.DescendRange(lo, hi, visit)
+	} else {
+		tbl.AscendRange(lo, hi, visit)
+	}
+	return iterErr
+}
+
+// SelectAll implements core.Context.
+func (c *execContext) SelectAll(relation string, prefixVals ...any) ([]rel.Row, error) {
+	var rows []rel.Row
+	err := c.Scan(relation, func(row rel.Row) bool {
+		rows = append(rows, row)
+		return true
+	}, prefixVals...)
+	return rows, err
+}
+
+// CallSync implements core.Context.
+func (c *execContext) CallSync(reactor, procedure string, args ...any) (any, error) {
+	fut, err := c.Call(reactor, procedure, args...)
+	if err != nil {
+		return nil, err
+	}
+	return fut.Get()
+}
+
+// Call implements core.Context: the asynchronous procedure call of the
+// programming model (§2.2.2). Calls to the current reactor are inlined; calls
+// to reactors hosted in the same container execute synchronously on the
+// calling executor (§3.2.1); calls to reactors in other containers are routed
+// to the destination container and executed asynchronously, returning an
+// unresolved future.
+func (c *execContext) Call(reactor, procedure string, args ...any) (*core.Future, error) {
+	typ := c.db.def.TypeOf(reactor)
+	if typ == nil {
+		return nil, fmt.Errorf("%w: %s", core.ErrUnknownReactor, reactor)
+	}
+	proc := typ.Procedure(procedure)
+	if proc == nil {
+		return nil, fmt.Errorf("%w: %s.%s", core.ErrUnknownProcedure, reactor, procedure)
+	}
+	callArgs := core.Args(args)
+
+	// Direct self-call: inline synchronously (§2.2.4), sharing this context's
+	// execution state.
+	if reactor == c.reactor {
+		res, err := c.runInline(c.container, reactor, proc, callArgs)
+		return c.trackChild(core.ResolvedFuture(res, err)), nil
+	}
+
+	target := c.db.containerOf(reactor)
+	cfg := &c.db.cfg
+
+	// Same-container call: execute synchronously within the same transaction
+	// executor to avoid migration of control (§3.2.1).
+	if target == c.container && !cfg.DisableSameContainerInlining {
+		if !cfg.DisableActiveSetCheck {
+			if err := c.root.activeSet.Enter(reactor); err != nil {
+				return nil, err
+			}
+			defer c.root.activeSet.Exit(reactor)
+		}
+		res, err := c.runInline(target, reactor, proc, callArgs)
+		return c.trackChild(core.ResolvedFuture(res, err)), nil
+	}
+
+	// Cross-container call: enforce the safety condition, charge the send
+	// cost, and dispatch to the destination container's router.
+	if !cfg.DisableActiveSetCheck {
+		if err := c.root.activeSet.Enter(reactor); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Costs.Send > 0 {
+		vclock.Spin(cfg.Costs.Send)
+	}
+	c.root.addCs(cfg.Costs.Send)
+
+	fut := core.NewFuture()
+	c.installWaitHooks(fut)
+	t := &task{
+		root:     c.root,
+		reactor:  reactor,
+		procName: procedure,
+		proc:     proc,
+		args:     callArgs,
+		executor: target.router.Route(reactor),
+		future:   fut,
+		isRoot:   false,
+	}
+	c.trackChild(fut)
+	c.db.dispatch(t)
+	return fut, nil
+}
+
+// trackChild records a child sub-transaction future so that waitChildren can
+// enforce the completion rule and surface errors even when the application
+// never synchronizes on the future (the paper's semantics: any abort in a
+// sub-transaction aborts the root transaction).
+func (c *execContext) trackChild(fut *core.Future) *core.Future {
+	c.children = append(c.children, fut)
+	return fut
+}
+
+// installWaitHooks wires cooperative multitasking and the receive cost (Cr)
+// into a future returned for a cross-container call. The receive cost models
+// the thread wake-up and switch on the caller's core when the caller actually
+// has to block for the result; collecting a result that is already available
+// costs nothing beyond reading memory, which is why asynchronous formulations
+// largely overlap their receive costs (paper §4.2.1).
+func (c *execContext) installWaitHooks(fut *core.Future) {
+	cfg := &c.db.cfg
+	blocked := false
+	if !cfg.DisableCooperativeMultitasking {
+		var blockedAt time.Time
+		fut.SetWaitHooks(
+			func() {
+				blocked = true
+				blockedAt = time.Now()
+				c.session.release()
+			},
+			func() {
+				c.session.acquire()
+				c.root.addBlocked(time.Since(blockedAt))
+			},
+		)
+	}
+	fut.SetDeliverHook(func() {
+		if !blocked {
+			return
+		}
+		if cfg.Costs.Receive > 0 {
+			vclock.Spin(cfg.Costs.Receive)
+		}
+		c.root.addCr(cfg.Costs.Receive)
+	})
+}
+
+// runInline executes a sub-transaction synchronously on the calling executor,
+// sharing the caller's core session and the container's OCC transaction.
+func (c *execContext) runInline(container *Container, reactor string, proc core.Procedure, args core.Args) (any, error) {
+	child := &execContext{
+		db:        c.db,
+		root:      c.root,
+		container: container,
+		executor:  c.executor,
+		session:   c.session,
+		reactor:   reactor,
+		catalog:   container.catalog(reactor),
+		txn:       c.root.txnFor(container),
+	}
+	if child.catalog == nil {
+		return nil, fmt.Errorf("%w: %s not hosted in container %d", core.ErrUnknownReactor, reactor, container.id)
+	}
+	res, err := c.db.invoke(child, proc, args)
+	if waitErr := child.waitChildren(); err == nil {
+		err = waitErr
+	}
+	return res, err
+}
+
+// waitChildren enforces the programming model's completion rule: a (sub-)
+// transaction completes only when all sub-transactions invoked in its context
+// complete. It returns the first error any child reported.
+func (c *execContext) waitChildren() error {
+	var firstErr error
+	for _, fut := range c.children {
+		if _, err := fut.Get(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.children = nil
+	return firstErr
+}

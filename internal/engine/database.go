@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reactdb/internal/core"
+	"reactdb/internal/rel"
+)
+
+// Database is a running ReactDB instance: a reactor database (logical
+// declaration, package core) deployed on a concrete architecture (Config).
+type Database struct {
+	def *core.DatabaseDef
+	cfg Config
+
+	containers []*Container
+	placement  map[string]*Container // reactor name -> hosting container
+
+	nextTxnID atomic.Uint64
+
+	epochStop chan struct{}
+	epochWG   sync.WaitGroup
+	closed    atomic.Bool
+}
+
+// Open deploys the reactor database described by def according to cfg. The
+// same definition can be opened under any configuration — the paper's central
+// virtualization property: database architecture is a deployment decision.
+func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db := &Database{
+		def:       def,
+		cfg:       cfg,
+		placement: make(map[string]*Container),
+		epochStop: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Containers; i++ {
+		db.containers = append(db.containers, newContainer(db, i))
+	}
+	for _, reactor := range def.Reactors() {
+		c := db.containers[cfg.placementFor(reactor)]
+		typ := def.TypeOf(reactor)
+		if err := c.addReactor(reactor, typ.Relations()); err != nil {
+			return nil, err
+		}
+		db.placement[reactor] = c
+	}
+	if cfg.EpochInterval > 0 {
+		db.epochWG.Add(1)
+		go db.epochLoop()
+	}
+	return db, nil
+}
+
+// MustOpen is Open that panics on error, for examples and tests with static
+// configurations.
+func MustOpen(def *core.DatabaseDef, cfg Config) *Database {
+	db, err := Open(def, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Close stops background work. Transactions in flight are allowed to finish;
+// Execute must not be called after Close.
+func (db *Database) Close() {
+	if db.closed.CompareAndSwap(false, true) {
+		close(db.epochStop)
+		db.epochWG.Wait()
+	}
+}
+
+func (db *Database) epochLoop() {
+	defer db.epochWG.Done()
+	ticker := time.NewTicker(db.cfg.EpochInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.epochStop:
+			return
+		case <-ticker.C:
+			for _, c := range db.containers {
+				c.domain.AdvanceEpoch()
+			}
+		}
+	}
+}
+
+// Definition returns the logical database declaration.
+func (db *Database) Definition() *core.DatabaseDef { return db.def }
+
+// Config returns the deployment configuration in use.
+func (db *Database) Config() Config { return db.cfg }
+
+// Containers returns the database containers.
+func (db *Database) Containers() []*Container { return db.containers }
+
+// containerOf returns the container hosting the reactor, or nil.
+func (db *Database) containerOf(reactor string) *Container { return db.placement[reactor] }
+
+// ContainerIndexOf returns the index of the container hosting the reactor and
+// whether the reactor is declared. Experiment drivers use it to build
+// placement-aware workloads (e.g. "destination accounts span all containers").
+func (db *Database) ContainerIndexOf(reactor string) (int, bool) {
+	c, ok := db.placement[reactor]
+	if !ok {
+		return 0, false
+	}
+	return c.id, true
+}
+
+// Execute runs a root transaction: the named procedure on the named reactor
+// with the given arguments (§2.2.3). It blocks until the transaction commits
+// or aborts and returns the procedure result. Aborts due to serialization
+// conflicts return ErrConflict; application aborts return the error produced
+// by the procedure (see core.Abortf).
+func (db *Database) Execute(reactor, procedure string, args ...any) (any, error) {
+	res, _, err := db.ExecuteProfiled(reactor, procedure, args...)
+	return res, err
+}
+
+// ExecuteProfiled is Execute returning, in addition, the latency profile used
+// by the cost-model experiments.
+func (db *Database) ExecuteProfiled(reactor, procedure string, args ...any) (any, Profile, error) {
+	start := time.Now()
+	typ := db.def.TypeOf(reactor)
+	if typ == nil {
+		return nil, Profile{}, fmt.Errorf("%w: %s", core.ErrUnknownReactor, reactor)
+	}
+	proc := typ.Procedure(procedure)
+	if proc == nil {
+		return nil, Profile{}, fmt.Errorf("%w: %s.%s", core.ErrUnknownProcedure, reactor, procedure)
+	}
+	container := db.containerOf(reactor)
+	root := newRootTxn(db, db.nextTxnID.Add(1))
+	if !db.cfg.DisableActiveSetCheck {
+		// The root transaction itself occupies its reactor.
+		if err := root.activeSet.Enter(reactor); err != nil {
+			return nil, Profile{}, err
+		}
+	}
+	fut := core.NewFuture()
+	t := &task{
+		root:     root,
+		reactor:  reactor,
+		procName: procedure,
+		proc:     proc,
+		args:     core.Args(args),
+		executor: container.router.Route(reactor),
+		future:   fut,
+		isRoot:   true,
+	}
+	db.dispatch(t)
+	res, err := fut.Get()
+
+	profile := root.snapshotProfile()
+	profile.Total = time.Since(start)
+	profile.Aborted = err != nil
+	return res, profile, err
+}
+
+// dispatch hands a task to its executor. Every task runs on its own goroutine;
+// the executor's virtual core serializes processing, and cooperative
+// multitasking releases the core while a task waits for remote results.
+func (db *Database) dispatch(t *task) {
+	go db.runTask(t)
+}
+
+// runTask executes one (sub-)transaction request on its executor: it acquires
+// the executor core, charges per-request costs, runs the procedure, enforces
+// completion of all child sub-transactions and, for root transactions, runs
+// the commit protocol. The task's future is resolved with the result.
+func (db *Database) runTask(t *task) {
+	session := &coreSession{exec: t.executor}
+	session.acquire()
+	t.executor.chargeEntry(t.reactor)
+
+	ctx := &execContext{
+		db:        db,
+		root:      t.root,
+		container: t.executor.container,
+		executor:  t.executor,
+		session:   session,
+		reactor:   t.reactor,
+		catalog:   t.executor.container.catalog(t.reactor),
+		txn:       t.root.txnFor(t.executor.container),
+	}
+	var res any
+	var err error
+	if ctx.catalog == nil {
+		err = fmt.Errorf("%w: %s not hosted in container %d", core.ErrUnknownReactor, t.reactor, t.executor.container.id)
+	} else {
+		res, err = db.invoke(ctx, t.proc, t.args)
+		if waitErr := ctx.waitChildren(); err == nil {
+			err = waitErr
+		}
+	}
+
+	if t.isRoot {
+		commitStart := time.Now()
+		if err != nil {
+			t.root.abortAll()
+		} else {
+			err = t.root.commit()
+		}
+		t.root.profMu.Lock()
+		t.root.profile.Commit = time.Since(commitStart)
+		t.root.profMu.Unlock()
+	}
+
+	session.release()
+	if !t.isRoot && !db.cfg.DisableActiveSetCheck {
+		t.root.activeSet.Exit(t.reactor)
+	}
+	t.future.Resolve(res, err)
+}
+
+// invoke runs a procedure, converting panics into errors so a buggy stored
+// procedure aborts its transaction instead of crashing the engine.
+func (db *Database) invoke(ctx *execContext, proc core.Procedure, args core.Args) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("reactor: procedure panic on %s: %v", ctx.reactor, r)
+		}
+	}()
+	return proc(ctx, args)
+}
+
+// --- Loading and inspection --------------------------------------------------
+
+// Load inserts a row into one of a reactor's relations outside of any
+// transaction. It is meant for benchmark loaders and example setup; it must
+// not run concurrently with transactions touching the same relation.
+func (db *Database) Load(reactor, relation string, row rel.Row) error {
+	c := db.containerOf(reactor)
+	if c == nil {
+		return fmt.Errorf("%w: %s", core.ErrUnknownReactor, reactor)
+	}
+	tbl := c.catalog(reactor).Table(relation)
+	if tbl == nil {
+		return fmt.Errorf("%w: %s.%s", core.ErrUnknownRelation, reactor, relation)
+	}
+	return tbl.LoadRow(row)
+}
+
+// MustLoad is Load that panics on error.
+func (db *Database) MustLoad(reactor, relation string, row rel.Row) {
+	if err := db.Load(reactor, relation, row); err != nil {
+		panic(err)
+	}
+}
+
+// ReadRow performs a non-transactional read of a row by primary key, for
+// verification in tests and examples. It returns nil if the row is absent.
+func (db *Database) ReadRow(reactor, relation string, keyVals ...any) (rel.Row, error) {
+	c := db.containerOf(reactor)
+	if c == nil {
+		return nil, fmt.Errorf("%w: %s", core.ErrUnknownReactor, reactor)
+	}
+	tbl := c.catalog(reactor).Table(relation)
+	if tbl == nil {
+		return nil, fmt.Errorf("%w: %s.%s", core.ErrUnknownRelation, reactor, relation)
+	}
+	key, err := tbl.Schema().EncodeKey(keyVals...)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.ReadRow(key)
+}
+
+// TableLen returns the number of indexed keys in a reactor's relation,
+// including logically deleted rows. Tests use it for coarse sanity checks.
+func (db *Database) TableLen(reactor, relation string) int {
+	c := db.containerOf(reactor)
+	if c == nil {
+		return 0
+	}
+	tbl := c.catalog(reactor).Table(relation)
+	if tbl == nil {
+		return 0
+	}
+	return tbl.Len()
+}
+
+// Stats aggregates commit/abort counters across all containers.
+func (db *Database) Stats() (committed, aborted uint64) {
+	for _, c := range db.containers {
+		co, ab := c.domain.Stats()
+		committed += co
+		aborted += ab
+	}
+	return committed, aborted
+}
+
+// ExecutorUtilization returns the utilization of every executor, indexed by
+// container then executor, mirroring the per-core hardware utilization numbers
+// the paper reports.
+func (db *Database) ExecutorUtilization() [][]float64 {
+	out := make([][]float64, len(db.containers))
+	for i, c := range db.containers {
+		for _, e := range c.executors {
+			out[i] = append(out[i], e.Utilization())
+		}
+	}
+	return out
+}
+
+// ResetExecutorStats restarts the utilization measurement window on every
+// executor (called at the start of a measurement run).
+func (db *Database) ResetExecutorStats() {
+	for _, c := range db.containers {
+		for _, e := range c.executors {
+			e.ResetStats()
+		}
+	}
+}

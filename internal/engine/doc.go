@@ -1,0 +1,30 @@
+// Package engine implements ReactDB's system architecture (paper §3): the
+// runtime that executes reactor procedures with transactional guarantees and
+// that virtualizes database architecture at deployment time.
+//
+// The architecture follows Figure 4 of the paper:
+//
+//   - a Database is a collection of Containers; each container has its own
+//     storage (the catalogs of the reactors mapped to it) and its own
+//     concurrency control domain (Silo-style OCC, package occ);
+//   - each container owns one or more transaction Executors; an executor is a
+//     virtual core (package vclock) with a request stream. Sub-transactions
+//     that stay within a container are executed synchronously by the calling
+//     executor; calls to reactors in other containers are routed by the
+//     transport to the destination container's Router and run asynchronously,
+//     returning futures;
+//   - a Router picks the executor for an incoming (sub-)transaction:
+//     round-robin (shared-everything-without-affinity) or affinity-based
+//     (shared-everything-with-affinity, shared-nothing);
+//   - the transaction coordinator commits single-container transactions with
+//     the container's OCC protocol and multi-container transactions with
+//     two-phase commit, using OCC validation as the prepare vote (§3.2.2);
+//   - cooperative multitasking (§3.2.3): a request that blocks on the result
+//     of a remote sub-transaction releases its executor's core so queued
+//     requests can proceed, and re-acquires it when the result arrives.
+//
+// Deployment strategies S1 (shared-everything-without-affinity), S2
+// (shared-everything-with-affinity) and S3 (shared-nothing, sync or async
+// depending on the application program) from §3.3 are plain Config values:
+// changing the database architecture never requires application changes.
+package engine

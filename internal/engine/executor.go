@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"reactdb/internal/vclock"
+)
+
+// Executor is a transaction executor: the unit of compute inside a container
+// (paper §3.1). Each executor owns one virtual core; requests routed to the
+// executor contend for that core, and a request that blocks on a remote
+// sub-transaction releases the core so queued work can proceed (cooperative
+// multitasking, §3.2.3).
+type Executor struct {
+	container *Container
+	id        int
+	core      *vclock.Core
+
+	// instrumentation
+	busy      atomic.Int64 // accumulated nanoseconds the core was held
+	processed atomic.Int64 // number of (sub-)transaction requests processed
+	started   time.Time
+}
+
+func newExecutor(c *Container, id int) *Executor {
+	return &Executor{container: c, id: id, core: vclock.NewCore(), started: time.Now()}
+}
+
+// ID returns the executor's index within its container.
+func (e *Executor) ID() int { return e.id }
+
+// Container returns the container owning this executor.
+func (e *Executor) Container() *Container { return e.container }
+
+// Processed returns the number of (sub-)transaction requests this executor has
+// executed.
+func (e *Executor) Processed() int64 { return e.processed.Load() }
+
+// Utilization returns the fraction of wall-clock time since creation during
+// which the executor's virtual core was busy. It corresponds to the
+// per-executor hardware utilization the paper reports (§4.3.1).
+func (e *Executor) Utilization() float64 {
+	elapsed := time.Since(e.started)
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(e.busy.Load()) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ResetStats restarts the utilization measurement window.
+func (e *Executor) ResetStats() {
+	e.busy.Store(0)
+	e.processed.Store(0)
+	e.started = time.Now()
+}
+
+// acquire takes the executor's core and returns the acquisition time used to
+// account busy time.
+func (e *Executor) acquire() time.Time {
+	e.core.Acquire()
+	return time.Now()
+}
+
+// release frees the core, charging the busy time since acquiredAt.
+func (e *Executor) release(acquiredAt time.Time) {
+	e.busy.Add(int64(time.Since(acquiredAt)))
+	e.core.Release()
+}
+
+// chargeEntry applies the per-request costs charged when the executor starts
+// processing a (sub-)transaction for a reactor: the fixed processing cost and
+// the affinity-miss penalty charged when the reactor was last processed by a
+// different executor of the same container (its working set has to move to
+// this executor's cache, the effect affinity routing avoids). The caller must
+// hold the core.
+func (e *Executor) chargeEntry(reactor string) {
+	costs := e.container.db.cfg.Costs
+	miss := e.container.noteExecutorFor(reactor, e.id)
+	if miss && costs.AffinityMiss > 0 {
+		vclock.Spin(costs.AffinityMiss)
+	}
+	if costs.Processing > 0 {
+		vclock.Spin(costs.Processing)
+	}
+	e.processed.Add(1)
+}

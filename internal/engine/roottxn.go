@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"reactdb/internal/core"
+	"reactdb/internal/occ"
+)
+
+// ErrConflict is returned by Execute when the transaction failed
+// serializability validation (single-container OCC validation or the prepare
+// phase of two-phase commit) and was aborted. Clients may retry.
+var ErrConflict = errors.New("engine: transaction aborted due to serialization conflict")
+
+// Profile is the per-transaction latency breakdown used to validate the
+// computational cost model (paper §4.2.2, Figure 6, Table 1). Durations are
+// measured on the root transaction's executor.
+type Profile struct {
+	// Total is the end-to-end latency observed by the client, including input
+	// handling in Execute.
+	Total time.Duration
+	// SyncExec is the processing time of the root procedure and of
+	// synchronously inlined sub-transactions on the root executor (the first
+	// two components of the cost equation).
+	SyncExec time.Duration
+	// Cs is the accumulated cost of sending sub-transaction invocations to
+	// reactors in other containers.
+	Cs time.Duration
+	// Cr is the accumulated cost of receiving sub-transaction results from
+	// other containers.
+	Cr time.Duration
+	// BlockedWait is the time the root execution context spent blocked on
+	// futures of sub-transactions running in other containers. For program
+	// formulations that synchronize immediately it plays the role of the
+	// synchronous child execution cost; for asynchronous formulations it is
+	// the paper's async-execution component.
+	BlockedWait time.Duration
+	// Commit is the time spent in the commit protocol (OCC validation and, for
+	// multi-container transactions, two-phase commit).
+	Commit time.Duration
+	// RemoteCalls is the number of sub-transactions dispatched to other
+	// containers.
+	RemoteCalls int
+	// Containers is the number of containers touched by the transaction.
+	Containers int
+	// Aborted reports whether the transaction aborted.
+	Aborted bool
+}
+
+// task is one (sub-)transaction request dispatched to an executor.
+type task struct {
+	root     *rootTxn
+	reactor  string
+	procName string
+	proc     core.Procedure
+	args     core.Args
+	executor *Executor
+	future   *core.Future
+	isRoot   bool
+}
+
+// rootTxn is the runtime state of a root transaction: its active set (§2.2.4
+// safety condition), the per-container OCC transactions it has touched, and
+// its latency profile.
+type rootTxn struct {
+	db        *Database
+	id        uint64
+	activeSet *core.ActiveSet
+
+	mu    sync.Mutex
+	txns  map[*Container]*occ.Txn
+	order []*Container // touch order, for deterministic 2PC iteration
+
+	profMu  sync.Mutex
+	profile Profile
+}
+
+func newRootTxn(db *Database, id uint64) *rootTxn {
+	return &rootTxn{
+		db:        db,
+		id:        id,
+		activeSet: core.NewActiveSet(),
+		txns:      make(map[*Container]*occ.Txn),
+	}
+}
+
+// txnFor returns the OCC transaction of this root on the given container,
+// creating it on first touch.
+func (r *rootTxn) txnFor(c *Container) *occ.Txn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.txns[c]; ok {
+		return t
+	}
+	t := c.domain.Begin()
+	r.txns[c] = t
+	r.order = append(r.order, c)
+	return t
+}
+
+// touchedContainers returns the containers this transaction accessed, in touch
+// order.
+func (r *rootTxn) touchedContainers() []*Container {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Container, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+func (r *rootTxn) addCs(d time.Duration) {
+	r.profMu.Lock()
+	r.profile.Cs += d
+	r.profile.RemoteCalls++
+	r.profMu.Unlock()
+}
+
+func (r *rootTxn) addCr(d time.Duration) {
+	r.profMu.Lock()
+	r.profile.Cr += d
+	r.profMu.Unlock()
+}
+
+func (r *rootTxn) addBlocked(d time.Duration) {
+	r.profMu.Lock()
+	r.profile.BlockedWait += d
+	r.profMu.Unlock()
+}
+
+// commit runs the commitment protocol over every container the transaction
+// touched: the container's native OCC commit when a single container is
+// involved, two-phase commit with OCC validation as the vote otherwise
+// (§3.2.2). It returns ErrConflict on validation failure.
+func (r *rootTxn) commit() error {
+	if r.db.cfg.DisableCC {
+		return nil
+	}
+	containers := r.touchedContainers()
+	switch len(containers) {
+	case 0:
+		return nil
+	case 1:
+		txn := r.txns[containers[0]]
+		if _, err := txn.Commit(); err != nil {
+			if errors.Is(err, occ.ErrConflict) {
+				return ErrConflict
+			}
+			return err
+		}
+		return nil
+	}
+
+	// Two-phase commit. Phase one: prepare (lock + validate) every participant.
+	prepared := make([]*occ.Txn, 0, len(containers))
+	for _, c := range containers {
+		txn := r.txns[c]
+		if err := txn.Prepare(); err != nil {
+			for _, p := range prepared {
+				_ = p.AbortPrepared()
+			}
+			// Participants after the failing one never prepared; abort them so
+			// their domains count the abort.
+			for _, later := range containers[len(prepared)+1:] {
+				r.txns[later].Abort()
+			}
+			if errors.Is(err, occ.ErrConflict) {
+				return ErrConflict
+			}
+			return err
+		}
+		prepared = append(prepared, txn)
+	}
+	// Phase two: commit every participant.
+	for _, txn := range prepared {
+		if _, err := txn.CommitPrepared(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abortAll aborts every per-container transaction that is still active, used
+// when the procedure logic itself failed (user abort, dangerous structure,
+// runtime error).
+func (r *rootTxn) abortAll() {
+	for _, c := range r.touchedContainers() {
+		r.txns[c].Abort()
+	}
+}
+
+// snapshotProfile returns a copy of the accumulated profile.
+func (r *rootTxn) snapshotProfile() Profile {
+	r.profMu.Lock()
+	defer r.profMu.Unlock()
+	p := r.profile
+	p.Containers = len(r.order)
+	return p
+}

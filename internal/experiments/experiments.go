@@ -1,0 +1,183 @@
+// Package experiments contains one runner per table and figure of the paper's
+// evaluation (§4 and Appendices B–G). Each runner deploys the relevant
+// workload under the relevant database architecture(s), drives it with the
+// measurement harness of package bench, and returns a printable table whose
+// rows correspond to the series the paper plots.
+//
+// Runners accept Options; the zero value produces a quick run sized for test
+// suites and CI, while Full enlarges sweeps and epochs for report-quality
+// numbers. Absolute magnitudes differ from the paper (the substrate is the
+// virtual-core simulation described in DESIGN.md §5); EXPERIMENTS.md records
+// the measured shapes next to the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"reactdb/internal/vclock"
+)
+
+// Options control the size of an experiment run.
+type Options struct {
+	// Full enlarges sweeps (more sizes, more workers, more epochs) to mirror
+	// the paper's configurations as closely as the host allows.
+	Full bool
+	// Epochs and EpochDuration override the measurement methodology defaults
+	// (quick: 3 × 150ms, full: 10 × 500ms).
+	Epochs        int
+	EpochDuration time.Duration
+	// Costs override the virtual-core cost parameters; the zero value selects
+	// vclock.DefaultExperimentCosts for load experiments and a
+	// communication-only variant for the latency-control experiments.
+	Costs *vclock.Costs
+}
+
+func (o Options) epochs() int {
+	if o.Epochs > 0 {
+		return o.Epochs
+	}
+	if o.Full {
+		return 10
+	}
+	return 3
+}
+
+func (o Options) epochDuration() time.Duration {
+	if o.EpochDuration > 0 {
+		return o.EpochDuration
+	}
+	if o.Full {
+		return 500 * time.Millisecond
+	}
+	return 150 * time.Millisecond
+}
+
+// commCosts are the cost parameters for the single-worker latency-control
+// experiments (§4.2, Appendices B and C): communication costs only, no
+// per-transaction processing or affinity modeling, preserving the Cr > Cs
+// asymmetry the paper reports.
+func (o Options) commCosts() vclock.Costs {
+	if o.Costs != nil {
+		return *o.Costs
+	}
+	return vclock.Costs{Send: 40 * time.Microsecond, Receive: 80 * time.Microsecond}
+}
+
+// loadCosts are the cost parameters for the multi-worker load experiments
+// (§4.3, Appendices D–F): communication, affinity-miss and per-transaction
+// processing costs.
+func (o Options) loadCosts() vclock.Costs {
+	if o.Costs != nil {
+		return *o.Costs
+	}
+	return vclock.DefaultExperimentCosts()
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table in aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Table, error)
+
+// Registry returns the experiment runners keyed by experiment id (figure or
+// table number as used in DESIGN.md and EXPERIMENTS.md).
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig5":     Fig5,
+		"fig6":     Fig6,
+		"fig7":     Fig7,
+		"fig8":     Fig8,
+		"fig9":     Fig9,
+		"fig10":    Fig10,
+		"fig11":    Fig11,
+		"fig12":    Fig12,
+		"fig13":    Fig13,
+		"fig14":    Fig14,
+		"tab1":     Tab1,
+		"fig15":    Fig15,
+		"fig16":    Fig16,
+		"fig17":    Fig17,
+		"fig18":    Fig18,
+		"fig19":    Fig19,
+		"affinity": Affinity,
+		"overhead": Overhead,
+	}
+}
+
+// IDs returns all experiment ids in a stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// formatDuration renders a duration in milliseconds with fixed precision, the
+// unit the paper's latency figures use.
+func formatDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}
+
+// formatThroughput renders transactions per second.
+func formatThroughput(tps float64) string { return fmt.Sprintf("%.0f", tps) }
+
+// formatPercent renders a ratio as a percentage.
+func formatPercent(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

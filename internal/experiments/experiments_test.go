@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fmtSscan parses a single float from a table cell.
+func fmtSscan(s string, out *float64) (int, error) { return fmt.Sscan(s, out) }
+
+// tinyOptions keeps experiment runs small enough for the unit test suite.
+func tinyOptions() Options {
+	return Options{Epochs: 2, EpochDuration: 60 * time.Millisecond}
+}
+
+func TestRegistryCoversAllExperimentIDs(t *testing.T) {
+	reg := Registry()
+	want := []string{
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"affinity", "overhead",
+	}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if reg[id] == nil {
+			t.Fatalf("registry missing %s", id)
+		}
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() returned %d entries", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("IDs() not sorted")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "fig0",
+		Title:  "test table",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("300", "4")
+	out := tbl.String()
+	for _, want := range []string{"fig0", "test table", "a note", "300"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.epochs() != 3 || o.epochDuration() != 150*time.Millisecond {
+		t.Fatalf("quick defaults wrong")
+	}
+	full := Options{Full: true}
+	if full.epochs() != 10 || full.epochDuration() != 500*time.Millisecond {
+		t.Fatalf("full defaults wrong")
+	}
+	if o.commCosts().Receive <= o.commCosts().Send {
+		t.Fatalf("comm costs must preserve Cr > Cs")
+	}
+	if o.loadCosts().Processing <= 0 {
+		t.Fatalf("load costs must include processing")
+	}
+	if o.profileCount() <= 0 || full.profileCount() <= o.profileCount() {
+		t.Fatalf("profile counts wrong")
+	}
+	if len(o.tpccWorkerCounts()) >= len(full.tpccWorkerCounts()) {
+		t.Fatalf("full worker sweep should be larger")
+	}
+	if len(o.ycsbSkews()) >= len(full.ycsbSkews()) {
+		t.Fatalf("full skew sweep should be larger")
+	}
+}
+
+func TestExpectedDistinctRemote(t *testing.T) {
+	if got := expectedDistinctRemote(10, 3, 0); got != 0 {
+		t.Fatalf("zero probability should give 0, got %d", got)
+	}
+	if got := expectedDistinctRemote(10, 3, 1.0); got < 2 || got > 3 {
+		t.Fatalf("100%% cross with 3 candidates should approach 3, got %d", got)
+	}
+	if got := expectedDistinctRemote(10, 7, 0.01); got != 1 {
+		t.Fatalf("1%% cross should still touch about one remote warehouse, got %d", got)
+	}
+}
+
+// TestFig5QuickRunProducesOrderedLatencies runs the smallest latency-control
+// experiment end to end and checks the headline shape: opt is not slower than
+// fully-sync at the largest transaction size.
+func TestFig5QuickRunProducesOrderedLatencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := Fig5(tinyOptions())
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(tbl.Rows) != 7 || len(tbl.Header) != 5 {
+		t.Fatalf("unexpected table shape: %+v", tbl)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	var fullySync, opt float64
+	if _, err := fmtSscan(last[1], &fullySync); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := fmtSscan(last[4], &opt); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if opt > fullySync {
+		t.Fatalf("opt (%v ms) should not be slower than fully-sync (%v ms) at size 7", opt, fullySync)
+	}
+}
+
+// TestOverheadQuickRun exercises the containerization-overhead experiment.
+func TestOverheadQuickRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := Overhead(tinyOptions())
+	if err != nil {
+		t.Fatalf("Overhead: %v", err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,582 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"reactdb/internal/bench"
+	"reactdb/internal/core"
+	"reactdb/internal/costmodel"
+	"reactdb/internal/engine"
+	"reactdb/internal/rel"
+	"reactdb/internal/workload/tpcc"
+)
+
+// tpccDeployment names a database architecture evaluated on TPC-C.
+type tpccDeployment struct {
+	name string
+	cfg  func(executors int) engine.Config
+}
+
+func tpccDeployments() []tpccDeployment {
+	return []tpccDeployment{
+		{"shared-everything-without-affinity", engine.NewSharedEverythingWithoutAffinity},
+		{"shared-nothing-async", engine.NewSharedNothing},
+		{"shared-everything-with-affinity", engine.NewSharedEverythingWithAffinity},
+	}
+}
+
+// openTPCC deploys a TPC-C database of the given scale factor under cfg.
+func openTPCC(opts Options, cfg engine.Config, scale int) (*engine.Database, tpcc.Params, error) {
+	params := tpcc.DefaultParams(scale)
+	if !opts.Full {
+		params.CustomersPerDistrict = 60
+		params.Items = 200
+	}
+	cfg.Placement = tpcc.Placement
+	cfg.Affinity = func(reactor string) int {
+		if w := tpcc.WarehouseID(reactor); w > 0 {
+			return w - 1
+		}
+		return 0
+	}
+	cfg.Costs = opts.loadCosts()
+	db, err := engine.Open(tpcc.NewDefinition(params), cfg)
+	if err != nil {
+		return nil, params, err
+	}
+	if err := tpcc.Load(db, params); err != nil {
+		db.Close()
+		return nil, params, err
+	}
+	return db, params, nil
+}
+
+// runTPCC drives the database with the given number of client workers, each
+// with affinity to warehouse (worker mod scale)+1.
+func runTPCC(db *engine.Database, opts Options, params tpcc.Params, workers int, genCfg func(worker int) tpcc.GeneratorConfig) (throughput float64, latency time.Duration, abortRate float64, err error) {
+	benchOpts := bench.Options{
+		Workers:       workers,
+		Epochs:        opts.epochs(),
+		EpochDuration: opts.epochDuration(),
+		Warmup:        50 * time.Millisecond,
+	}
+	result, err := bench.Run(db, benchOpts, func(worker int) bench.Generator {
+		g := tpcc.NewGenerator(genCfg(worker))
+		return func() bench.Request {
+			req := g.Next()
+			return bench.Request{Reactor: req.Reactor, Procedure: req.Procedure, Args: req.Args}
+		}
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tp, _ := result.Throughput()
+	lat, _ := result.Latency()
+	return tp, lat, result.AbortRate(), nil
+}
+
+func (o Options) tpccWorkerCounts() []int {
+	if o.Full {
+		return []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// fig7and8 runs the §4.3.1 experiment once and produces both the throughput
+// and latency tables.
+func fig7and8(opts Options) (*Table, *Table, error) {
+	const scale = 4
+	throughputTable := &Table{
+		ID:     "fig7",
+		Title:  "TPC-C throughput [txn/s] with varying load at scale factor 4 (standard mix)",
+		Header: []string{"workers"},
+	}
+	latencyTable := &Table{
+		ID:     "fig8",
+		Title:  "TPC-C avg latency [ms] with varying load at scale factor 4 (standard mix)",
+		Header: []string{"workers"},
+	}
+	for _, d := range tpccDeployments() {
+		throughputTable.Header = append(throughputTable.Header, d.name)
+		latencyTable.Header = append(latencyTable.Header, d.name)
+	}
+	rowsTP := map[int][]string{}
+	rowsLat := map[int][]string{}
+	workerCounts := opts.tpccWorkerCounts()
+	for _, w := range workerCounts {
+		rowsTP[w] = []string{fmt.Sprintf("%d", w)}
+		rowsLat[w] = []string{fmt.Sprintf("%d", w)}
+	}
+	for _, d := range tpccDeployments() {
+		db, params, err := openTPCC(opts, d.cfg(scale), scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, workers := range workerCounts {
+			tp, lat, _, err := runTPCC(db, opts, params, workers, func(worker int) tpcc.GeneratorConfig {
+				return tpcc.GeneratorConfig{
+					Params:                   params,
+					HomeWarehouse:            worker%scale + 1,
+					Mix:                      tpcc.StandardMix(),
+					RemoteItemProbability:    0.01,
+					RemotePaymentProbability: 0.15,
+					Seed:                     int64(worker + 1),
+				}
+			})
+			if err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+			rowsTP[workers] = append(rowsTP[workers], formatThroughput(tp))
+			rowsLat[workers] = append(rowsLat[workers], formatDuration(lat))
+		}
+		db.Close()
+	}
+	for _, w := range workerCounts {
+		throughputTable.AddRow(rowsTP[w]...)
+		latencyTable.AddRow(rowsLat[w]...)
+	}
+	note := "expected shape: shared-everything-with-affinity best, shared-everything-without-affinity worst (paper Figures 7/8)"
+	throughputTable.Notes = append(throughputTable.Notes, note)
+	latencyTable.Notes = append(latencyTable.Notes, note)
+	return throughputTable, latencyTable, nil
+}
+
+// Fig7 reproduces Figure 7 (TPC-C throughput under varying load).
+func Fig7(opts Options) (*Table, error) {
+	t, _, err := fig7and8(opts)
+	return t, err
+}
+
+// Fig8 reproduces Figure 8 (TPC-C latency under varying load).
+func Fig8(opts Options) (*Table, error) {
+	_, t, err := fig7and8(opts)
+	return t, err
+}
+
+// fig9and10 runs the §4.3.2 asynchronicity trade-off experiment: 100%
+// new-order with an artificial 300–400µs stock replenishment delay and 100%
+// remote item probability, scale factor 8.
+func fig9and10(opts Options) (*Table, *Table, error) {
+	const scale = 8
+	deployments := []tpccDeployment{
+		{"shared-nothing-async", engine.NewSharedNothing},
+		{"shared-everything-with-affinity", engine.NewSharedEverythingWithAffinity},
+	}
+	throughputTable := &Table{
+		ID:     "fig9",
+		Title:  "Throughput [txn/s] of new-order-delay transactions with varying load (scale factor 8)",
+		Header: []string{"workers"},
+	}
+	latencyTable := &Table{
+		ID:     "fig10",
+		Title:  "Avg latency [ms] of new-order-delay transactions with varying load (scale factor 8)",
+		Header: []string{"workers"},
+	}
+	for _, d := range deployments {
+		throughputTable.Header = append(throughputTable.Header, d.name)
+		latencyTable.Header = append(latencyTable.Header, d.name)
+	}
+	workerCounts := opts.tpccWorkerCounts()
+	rowsTP := map[int][]string{}
+	rowsLat := map[int][]string{}
+	for _, w := range workerCounts {
+		rowsTP[w] = []string{fmt.Sprintf("%d", w)}
+		rowsLat[w] = []string{fmt.Sprintf("%d", w)}
+	}
+	for _, d := range deployments {
+		db, params, err := openTPCC(opts, d.cfg(scale), scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, workers := range workerCounts {
+			tp, lat, _, err := runTPCC(db, opts, params, workers, func(worker int) tpcc.GeneratorConfig {
+				return tpcc.GeneratorConfig{
+					Params:                 params,
+					HomeWarehouse:          worker%scale + 1,
+					Mix:                    tpcc.NewOrderOnlyMix(),
+					RemoteItemProbability:  1.0,
+					NewOrderDelayMinMicros: 300,
+					NewOrderDelayMicros:    400,
+					Seed:                   int64(worker + 1),
+				}
+			})
+			if err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+			rowsTP[workers] = append(rowsTP[workers], formatThroughput(tp))
+			rowsLat[workers] = append(rowsLat[workers], formatDuration(lat))
+		}
+		db.Close()
+	}
+	for _, w := range workerCounts {
+		throughputTable.AddRow(rowsTP[w]...)
+		latencyTable.AddRow(rowsLat[w]...)
+	}
+	note := "expected shape: shared-nothing-async wins at low load (overlapped stock updates), shared-everything-with-affinity catches up or wins at high load (paper Figures 9/10)"
+	throughputTable.Notes = append(throughputTable.Notes, note)
+	latencyTable.Notes = append(latencyTable.Notes, note)
+	return throughputTable, latencyTable, nil
+}
+
+// Fig9 reproduces Figure 9.
+func Fig9(opts Options) (*Table, error) {
+	t, _, err := fig9and10(opts)
+	return t, err
+}
+
+// Fig10 reproduces Figure 10.
+func Fig10(opts Options) (*Table, error) {
+	_, t, err := fig9and10(opts)
+	return t, err
+}
+
+// Tab1 reproduces Table 1 (Appendix D): TPC-C new-order performance at scale
+// factor 4 under 1% and 100% cross-reactor access probability, with the cost
+// model prediction for the single-worker latency.
+func Tab1(opts Options) (*Table, error) {
+	const scale = 4
+	t := &Table{
+		ID:     "tab1",
+		Title:  "TPC-C new-order performance at scale factor 4 (observed vs. predicted)",
+		Header: []string{"cross-reactor %", "workers", "TPS obs", "latency obs [ms]", "latency pred [ms]"},
+	}
+	db, params, err := openTPCC(opts, engine.NewSharedNothing(scale), scale)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	costs := db.Config().Costs
+	cmParams := costmodel.Params{Cs: costs.Send, Cr: costs.Receive}
+
+	// Calibrate the local processing cost of a new-order from a profiled run
+	// with no remote accesses.
+	calib, err := bench.MeasureProfiles(db, opts.profileCount(), newOrderGenerator(params, 1, 0, false))
+	if err != nil {
+		return nil, err
+	}
+	baseProcessing := calib.MeanSync
+
+	for _, crossPct := range []float64{0.01, 1.0} {
+		for _, workers := range []int{1, 4} {
+			tp, lat, _, err := runTPCC(db, opts, params, workers, func(worker int) tpcc.GeneratorConfig {
+				return tpcc.GeneratorConfig{
+					Params:                params,
+					HomeWarehouse:         worker%scale + 1,
+					Mix:                   tpcc.NewOrderOnlyMix(),
+					RemoteItemProbability: crossPct,
+					Seed:                  int64(worker + 1),
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			pred := "-"
+			if workers == 1 {
+				// Expected distinct remote warehouses touched by one new-order
+				// with 10 items on average and the given cross probability.
+				expectedRemote := expectedDistinctRemote(10, scale-1, crossPct)
+				root := &costmodel.SubTxn{Container: 0, Pseq: baseProcessing}
+				for i := 0; i < expectedRemote; i++ {
+					root.Async = append(root.Async, costmodel.Leaf(i+1, costs.Processing))
+				}
+				pc := costmodel.Predict(root, cmParams)
+				pred = formatDuration(pc.Total() + calib.MeanCommit + costs.Processing + costs.AffinityMiss)
+			}
+			t.AddRow(fmt.Sprintf("%.0f", crossPct*100), fmt.Sprintf("%d", workers),
+				formatThroughput(tp), formatDuration(lat), pred)
+		}
+	}
+	t.Notes = append(t.Notes, "predictions apply to the single-worker rows only; multi-worker rows include queueing effects outside the cost model, as in the paper")
+	return t, nil
+}
+
+// expectedDistinctRemote estimates the number of distinct remote warehouses
+// touched by an order of n items when each item is remote with probability p
+// and remote warehouses are chosen uniformly among w candidates.
+func expectedDistinctRemote(n, w int, p float64) int {
+	if w <= 0 || p <= 0 {
+		return 0
+	}
+	expRemoteItems := p * float64(n)
+	// Expected number of distinct bins hit by expRemoteItems balls over w bins.
+	distinct := float64(w) * (1 - math.Pow(1-1.0/float64(w), expRemoteItems))
+	if distinct < 0 {
+		distinct = 0
+	}
+	result := int(distinct + 0.5)
+	if result == 0 && p > 0 {
+		result = 1
+	}
+	if result > w {
+		result = w
+	}
+	return result
+}
+
+// newOrderGenerator returns a bench generator issuing new-order transactions
+// for warehouse home with the given remote probability.
+func newOrderGenerator(params tpcc.Params, home int, remoteProb float64, sync bool) bench.Generator {
+	g := tpcc.NewGenerator(tpcc.GeneratorConfig{
+		Params:                params,
+		HomeWarehouse:         home,
+		Mix:                   tpcc.NewOrderOnlyMix(),
+		RemoteItemProbability: remoteProb,
+		SyncStockUpdates:      sync,
+		Seed:                  int64(home) * 17,
+	})
+	return func() bench.Request {
+		req := g.NewOrder()
+		return bench.Request{Reactor: req.Reactor, Procedure: req.Procedure, Args: req.Args}
+	}
+}
+
+// fig15and16 runs the Appendix E experiment: 100% new-order at scale factor 8
+// under peak load, varying the probability of cross-reactor item accesses,
+// for four deployments (including shared-nothing-sync).
+func fig15and16(opts Options) (*Table, *Table, error) {
+	const scale = 8
+	type deployment struct {
+		name string
+		cfg  func(int) engine.Config
+		sync bool
+	}
+	deployments := []deployment{
+		{"shared-everything-without-affinity", engine.NewSharedEverythingWithoutAffinity, false},
+		{"shared-nothing-async", engine.NewSharedNothing, false},
+		{"shared-everything-with-affinity", engine.NewSharedEverythingWithAffinity, false},
+		{"shared-nothing-sync", engine.NewSharedNothing, true},
+	}
+	crossPcts := []float64{0, 0.1, 0.5, 1.0}
+	if opts.Full {
+		crossPcts = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0}
+	}
+	throughputTable := &Table{
+		ID:     "fig15",
+		Title:  "Throughput [txn/s] of cross-reactor TPC-C new-order (scale factor 8, 8 workers)",
+		Header: []string{"% cross-reactor"},
+	}
+	latencyTable := &Table{
+		ID:     "fig16",
+		Title:  "Avg latency [ms] of cross-reactor TPC-C new-order (scale factor 8, 8 workers)",
+		Header: []string{"% cross-reactor"},
+	}
+	for _, d := range deployments {
+		throughputTable.Header = append(throughputTable.Header, d.name)
+		latencyTable.Header = append(latencyTable.Header, d.name)
+	}
+	rowsTP := map[float64][]string{}
+	rowsLat := map[float64][]string{}
+	for _, c := range crossPcts {
+		rowsTP[c] = []string{fmt.Sprintf("%.0f", c*100)}
+		rowsLat[c] = []string{fmt.Sprintf("%.0f", c*100)}
+	}
+	for _, d := range deployments {
+		db, params, err := openTPCC(opts, d.cfg(scale), scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, cross := range crossPcts {
+			tp, lat, _, err := runTPCC(db, opts, params, 8, func(worker int) tpcc.GeneratorConfig {
+				return tpcc.GeneratorConfig{
+					Params:                params,
+					HomeWarehouse:         worker%scale + 1,
+					Mix:                   tpcc.NewOrderOnlyMix(),
+					RemoteItemProbability: cross,
+					SyncStockUpdates:      d.sync,
+					Seed:                  int64(worker + 1),
+				}
+			})
+			if err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+			rowsTP[cross] = append(rowsTP[cross], formatThroughput(tp))
+			rowsLat[cross] = append(rowsLat[cross], formatDuration(lat))
+		}
+		db.Close()
+	}
+	for _, c := range crossPcts {
+		throughputTable.AddRow(rowsTP[c]...)
+		latencyTable.AddRow(rowsLat[c]...)
+	}
+	note := "expected shape: shared-nothing deployments degrade as cross-reactor % grows, async degrades less than sync (paper Figures 15/16)"
+	throughputTable.Notes = append(throughputTable.Notes, note)
+	latencyTable.Notes = append(latencyTable.Notes, note)
+	return throughputTable, latencyTable, nil
+}
+
+// Fig15 reproduces Figure 15.
+func Fig15(opts Options) (*Table, error) {
+	t, _, err := fig15and16(opts)
+	return t, err
+}
+
+// Fig16 reproduces Figure 16.
+func Fig16(opts Options) (*Table, error) {
+	_, t, err := fig15and16(opts)
+	return t, err
+}
+
+// fig17and18 runs the Appendix F.1 scale-up experiment: the standard TPC-C mix
+// with as many executors and workers as warehouses.
+func fig17and18(opts Options) (*Table, *Table, error) {
+	scales := []int{1, 2, 4, 8}
+	if opts.Full {
+		scales = []int{1, 2, 4, 8, 16}
+	}
+	throughputTable := &Table{
+		ID:     "fig17",
+		Title:  "TPC-C throughput [txn/s] with varying deployments (scale-up, workers = warehouses)",
+		Header: []string{"scale factor"},
+	}
+	latencyTable := &Table{
+		ID:     "fig18",
+		Title:  "TPC-C avg latency [ms] with varying deployments (scale-up, workers = warehouses)",
+		Header: []string{"scale factor"},
+	}
+	for _, d := range tpccDeployments() {
+		throughputTable.Header = append(throughputTable.Header, d.name)
+		latencyTable.Header = append(latencyTable.Header, d.name)
+	}
+	rowsTP := map[int][]string{}
+	rowsLat := map[int][]string{}
+	for _, s := range scales {
+		rowsTP[s] = []string{fmt.Sprintf("%d", s)}
+		rowsLat[s] = []string{fmt.Sprintf("%d", s)}
+	}
+	for _, d := range tpccDeployments() {
+		for _, scale := range scales {
+			db, params, err := openTPCC(opts, d.cfg(scale), scale)
+			if err != nil {
+				return nil, nil, err
+			}
+			tp, lat, _, err := runTPCC(db, opts, params, scale, func(worker int) tpcc.GeneratorConfig {
+				return tpcc.GeneratorConfig{
+					Params:                   params,
+					HomeWarehouse:            worker%scale + 1,
+					Mix:                      tpcc.StandardMix(),
+					RemoteItemProbability:    0.01,
+					RemotePaymentProbability: 0.15,
+					Seed:                     int64(worker + 1),
+				}
+			})
+			db.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			rowsTP[scale] = append(rowsTP[scale], formatThroughput(tp))
+			rowsLat[scale] = append(rowsLat[scale], formatDuration(lat))
+		}
+	}
+	for _, s := range scales {
+		throughputTable.AddRow(rowsTP[s]...)
+		latencyTable.AddRow(rowsLat[s]...)
+	}
+	note := "expected shape: throughput grows with scale for affinity-preserving deployments; shared-everything-without-affinity scales worst (paper Figures 17/18); absolute scale-up is capped by the single host core"
+	throughputTable.Notes = append(throughputTable.Notes, note)
+	latencyTable.Notes = append(latencyTable.Notes, note)
+	return throughputTable, latencyTable, nil
+}
+
+// Fig17 reproduces Figure 17.
+func Fig17(opts Options) (*Table, error) {
+	t, _, err := fig17and18(opts)
+	return t, err
+}
+
+// Fig18 reproduces Figure 18.
+func Fig18(opts Options) (*Table, error) {
+	_, t, err := fig17and18(opts)
+	return t, err
+}
+
+// Affinity reproduces the Appendix F.2 observation: keeping TPC-C at scale
+// factor 1 with a single worker, adding executors to the
+// shared-everything-without-affinity deployment destroys locality and lowers
+// throughput relative to a single executor.
+func Affinity(opts Options) (*Table, error) {
+	executorCounts := []int{1, 2, 4, 8}
+	if opts.Full {
+		executorCounts = []int{1, 2, 4, 8, 16}
+	}
+	t := &Table{
+		ID:     "affinity",
+		Title:  "Effect of affinity: shared-everything-without-affinity throughput at scale factor 1, 1 worker",
+		Header: []string{"executors", "throughput [txn/s]", "relative to 1 executor"},
+	}
+	var base float64
+	for _, execs := range executorCounts {
+		db, params, err := openTPCC(opts, engine.NewSharedEverythingWithoutAffinity(execs), 1)
+		if err != nil {
+			return nil, err
+		}
+		tp, _, _, err := runTPCC(db, opts, params, 1, func(worker int) tpcc.GeneratorConfig {
+			return tpcc.GeneratorConfig{
+				Params:                   params,
+				HomeWarehouse:            1,
+				Mix:                      tpcc.StandardMix(),
+				RemoteItemProbability:    0.01,
+				RemotePaymentProbability: 0.15,
+				Seed:                     int64(execs),
+			}
+		})
+		db.Close()
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = tp
+		}
+		rel := 1.0
+		if base > 0 {
+			rel = tp / base
+		}
+		t.AddRow(fmt.Sprintf("%d", execs), formatThroughput(tp), formatPercent(rel))
+	}
+	t.Notes = append(t.Notes, "expected shape: throughput degrades as executors are added without affinity (paper Appendix F.2: 86% at 2 executors down to 40% at 16)")
+	return t, nil
+}
+
+// Overhead reproduces the Appendix F.3 measurement of containerization
+// overhead: empty transactions with concurrency control disabled.
+func Overhead(opts Options) (*Table, error) {
+	schema := rel.MustSchema("noop", []rel.Column{{Name: "id", Type: rel.Int64}}, "id")
+	typ := core.NewType("Empty").AddRelation(schema).
+		AddProcedure("empty", func(ctx core.Context, args core.Args) (any, error) { return nil, nil })
+	def := core.NewDatabaseDef().MustAddType(typ)
+	def.MustDeclareReactors("Empty", "empty-0", "empty-1", "empty-2", "empty-3")
+
+	t := &Table{
+		ID:     "overhead",
+		Title:  "Containerization overhead: empty transactions with concurrency control disabled",
+		Header: []string{"containers", "avg overhead per invocation [ms]"},
+	}
+	for _, containers := range []int{1, 2, 4} {
+		cfg := engine.NewSharedNothing(containers)
+		cfg.DisableCC = true
+		cfg.Costs = opts.loadCosts()
+		db, err := engine.Open(def, cfg)
+		if err != nil {
+			return nil, err
+		}
+		n := 200
+		if opts.Full {
+			n = 2000
+		}
+		summary, err := bench.MeasureProfiles(db, n, func() bench.Request {
+			return bench.Request{Reactor: "empty-1", Procedure: "empty"}
+		})
+		db.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", containers), formatDuration(summary.MeanTotal))
+	}
+	t.Notes = append(t.Notes, "the paper reports ~22µs per invocation, dominated by cross-core thread switching; here the overhead is the modeled per-request processing cost plus goroutine handoff")
+	return t, nil
+}

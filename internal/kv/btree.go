@@ -1,0 +1,288 @@
+package kv
+
+import (
+	"sort"
+	"sync"
+)
+
+// degree is the maximum number of keys per B+tree node. Interior nodes hold at
+// most degree keys and degree+1 children; leaves hold at most degree keys.
+const degree = 64
+
+// BTree is an ordered in-memory B+tree mapping string keys to *Record values.
+// Keys are expected to be order-preserving encodings (see package rel), so
+// lexicographic byte order equals logical order.
+//
+// The tree structure is protected by a readers-writer mutex; record payloads
+// are versioned independently (see Record), so structural latching is only
+// needed for lookups, inserts and deletes of index entries, never for reading
+// or writing record contents.
+type BTree struct {
+	mu   sync.RWMutex
+	root *node
+	size int
+}
+
+type node struct {
+	leaf     bool
+	keys     []string
+	children []*node   // interior nodes only; len(children) == len(keys)+1
+	values   []*Record // leaf nodes only
+	next     *node     // leaf chain for ascending scans
+	prev     *node     // leaf chain for descending scans
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &node{leaf: true}}
+}
+
+// Len returns the number of keys in the tree, including keys whose records are
+// logically absent.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Get returns the record stored under key, or nil if the key is not indexed.
+func (t *BTree) Get(key string) *Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.values[i]
+	}
+	return nil
+}
+
+// GetOrInsert returns the record stored under key, inserting rec if the key is
+// not yet indexed. The boolean result reports whether rec was inserted (true)
+// or an existing record was returned (false). It is the single atomic
+// operation used by the OCC layer to claim a key for an insert.
+func (t *BTree) GetOrInsert(key string, rec *Record) (*Record, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing := t.lookupLocked(key); existing != nil {
+		return existing, false
+	}
+	t.insertLocked(key, rec)
+	return rec, true
+}
+
+// Insert stores rec under key, replacing any existing record. It returns the
+// previous record or nil.
+func (t *BTree) Insert(key string, rec *Record) *Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		old := n.values[i]
+		n.values[i] = rec
+		return old
+	}
+	t.insertLocked(key, rec)
+	return nil
+}
+
+// Delete removes the index entry for key and returns the record that was
+// stored there, or nil if the key was not indexed. Most deletions in ReactDB
+// are logical (the record is marked absent); physical removal is used by
+// loaders and tests.
+func (t *BTree) Delete(key string) *Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := t.deleteLocked(t.root, key)
+	if rec != nil {
+		t.size--
+		if !t.root.leaf && len(t.root.keys) == 0 {
+			t.root = t.root.children[0]
+		}
+	}
+	return rec
+}
+
+// AscendRange calls fn for every key k with lo <= k < hi in ascending order.
+// An empty hi means "no upper bound". Iteration stops early if fn returns
+// false. The tree latch is held in read mode for the duration of the scan.
+func (t *BTree) AscendRange(lo, hi string, fn func(key string, rec *Record) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, lo)]
+	}
+	i := sort.SearchStrings(n.keys, lo)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if hi != "" && n.keys[i] >= hi {
+				return
+			}
+			if !fn(n.keys[i], n.values[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Ascend calls fn for every key in ascending order, stopping early if fn
+// returns false.
+func (t *BTree) Ascend(fn func(key string, rec *Record) bool) {
+	t.AscendRange("", "", fn)
+}
+
+// DescendRange calls fn for every key k with lo <= k < hi in descending order,
+// stopping early if fn returns false. An empty hi means "no upper bound".
+func (t *BTree) DescendRange(lo, hi string, fn func(key string, rec *Record) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Find the right-most leaf containing keys < hi (or the right-most leaf
+	// overall when hi is unbounded).
+	n := t.root
+	if hi == "" {
+		for !n.leaf {
+			n = n.children[len(n.children)-1]
+		}
+	} else {
+		for !n.leaf {
+			n = n.children[childIndex(n.keys, hi)]
+		}
+	}
+	var i int
+	if hi == "" {
+		i = len(n.keys) - 1
+	} else {
+		i = sort.SearchStrings(n.keys, hi) - 1
+	}
+	for n != nil {
+		for ; i >= 0; i-- {
+			if n.keys[i] < lo {
+				return
+			}
+			if !fn(n.keys[i], n.values[i]) {
+				return
+			}
+		}
+		n = n.prev
+		if n != nil {
+			i = len(n.keys) - 1
+		}
+	}
+}
+
+// lookupLocked finds the record for key; the caller holds the write latch.
+func (t *BTree) lookupLocked(key string) *Record {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.values[i]
+	}
+	return nil
+}
+
+// insertLocked inserts a new key; the caller holds the write latch and has
+// verified the key is not present.
+func (t *BTree) insertLocked(key string, rec *Record) {
+	if len(t.root.keys) >= degree {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, key, rec)
+	t.size++
+}
+
+func (t *BTree) insertNonFull(n *node, key string, rec *Record) {
+	for !n.leaf {
+		i := childIndex(n.keys, key)
+		child := n.children[i]
+		if len(child.keys) >= degree {
+			t.splitChild(n, i)
+			if key >= n.keys[i] {
+				i++
+			}
+			child = n.children[i]
+		}
+		n = child
+	}
+	i := sort.SearchStrings(n.keys, key)
+	n.keys = append(n.keys, "")
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = key
+	n.values = append(n.values, nil)
+	copy(n.values[i+1:], n.values[i:])
+	n.values[i] = rec
+}
+
+// splitChild splits the full child at index i of parent n into two nodes.
+func (t *BTree) splitChild(n *node, i int) {
+	child := n.children[i]
+	mid := len(child.keys) / 2
+	var sep string
+	right := &node{leaf: child.leaf}
+	if child.leaf {
+		// B+tree leaf split: the separator is copied up, both halves keep
+		// their keys, and the leaf chain is stitched.
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.values = append(right.values, child.values[mid:]...)
+		child.keys = child.keys[:mid:mid]
+		child.values = child.values[:mid:mid]
+		sep = right.keys[0]
+		right.next = child.next
+		if right.next != nil {
+			right.next.prev = right
+		}
+		right.prev = child
+		child.next = right
+	} else {
+		// Interior split: the separator moves up.
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	n.keys = append(n.keys, "")
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// deleteLocked removes key from the subtree rooted at n and returns the
+// removed record. It uses lazy rebalancing: underfull nodes are tolerated,
+// which is acceptable for an in-memory OLTP store where physical deletes are
+// rare (logical deletes just mark records absent).
+func (t *BTree) deleteLocked(n *node, key string) *Record {
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i >= len(n.keys) || n.keys[i] != key {
+		return nil
+	}
+	rec := n.values[i]
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.values = append(n.values[:i], n.values[i+1:]...)
+	return rec
+}
+
+// childIndex returns the index of the child of an interior node that covers
+// key, given the node's separator keys.
+func childIndex(keys []string, key string) int {
+	return sort.Search(len(keys), func(i int) bool { return key < keys[i] })
+}

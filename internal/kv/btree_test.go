@@ -1,0 +1,273 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) string { return fmt.Sprintf("k%08d", i) }
+
+func TestBTreeEmptyTree(t *testing.T) {
+	bt := NewBTree()
+	if bt.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", bt.Len())
+	}
+	if bt.Get("missing") != nil {
+		t.Fatalf("Get on empty tree should return nil")
+	}
+	count := 0
+	bt.Ascend(func(string, *Record) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("Ascend on empty tree visited %d entries", count)
+	}
+	if bt.Delete("missing") != nil {
+		t.Fatalf("Delete of missing key should return nil")
+	}
+}
+
+func TestBTreeInsertGet(t *testing.T) {
+	bt := NewBTree()
+	const n = 2000
+	recs := make(map[string]*Record, n)
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		k := key(i)
+		r := NewCommittedRecord([]byte(k), uint64(i))
+		recs[k] = r
+		if prev := bt.Insert(k, r); prev != nil {
+			t.Fatalf("unexpected previous record for %s", k)
+		}
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n)
+	}
+	for k, want := range recs {
+		if got := bt.Get(k); got != want {
+			t.Fatalf("Get(%s) returned wrong record", k)
+		}
+	}
+	if bt.Get("absent-key") != nil {
+		t.Fatalf("Get of missing key should return nil")
+	}
+}
+
+func TestBTreeInsertReplace(t *testing.T) {
+	bt := NewBTree()
+	r1 := NewCommittedRecord([]byte("v1"), 1)
+	r2 := NewCommittedRecord([]byte("v2"), 2)
+	bt.Insert("k", r1)
+	if prev := bt.Insert("k", r2); prev != r1 {
+		t.Fatalf("Insert should return the replaced record")
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replace", bt.Len())
+	}
+	if bt.Get("k") != r2 {
+		t.Fatalf("Get should return the replacement record")
+	}
+}
+
+func TestBTreeGetOrInsert(t *testing.T) {
+	bt := NewBTree()
+	r1 := NewRecord()
+	got, inserted := bt.GetOrInsert("a", r1)
+	if !inserted || got != r1 {
+		t.Fatalf("first GetOrInsert should insert")
+	}
+	r2 := NewRecord()
+	got, inserted = bt.GetOrInsert("a", r2)
+	if inserted || got != r1 {
+		t.Fatalf("second GetOrInsert should return the existing record")
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", bt.Len())
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 500; i++ {
+		bt.Insert(key(i), NewCommittedRecord(nil, uint64(i)))
+	}
+	var visited []string
+	bt.AscendRange(key(100), key(200), func(k string, _ *Record) bool {
+		visited = append(visited, k)
+		return true
+	})
+	if len(visited) != 100 {
+		t.Fatalf("visited %d keys, want 100", len(visited))
+	}
+	if visited[0] != key(100) || visited[99] != key(199) {
+		t.Fatalf("range bounds wrong: first=%s last=%s", visited[0], visited[99])
+	}
+	if !sort.StringsAreSorted(visited) {
+		t.Fatalf("ascending scan out of order")
+	}
+
+	// Early termination.
+	count := 0
+	bt.AscendRange(key(0), "", func(string, *Record) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early termination visited %d, want 10", count)
+	}
+}
+
+func TestBTreeDescendRange(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 500; i++ {
+		bt.Insert(key(i), NewCommittedRecord(nil, uint64(i)))
+	}
+	var visited []string
+	bt.DescendRange(key(100), key(200), func(k string, _ *Record) bool {
+		visited = append(visited, k)
+		return true
+	})
+	if len(visited) != 100 {
+		t.Fatalf("visited %d keys, want 100", len(visited))
+	}
+	if visited[0] != key(199) || visited[99] != key(100) {
+		t.Fatalf("descending bounds wrong: first=%s last=%s", visited[0], visited[99])
+	}
+	if !sort.SliceIsSorted(visited, func(i, j int) bool { return visited[i] > visited[j] }) {
+		t.Fatalf("descending scan out of order")
+	}
+
+	// Unbounded high end scans from the largest key.
+	visited = visited[:0]
+	bt.DescendRange("", "", func(k string, _ *Record) bool {
+		visited = append(visited, k)
+		return len(visited) < 3
+	})
+	if len(visited) != 3 || visited[0] != key(499) {
+		t.Fatalf("unbounded descend wrong: %v", visited)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		bt.Insert(key(i), NewCommittedRecord(nil, uint64(i)))
+	}
+	for i := 0; i < n; i += 2 {
+		if rec := bt.Delete(key(i)); rec == nil {
+			t.Fatalf("Delete(%s) returned nil", key(i))
+		}
+	}
+	if bt.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		got := bt.Get(key(i))
+		if i%2 == 0 && got != nil {
+			t.Fatalf("deleted key %s still present", key(i))
+		}
+		if i%2 == 1 && got == nil {
+			t.Fatalf("kept key %s missing", key(i))
+		}
+	}
+	count := 0
+	bt.Ascend(func(string, *Record) bool { count++; return true })
+	if count != n/2 {
+		t.Fatalf("Ascend visited %d, want %d", count, n/2)
+	}
+}
+
+func TestBTreeScanMatchesSortedInsertOrderProperty(t *testing.T) {
+	// Property: for any set of distinct keys, an ascending full scan visits
+	// exactly the sorted key set.
+	f := func(raw []uint32) bool {
+		bt := NewBTree()
+		seen := make(map[string]bool)
+		var keys []string
+		for _, r := range raw {
+			k := fmt.Sprintf("p%010d", r%100000)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+			bt.Insert(k, NewCommittedRecord(nil, 0))
+		}
+		sort.Strings(keys)
+		var scanned []string
+		bt.Ascend(func(k string, _ *Record) bool {
+			scanned = append(scanned, k)
+			return true
+		})
+		if len(scanned) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if keys[i] != scanned[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeConcurrentReadersAndWriters(t *testing.T) {
+	bt := NewBTree()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		bt.Insert(key(i), NewCommittedRecord([]byte("x"), 0))
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers insert new keys beyond the preloaded range.
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				bt.Insert(fmt.Sprintf("w%d-%06d", w, i), NewCommittedRecord(nil, 0))
+			}
+		}(w)
+	}
+	// Readers continuously scan the preloaded range and check monotonicity.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := ""
+				count := 0
+				bt.AscendRange(key(0), key(n), func(k string, _ *Record) bool {
+					if prev != "" && k <= prev {
+						t.Errorf("scan out of order: %s after %s", k, prev)
+						return false
+					}
+					prev = k
+					count++
+					return true
+				})
+				if count < n {
+					t.Errorf("scan of stable range visited %d < %d keys", count, n)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := bt.Len(); got != n+4*500 {
+		t.Fatalf("Len = %d, want %d", got, n+4*500)
+	}
+}

@@ -1,0 +1,11 @@
+// Package kv provides the low-level storage substrate used by ReactDB-Go:
+// versioned, latchable in-memory records and an ordered in-memory B+tree index
+// mapping order-preserving encoded keys to records.
+//
+// The package plays the role Masstree plays in Silo: it supplies point and
+// range access to records whose headers carry a transaction-id (TID) word used
+// by the optimistic concurrency control protocol in package occ. The tree
+// itself is protected by a readers-writer latch; record contents are protected
+// by the per-record TID word (lock bit + version), so readers of record data
+// never take the tree latch in write mode.
+package kv

@@ -1,0 +1,162 @@
+package kv
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// TID word layout, following Silo's design: the low 62 bits carry the version
+// (epoch number in the high bits of the version, sequence number in the low
+// bits — the split is managed by package occ), bit 62 marks a logically absent
+// (deleted or not-yet-committed) record, and bit 63 is the record latch.
+const (
+	lockBit   uint64 = 1 << 63
+	absentBit uint64 = 1 << 62
+
+	// TIDMask extracts the version portion of a TID word.
+	TIDMask uint64 = absentBit - 1
+)
+
+// Record is a single versioned record. The data payload is an immutable byte
+// slice swapped atomically on every committed write; the word field carries
+// the Silo TID word. The zero value is an absent, unlocked record with version
+// zero, which is the state freshly inserted (uncommitted) records start in.
+type Record struct {
+	word atomic.Uint64
+	data atomic.Pointer[[]byte]
+}
+
+// NewRecord returns a record that starts absent (invisible to readers) with
+// version zero. Committing an insert makes it visible via Write followed by
+// Unlock with absent=false.
+func NewRecord() *Record {
+	r := &Record{}
+	r.word.Store(absentBit)
+	return r
+}
+
+// NewCommittedRecord returns a visible record holding data at version tid.
+// It is used by loaders that populate tables outside of any transaction.
+func NewCommittedRecord(data []byte, tid uint64) *Record {
+	r := &Record{}
+	d := data
+	r.data.Store(&d)
+	r.word.Store(tid & TIDMask)
+	return r
+}
+
+// TIDWord returns the raw TID word (including lock and absent bits).
+func (r *Record) TIDWord() uint64 { return r.word.Load() }
+
+// TID returns the version portion of the TID word.
+func (r *Record) TID() uint64 { return r.word.Load() & TIDMask }
+
+// Locked reports whether the record latch is currently held.
+func (r *Record) Locked() bool { return r.word.Load()&lockBit != 0 }
+
+// Absent reports whether the record is logically absent (deleted or an
+// uncommitted insert).
+func (r *Record) Absent() bool { return r.word.Load()&absentBit != 0 }
+
+// TryLock attempts to acquire the record latch without blocking. It returns
+// true on success.
+func (r *Record) TryLock() bool {
+	for {
+		w := r.word.Load()
+		if w&lockBit != 0 {
+			return false
+		}
+		if r.word.CompareAndSwap(w, w|lockBit) {
+			return true
+		}
+	}
+}
+
+// Lock acquires the record latch, spinning until it is available. Records are
+// only held locked for the short write phase of the commit protocol, so a spin
+// lock matches Silo's design; the spin yields to the scheduler so lock holders
+// can make progress on machines with few cores.
+func (r *Record) Lock() {
+	for !r.TryLock() {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the record latch without changing version or visibility.
+func (r *Record) Unlock() {
+	for {
+		w := r.word.Load()
+		if r.word.CompareAndSwap(w, w&^lockBit) {
+			return
+		}
+	}
+}
+
+// UnlockWithTID releases the record latch, installs the new version and sets
+// the visibility of the record. It must only be called while holding the
+// latch; the data payload, if it changed, must have been installed with
+// SetData before this call so that readers never observe new data with an old
+// version or vice versa.
+func (r *Record) UnlockWithTID(tid uint64, absent bool) {
+	w := tid & TIDMask
+	if absent {
+		w |= absentBit
+	}
+	r.word.Store(w)
+}
+
+// SetData installs a new payload. It must be called while holding the latch.
+func (r *Record) SetData(data []byte) {
+	d := data
+	r.data.Store(&d)
+}
+
+// Data returns the current payload without any consistency guarantee. Use
+// StableRead for transactional reads.
+func (r *Record) Data() []byte {
+	p := r.data.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// StableRead performs Silo's atomic read protocol: it loops until it observes
+// a consistent (version, payload) pair while the record is unlocked. It
+// returns the payload, the observed version, and whether the record was
+// present. The returned payload must be treated as immutable.
+func (r *Record) StableRead() (data []byte, tid uint64, present bool) {
+	for {
+		w1 := r.word.Load()
+		if w1&lockBit != 0 {
+			// The record is in the write phase of another transaction (or held
+			// across a 2PC prepare window); yield so the holder can finish.
+			runtime.Gosched()
+			continue
+		}
+		p := r.data.Load()
+		w2 := r.word.Load()
+		if w1 != w2 {
+			continue
+		}
+		if w1&absentBit != 0 {
+			return nil, w1 & TIDMask, false
+		}
+		if p == nil {
+			return nil, w1 & TIDMask, true
+		}
+		return *p, w1 & TIDMask, true
+	}
+}
+
+// ValidateVersion reports whether the record still carries the version
+// observed at read time and is not locked by another transaction. The
+// lockedByMe flag must be true when the validating transaction itself holds
+// the record latch (because the record is also in its write set).
+func (r *Record) ValidateVersion(observed uint64, lockedByMe bool) bool {
+	w := r.word.Load()
+	if !lockedByMe && w&lockBit != 0 {
+		return false
+	}
+	return w&TIDMask == observed
+}

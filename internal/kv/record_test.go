@@ -1,0 +1,132 @@
+package kv
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewRecordIsAbsent(t *testing.T) {
+	r := NewRecord()
+	if !r.Absent() {
+		t.Fatalf("new record should be absent")
+	}
+	if r.Locked() {
+		t.Fatalf("new record should not be locked")
+	}
+	if _, _, present := r.StableRead(); present {
+		t.Fatalf("absent record must not be readable")
+	}
+}
+
+func TestNewCommittedRecord(t *testing.T) {
+	r := NewCommittedRecord([]byte("hello"), 42)
+	data, tid, present := r.StableRead()
+	if !present {
+		t.Fatalf("committed record should be present")
+	}
+	if string(data) != "hello" {
+		t.Fatalf("data = %q, want %q", data, "hello")
+	}
+	if tid != 42 {
+		t.Fatalf("tid = %d, want 42", tid)
+	}
+}
+
+func TestLockUnlock(t *testing.T) {
+	r := NewCommittedRecord([]byte("v"), 1)
+	if !r.TryLock() {
+		t.Fatalf("TryLock on unlocked record failed")
+	}
+	if r.TryLock() {
+		t.Fatalf("TryLock on locked record succeeded")
+	}
+	if !r.Locked() {
+		t.Fatalf("record should report locked")
+	}
+	r.Unlock()
+	if r.Locked() {
+		t.Fatalf("record should report unlocked after Unlock")
+	}
+	if r.TID() != 1 {
+		t.Fatalf("plain Unlock must not change the version, got %d", r.TID())
+	}
+}
+
+func TestUnlockWithTIDUpdatesVersionAndVisibility(t *testing.T) {
+	r := NewRecord()
+	r.Lock()
+	r.SetData([]byte("first"))
+	r.UnlockWithTID(7, false)
+	data, tid, present := r.StableRead()
+	if !present || string(data) != "first" || tid != 7 {
+		t.Fatalf("got (%q, %d, %v), want (first, 7, true)", data, tid, present)
+	}
+
+	// Logical delete: mark absent with a newer version.
+	r.Lock()
+	r.UnlockWithTID(9, true)
+	if _, tid, present := r.StableRead(); present || tid != 9 {
+		t.Fatalf("deleted record: present=%v tid=%d, want absent at tid 9", present, tid)
+	}
+}
+
+func TestValidateVersion(t *testing.T) {
+	r := NewCommittedRecord([]byte("v"), 5)
+	if !r.ValidateVersion(5, false) {
+		t.Fatalf("validation should succeed on unchanged version")
+	}
+	if r.ValidateVersion(4, false) {
+		t.Fatalf("validation should fail on changed version")
+	}
+	r.Lock()
+	if r.ValidateVersion(5, false) {
+		t.Fatalf("validation should fail when another txn holds the latch")
+	}
+	if !r.ValidateVersion(5, true) {
+		t.Fatalf("validation should succeed when we hold the latch ourselves")
+	}
+	r.Unlock()
+}
+
+func TestStableReadNeverObservesTorn(t *testing.T) {
+	// Writers alternately install ("a", 2k) and ("b", 2k+1); readers must never
+	// observe a mismatched pair.
+	r := NewCommittedRecord([]byte("a"), 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tid := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tid++
+			r.Lock()
+			if tid%2 == 0 {
+				r.SetData([]byte("a"))
+			} else {
+				r.SetData([]byte("b"))
+			}
+			r.UnlockWithTID(tid, false)
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		data, tid, present := r.StableRead()
+		if !present {
+			t.Fatalf("record unexpectedly absent")
+		}
+		want := "a"
+		if tid%2 == 1 {
+			want = "b"
+		}
+		if string(data) != want {
+			t.Fatalf("torn read: tid=%d data=%q", tid, data)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,18 @@
+// Package occ implements optimistic concurrency control in the style of Silo
+// (Tu et al., SOSP 2013), the protocol ReactDB reuses for single-container
+// transactions (paper §3.2.1). Each concurrency control Domain corresponds to
+// one database container: transactions collect read and write sets against
+// versioned records (package kv), then commit with the three-phase Silo
+// protocol (lock write set, validate read set, install writes under a freshly
+// generated TID).
+//
+// For multi-container transactions (paper §3.2.2) the commit is split into
+// Prepare / CommitPrepared / AbortPrepared so that the engine's transaction
+// coordinator can drive two-phase commit, with Silo validation serving as the
+// vote of the first phase.
+//
+// Phantom protection uses per-table structural versions registered through
+// ScanGuards rather than Masstree node-set validation; this is coarser (more
+// false aborts under concurrent inserts to a scanned table) but preserves
+// conflict serializability.
+package occ

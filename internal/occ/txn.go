@@ -1,0 +1,456 @@
+package occ
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"reactdb/internal/kv"
+)
+
+// Errors returned by the commit protocol and write primitives.
+var (
+	// ErrConflict indicates validation failure: a record or scanned table
+	// changed between the transaction's read and its commit attempt.
+	ErrConflict = errors.New("occ: serialization conflict")
+	// ErrDuplicateKey indicates an insert of a primary key that is already
+	// present.
+	ErrDuplicateKey = errors.New("occ: duplicate primary key")
+	// ErrTxnClosed indicates use of a transaction that already committed or
+	// aborted.
+	ErrTxnClosed = errors.New("occ: transaction is no longer active")
+)
+
+// ScanGuard is the phantom-protection hook implemented by rel.Table: a
+// structural version that committed inserts and deletes bump, plus a latch the
+// commit protocol holds while bumping so concurrent validators cannot miss the
+// change.
+type ScanGuard interface {
+	Version() uint64
+	BumpVersion()
+	LockStructure()
+	TryLockStructure() bool
+	UnlockStructure()
+}
+
+type txnState uint8
+
+const (
+	stateActive txnState = iota
+	statePrepared
+	stateCommitted
+	stateAborted
+)
+
+type writeKind uint8
+
+const (
+	writeUpdate writeKind = iota
+	writeInsert
+	writeDelete
+)
+
+type readEntry struct {
+	rec *kv.Record
+	tid uint64
+}
+
+type writeEntry struct {
+	rec   *kv.Record
+	key   string
+	data  []byte
+	kind  writeKind
+	guard ScanGuard
+}
+
+type scanEntry struct {
+	guard   ScanGuard
+	version uint64
+}
+
+// Txn is a Silo-style optimistic transaction against a single Domain. It
+// buffers writes locally and validates reads at commit. Methods are safe for
+// use by multiple goroutines of the same root transaction (sub-transactions on
+// different reactors hosted in the same container), serialized by an internal
+// mutex.
+type Txn struct {
+	domain *Domain
+
+	mu       sync.Mutex
+	state    txnState
+	reads    []readEntry
+	readIdx  map[*kv.Record]int
+	writes   []writeEntry
+	writeIdx map[*kv.Record]int
+	scans    []scanEntry
+	scanIdx  map[ScanGuard]int
+	maxTID   uint64
+
+	// prepare bookkeeping
+	lockedRecs   []*kv.Record
+	lockedGuards []ScanGuard
+}
+
+// Domain returns the concurrency control domain this transaction runs in.
+func (t *Txn) Domain() *Domain { return t.domain }
+
+// Active reports whether the transaction can still issue operations.
+func (t *Txn) Active() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state == stateActive
+}
+
+// ReadSetSize and WriteSetSize expose footprint counters for instrumentation.
+func (t *Txn) ReadSetSize() int  { t.mu.Lock(); defer t.mu.Unlock(); return len(t.reads) }
+func (t *Txn) WriteSetSize() int { t.mu.Lock(); defer t.mu.Unlock(); return len(t.writes) }
+
+// Read returns the current value of rec as seen by this transaction: its own
+// pending write if any, otherwise a stable read of the committed version,
+// which is added to the read set for commit-time validation.
+func (t *Txn) Read(rec *kv.Record) (data []byte, present bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != stateActive {
+		return nil, false, ErrTxnClosed
+	}
+	if i, ok := t.writeIdx[rec]; ok {
+		w := t.writes[i]
+		if w.kind == writeDelete {
+			return nil, false, nil
+		}
+		return w.data, true, nil
+	}
+	data, tid, present := rec.StableRead()
+	t.observe(rec, tid)
+	return data, present, nil
+}
+
+// observe appends rec to the read set (first observation wins) and tracks the
+// largest TID seen. The caller holds t.mu.
+func (t *Txn) observe(rec *kv.Record, tid uint64) {
+	if t.readIdx == nil {
+		t.readIdx = make(map[*kv.Record]int)
+	}
+	if _, ok := t.readIdx[rec]; !ok {
+		t.readIdx[rec] = len(t.reads)
+		t.reads = append(t.reads, readEntry{rec: rec, tid: tid})
+	}
+	if tid > t.maxTID {
+		t.maxTID = tid
+	}
+}
+
+// Write buffers an update of rec to data. key is a diagnostic identifier
+// (reactor/table/primary-key); guard may be nil for updates since they do not
+// change table structure.
+func (t *Txn) Write(rec *kv.Record, key string, data []byte) error {
+	return t.bufferWrite(rec, key, data, writeUpdate, nil)
+}
+
+// Insert buffers the insertion of a new row. rec must be the record obtained
+// from Table.GetOrInsert for the row's key. If the record is already present
+// (committed by another transaction), ErrDuplicateKey is returned. The
+// record's current (absent) version joins the read set so that a concurrent
+// insert of the same key is detected at validation.
+func (t *Txn) Insert(rec *kv.Record, key string, data []byte, guard ScanGuard) error {
+	t.mu.Lock()
+	if t.state != stateActive {
+		t.mu.Unlock()
+		return ErrTxnClosed
+	}
+	if i, ok := t.writeIdx[rec]; ok {
+		// Re-insert of a key this transaction previously deleted becomes an
+		// update; re-insert of a key it already inserted is a duplicate.
+		if t.writes[i].kind == writeDelete {
+			t.writes[i].kind = writeUpdate
+			t.writes[i].data = data
+			t.mu.Unlock()
+			return nil
+		}
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicateKey, key)
+	}
+	_, tid, present := rec.StableRead()
+	if present {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicateKey, key)
+	}
+	t.observe(rec, tid)
+	t.mu.Unlock()
+	return t.bufferWrite(rec, key, data, writeInsert, guard)
+}
+
+// Delete buffers the logical deletion of rec.
+func (t *Txn) Delete(rec *kv.Record, key string, guard ScanGuard) error {
+	return t.bufferWrite(rec, key, nil, writeDelete, guard)
+}
+
+func (t *Txn) bufferWrite(rec *kv.Record, key string, data []byte, kind writeKind, guard ScanGuard) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != stateActive {
+		return ErrTxnClosed
+	}
+	if t.writeIdx == nil {
+		t.writeIdx = make(map[*kv.Record]int)
+	}
+	if i, ok := t.writeIdx[rec]; ok {
+		prev := &t.writes[i]
+		switch {
+		case kind == writeDelete:
+			if prev.kind == writeInsert {
+				// Insert followed by delete within the same transaction: the
+				// net effect is "leave absent", but we keep the delete intent
+				// so the key's version still advances and concurrent inserts
+				// of the same key are serialized.
+				prev.kind = writeDelete
+				prev.data = nil
+			} else {
+				prev.kind = writeDelete
+				prev.data = nil
+			}
+			if prev.guard == nil {
+				prev.guard = guard
+			}
+		case prev.kind == writeDelete:
+			prev.kind = writeUpdate
+			prev.data = data
+		default:
+			prev.data = data
+		}
+		return nil
+	}
+	t.writeIdx[rec] = len(t.writes)
+	t.writes = append(t.writes, writeEntry{rec: rec, key: key, data: data, kind: kind, guard: guard})
+	return nil
+}
+
+// RegisterScan records the structural version of a scanned table so that
+// commit-time validation can detect phantoms (inserts or deletes committed by
+// other transactions after the scan).
+func (t *Txn) RegisterScan(guard ScanGuard) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != stateActive {
+		return ErrTxnClosed
+	}
+	if t.scanIdx == nil {
+		t.scanIdx = make(map[ScanGuard]int)
+	}
+	if _, ok := t.scanIdx[guard]; ok {
+		return nil
+	}
+	t.scanIdx[guard] = len(t.scans)
+	t.scans = append(t.scans, scanEntry{guard: guard, version: guard.Version()})
+	return nil
+}
+
+// EachPendingWrite calls fn for every buffered insert, update or delete that
+// targets a table using guard. The query layer uses it to make a
+// transaction's own structural changes visible to its later scans.
+func (t *Txn) EachPendingWrite(guard ScanGuard, fn func(key string, data []byte, deleted bool)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, w := range t.writes {
+		if w.guard == guard {
+			fn(w.key, w.data, w.kind == writeDelete)
+		}
+	}
+}
+
+// PendingWriteFor returns the buffered data for the record, if any.
+func (t *Txn) PendingWriteFor(rec *kv.Record) (data []byte, deleted, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, found := t.writeIdx[rec]
+	if !found {
+		return nil, false, false
+	}
+	w := t.writes[i]
+	return w.data, w.kind == writeDelete, true
+}
+
+// ReadOnly reports whether the transaction buffered no writes.
+func (t *Txn) ReadOnly() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.writes) == 0
+}
+
+// --- Commit protocol ---------------------------------------------------------
+
+// Prepare runs the first phase of the commit protocol: it locks the write set
+// in a deterministic order, then validates the read set and scan set. On
+// success the transaction is left in the prepared state holding its locks; the
+// caller must follow up with CommitPrepared or AbortPrepared. On validation
+// failure all locks are released, the transaction aborts, and ErrConflict is
+// returned.
+func (t *Txn) Prepare() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != stateActive {
+		return ErrTxnClosed
+	}
+
+	// Phase 1: lock the write set, ordered by record identity so that
+	// concurrent transactions cannot deadlock.
+	ordered := make([]*kv.Record, 0, len(t.writes))
+	for _, w := range t.writes {
+		ordered = append(ordered, w.rec)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return reflect.ValueOf(ordered[i]).Pointer() < reflect.ValueOf(ordered[j]).Pointer()
+	})
+	for _, rec := range ordered {
+		rec.Lock()
+		t.lockedRecs = append(t.lockedRecs, rec)
+		if tid := rec.TID(); tid > t.maxTID {
+			t.maxTID = tid
+		}
+	}
+
+	// Lock the structural guards of tables this transaction inserts into or
+	// deletes from, so concurrent scan validation cannot race with our bump.
+	guardSet := make(map[ScanGuard]bool)
+	for _, w := range t.writes {
+		if w.guard != nil && w.kind != writeUpdate {
+			guardSet[w.guard] = true
+		}
+	}
+	guards := make([]ScanGuard, 0, len(guardSet))
+	for g := range guardSet {
+		guards = append(guards, g)
+	}
+	sort.Slice(guards, func(i, j int) bool {
+		return reflect.ValueOf(guards[i]).Pointer() < reflect.ValueOf(guards[j]).Pointer()
+	})
+	for _, g := range guards {
+		g.LockStructure()
+		t.lockedGuards = append(t.lockedGuards, g)
+	}
+
+	// Phase 2: validate reads and scans.
+	for _, r := range t.reads {
+		_, lockedByMe := t.writeIdx[r.rec]
+		if !r.rec.ValidateVersion(r.tid, lockedByMe) {
+			t.releaseLocksLocked()
+			t.state = stateAborted
+			t.domain.aborted.Add(1)
+			return ErrConflict
+		}
+	}
+	for _, s := range t.scans {
+		if guardSet[s.guard] {
+			// We hold this guard ourselves (we also modify the table's
+			// structure); only the version needs to be rechecked.
+			if s.guard.Version() != s.version {
+				t.releaseLocksLocked()
+				t.state = stateAborted
+				t.domain.aborted.Add(1)
+				return ErrConflict
+			}
+			continue
+		}
+		// Another preparing transaction holding the guard is about to change
+		// the table's structure; treat it as a conflict rather than blocking,
+		// so preparing transactions can never deadlock on guards.
+		if !s.guard.TryLockStructure() {
+			t.releaseLocksLocked()
+			t.state = stateAborted
+			t.domain.aborted.Add(1)
+			return ErrConflict
+		}
+		version := s.guard.Version()
+		s.guard.UnlockStructure()
+		if version != s.version {
+			t.releaseLocksLocked()
+			t.state = stateAborted
+			t.domain.aborted.Add(1)
+			return ErrConflict
+		}
+	}
+	t.state = statePrepared
+	return nil
+}
+
+// CommitPrepared runs the write phase after a successful Prepare: it installs
+// buffered writes under a fresh TID, bumps structural versions, and releases
+// all locks. It returns the TID assigned to the transaction.
+func (t *Txn) CommitPrepared() (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != statePrepared {
+		return 0, ErrTxnClosed
+	}
+	tid := t.domain.nextTID(t.maxTID)
+	for _, w := range t.writes {
+		switch w.kind {
+		case writeDelete:
+			w.rec.UnlockWithTID(tid, true)
+		default:
+			w.rec.SetData(w.data)
+			w.rec.UnlockWithTID(tid, false)
+		}
+		if w.guard != nil && w.kind != writeUpdate {
+			w.guard.BumpVersion()
+		}
+	}
+	t.lockedRecs = nil
+	for _, g := range t.lockedGuards {
+		g.UnlockStructure()
+	}
+	t.lockedGuards = nil
+	t.state = stateCommitted
+	t.domain.committed.Add(1)
+	return tid, nil
+}
+
+// AbortPrepared releases the locks taken by Prepare without installing any
+// write, leaving all records unchanged.
+func (t *Txn) AbortPrepared() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != statePrepared {
+		return ErrTxnClosed
+	}
+	t.releaseLocksLocked()
+	t.state = stateAborted
+	t.domain.aborted.Add(1)
+	return nil
+}
+
+// Commit runs the full single-domain commit protocol. It returns the assigned
+// TID on success and ErrConflict if validation failed.
+func (t *Txn) Commit() (uint64, error) {
+	if err := t.Prepare(); err != nil {
+		return 0, err
+	}
+	return t.CommitPrepared()
+}
+
+// Abort abandons an active transaction without touching any record.
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != stateActive {
+		return
+	}
+	t.state = stateAborted
+	t.domain.aborted.Add(1)
+}
+
+// releaseLocksLocked releases record and guard locks taken during Prepare.
+// The caller holds t.mu.
+func (t *Txn) releaseLocksLocked() {
+	for _, rec := range t.lockedRecs {
+		rec.Unlock()
+	}
+	t.lockedRecs = nil
+	for _, g := range t.lockedGuards {
+		g.UnlockStructure()
+	}
+	t.lockedGuards = nil
+}

@@ -1,0 +1,153 @@
+// Package randutil provides the deterministic random generators used by the
+// workload drivers: uniform integers, zipfian-distributed keys (YCSB,
+// Appendix C), TPC-C's NURand non-uniform generator and last-name synthesis.
+// All generators are seeded explicitly so experiment runs are reproducible.
+package randutil
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// New returns a deterministic PRNG for the given seed.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// UniformInt returns an integer uniformly distributed in [lo, hi] (inclusive).
+func UniformInt(r *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// UniformFloat returns a float uniformly distributed in [lo, hi).
+func UniformFloat(r *rand.Rand, lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Zipfian generates integers in [0, n) with a zipfian distribution of the
+// given skew constant (theta). It follows the classic YCSB / Gray et al.
+// "Quickly generating billion-record synthetic databases" construction, which
+// is also what the paper's Appendix C relies on ("choose the keys for
+// multi_update from a zipfian distribution").
+type Zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipfian builds a generator over [0, n) with skew theta. theta = 0 is
+// uniform; the paper uses constants between 0.01 and 5.
+func NewZipfian(n int, theta float64) *Zipfian {
+	if n <= 0 {
+		n = 1
+	}
+	z := &Zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// N returns the size of the generator's domain.
+func (z *Zipfian) N() int { return z.n }
+
+// Theta returns the skew constant.
+func (z *Zipfian) Theta() float64 { return z.theta }
+
+// Next draws the next zipfian-distributed value in [0, n).
+func (z *Zipfian) Next(r *rand.Rand) int {
+	if z.n == 1 {
+		return 0
+	}
+	if z.theta == 0 {
+		return r.Intn(z.n)
+	}
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// NURand is TPC-C's non-uniform random function NURand(A, x, y) with the
+// standard constant C loads.
+func NURand(r *rand.Rand, a, x, y, c int) int {
+	return (((UniformInt(r, 0, a) | UniformInt(r, x, y)) + c) % (y - x + 1)) + x
+}
+
+// NURandCustomerID returns a TPC-C customer id in [1, 3000].
+func NURandCustomerID(r *rand.Rand) int { return NURand(r, 1023, 1, 3000, 259) }
+
+// NURandItemID returns a TPC-C item id in [1, 100000].
+func NURandItemID(r *rand.Rand) int { return NURand(r, 8191, 1, 100000, 7911) }
+
+// NURandLastNameIndex returns a TPC-C last-name index in [0, 999] for the
+// payment/order-status by-last-name variants.
+func NURandLastNameIndex(r *rand.Rand) int { return NURand(r, 255, 0, 999, 223) }
+
+// lastNameSyllables are the TPC-C specification's last-name syllables.
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName builds the TPC-C last name for an index in [0, 999].
+func LastName(index int) string {
+	if index < 0 {
+		index = -index
+	}
+	index %= 1000
+	var sb strings.Builder
+	sb.WriteString(lastNameSyllables[index/100])
+	sb.WriteString(lastNameSyllables[(index/10)%10])
+	sb.WriteString(lastNameSyllables[index%10])
+	return sb.String()
+}
+
+// AlphaString returns a random string of letters with length in [lo, hi].
+func AlphaString(r *rand.Rand, lo, hi int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+	n := UniformInt(r, lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// NumString returns a random string of digits with length in [lo, hi].
+func NumString(r *rand.Rand, lo, hi int) string {
+	const digits = "0123456789"
+	n := UniformInt(r, lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = digits[r.Intn(len(digits))]
+	}
+	return string(b)
+}

@@ -1,0 +1,164 @@
+package randutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same seed produced different streams")
+		}
+	}
+}
+
+func TestUniformIntBounds(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		v := UniformInt(r, 5, 10)
+		if v < 5 || v > 10 {
+			t.Fatalf("UniformInt out of range: %d", v)
+		}
+	}
+	if UniformInt(r, 3, 3) != 3 {
+		t.Fatalf("degenerate range should return lo")
+	}
+	if UniformInt(r, 7, 2) != 7 {
+		t.Fatalf("inverted range should return lo")
+	}
+	seenLo, seenHi := false, false
+	for i := 0; i < 2000; i++ {
+		switch UniformInt(r, 0, 3) {
+		case 0:
+			seenLo = true
+		case 3:
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatalf("UniformInt bounds not inclusive")
+	}
+}
+
+func TestUniformFloatBounds(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1000; i++ {
+		v := UniformFloat(r, 1.5, 2.5)
+		if v < 1.5 || v >= 2.5 {
+			t.Fatalf("UniformFloat out of range: %v", v)
+		}
+	}
+}
+
+func TestZipfianRangeProperty(t *testing.T) {
+	f := func(seed int64, n uint8, thetaRaw uint8) bool {
+		domain := int(n%100) + 1
+		theta := float64(thetaRaw%150) / 100.0 // 0 .. 1.49
+		if theta == 1 {
+			theta = 0.99
+		}
+		z := NewZipfian(domain, theta)
+		r := New(seed)
+		for i := 0; i < 200; i++ {
+			v := z.Next(r)
+			if v < 0 || v >= domain {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianSkewConcentratesMass(t *testing.T) {
+	const n = 1000
+	r := New(42)
+	skewed := NewZipfian(n, 0.99)
+	uniform := NewZipfian(n, 0)
+	countHot := func(z *Zipfian) int {
+		hot := 0
+		rr := New(42)
+		for i := 0; i < 20000; i++ {
+			if z.Next(rr) < n/100 { // hottest 1%
+				hot++
+			}
+		}
+		return hot
+	}
+	_ = r
+	hotSkewed := countHot(skewed)
+	hotUniform := countHot(uniform)
+	if hotSkewed < 3*hotUniform {
+		t.Fatalf("zipfian 0.99 should concentrate far more mass on hot keys: skewed=%d uniform=%d", hotSkewed, hotUniform)
+	}
+	if skewed.N() != n || skewed.Theta() != 0.99 {
+		t.Fatalf("accessors wrong")
+	}
+}
+
+func TestZipfianDegenerateDomain(t *testing.T) {
+	z := NewZipfian(0, 0.5)
+	r := New(1)
+	if z.Next(r) != 0 {
+		t.Fatalf("domain of size <= 1 must always return 0")
+	}
+	z1 := NewZipfian(1, 5)
+	if z1.Next(r) != 0 {
+		t.Fatalf("domain of size 1 must always return 0")
+	}
+}
+
+func TestNURandRanges(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 5000; i++ {
+		if v := NURandCustomerID(r); v < 1 || v > 3000 {
+			t.Fatalf("customer id out of range: %d", v)
+		}
+		if v := NURandItemID(r); v < 1 || v > 100000 {
+			t.Fatalf("item id out of range: %d", v)
+		}
+		if v := NURandLastNameIndex(r); v < 0 || v > 999 {
+			t.Fatalf("last name index out of range: %d", v)
+		}
+	}
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %q", LastName(371))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Fatalf("LastName(999) = %q", LastName(999))
+	}
+	// Out-of-range indices are folded into range rather than panicking.
+	if LastName(-1) == "" || LastName(12345) == "" {
+		t.Fatalf("LastName should fold out-of-range indices")
+	}
+}
+
+func TestAlphaNumStrings(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 200; i++ {
+		s := AlphaString(r, 3, 8)
+		if len(s) < 3 || len(s) > 8 {
+			t.Fatalf("AlphaString length out of range: %q", s)
+		}
+		d := NumString(r, 4, 4)
+		if len(d) != 4 {
+			t.Fatalf("NumString length wrong: %q", d)
+		}
+		for _, c := range d {
+			if c < '0' || c > '9' {
+				t.Fatalf("NumString produced non-digit %q", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package rel implements the relational abstraction that reactors encapsulate:
+// schemas, typed rows, order-preserving key encoding, and tables backed by the
+// ordered record store in package kv.
+//
+// A reactor's state is a set of relations (package rel tables). Declarative
+// access to those relations from stored procedures goes through the
+// transactional query interface in package core/engine, which uses the
+// non-transactional primitives here (schemas, key codecs, index access)
+// together with the concurrency control in package occ.
+package rel

@@ -1,0 +1,261 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a relation: its name, columns, and primary key. Schemas are
+// immutable after construction and safe for concurrent use.
+type Schema struct {
+	name    string
+	columns []Column
+	key     []int // indices into columns
+	byName  map[string]int
+}
+
+// NewSchema builds a schema. keyCols name the primary key columns in order;
+// every relation must have a primary key (single-tuple relations typically use
+// a constant column).
+func NewSchema(name string, columns []Column, keyCols ...string) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("rel: schema needs a name")
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("rel: schema %s needs at least one column", name)
+	}
+	if len(keyCols) == 0 {
+		return nil, fmt.Errorf("rel: schema %s needs a primary key", name)
+	}
+	s := &Schema{name: name, columns: columns, byName: make(map[string]int, len(columns))}
+	for i, c := range columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("rel: schema %s has an unnamed column at position %d", name, i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("rel: schema %s has duplicate column %q", name, c.Name)
+		}
+		if c.Type < Int64 || c.Type > Bytes {
+			return nil, fmt.Errorf("rel: schema %s column %q has invalid type", name, c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	for _, kc := range keyCols {
+		i, ok := s.byName[kc]
+		if !ok {
+			return nil, fmt.Errorf("rel: schema %s key column %q does not exist", name, kc)
+		}
+		s.key = append(s.key, i)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static schema definitions.
+func MustSchema(name string, columns []Column, keyCols ...string) *Schema {
+	s, err := NewSchema(name, columns, keyCols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the relation name.
+func (s *Schema) Name() string { return s.name }
+
+// Columns returns the column definitions (callers must not modify the slice).
+func (s *Schema) Columns() []Column { return s.columns }
+
+// NumColumns returns the number of columns.
+func (s *Schema) NumColumns() int { return len(s.columns) }
+
+// KeyColumns returns the indices of the primary key columns.
+func (s *Schema) KeyColumns() []int { return s.key }
+
+// Col returns the index of the named column, or -1 if it does not exist.
+func (s *Schema) Col(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// MustCol returns the index of the named column and panics if it is missing.
+// Procedures use it to resolve column positions once at registration time.
+func (s *Schema) MustCol(name string) int {
+	i := s.Col(name)
+	if i < 0 {
+		panic(fmt.Sprintf("rel: schema %s has no column %q", s.name, name))
+	}
+	return i
+}
+
+// NormalizeRow validates arity and converts every value of row to the
+// canonical representation for its column type.
+func (s *Schema) NormalizeRow(row Row) (Row, error) {
+	if len(row) != len(s.columns) {
+		return nil, fmt.Errorf("rel: %s row has %d values, schema has %d columns", s.name, len(row), len(s.columns))
+	}
+	out := make(Row, len(row))
+	for i, v := range row {
+		nv, err := normalize(v, s.columns[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("rel: %s column %q: %w", s.name, s.columns[i].Name, err)
+		}
+		out[i] = nv
+	}
+	return out, nil
+}
+
+// KeyOf returns the encoded primary key of row.
+func (s *Schema) KeyOf(row Row) (string, error) {
+	if len(row) != len(s.columns) {
+		return "", fmt.Errorf("rel: %s row has %d values, schema has %d columns", s.name, len(row), len(s.columns))
+	}
+	var dst []byte
+	var err error
+	for _, ki := range s.key {
+		dst, err = AppendKeyValue(dst, row[ki], s.columns[ki].Type)
+		if err != nil {
+			return "", err
+		}
+	}
+	return string(dst), nil
+}
+
+// EncodeKey encodes the given values as a (possibly partial, prefix) primary
+// key for this schema. Fewer values than key columns yields a prefix usable
+// for range scans.
+func (s *Schema) EncodeKey(values ...any) (string, error) {
+	if len(values) > len(s.key) {
+		return "", fmt.Errorf("rel: %s key has %d columns, got %d values", s.name, len(s.key), len(values))
+	}
+	var dst []byte
+	var err error
+	for i, v := range values {
+		dst, err = AppendKeyValue(dst, v, s.columns[s.key[i]].Type)
+		if err != nil {
+			return "", err
+		}
+	}
+	return string(dst), nil
+}
+
+// MustEncodeKey is EncodeKey that panics on error; procedures use it with
+// values whose types are statically known.
+func (s *Schema) MustEncodeKey(values ...any) string {
+	k, err := s.EncodeKey(values...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// --- Row (payload) encoding -------------------------------------------------
+
+// EncodeRow serializes row into the compact binary payload stored in records.
+// The row must already satisfy the schema (see NormalizeRow).
+func (s *Schema) EncodeRow(row Row) ([]byte, error) {
+	nrow, err := s.NormalizeRow(row)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 16*len(nrow))
+	var tmp [binary.MaxVarintLen64]byte
+	for i, v := range nrow {
+		switch s.columns[i].Type {
+		case Int64:
+			n := binary.PutVarint(tmp[:], v.(int64))
+			buf = append(buf, tmp[:n]...)
+		case Float64:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.(float64)))
+			buf = append(buf, b[:]...)
+		case String:
+			sv := v.(string)
+			n := binary.PutUvarint(tmp[:], uint64(len(sv)))
+			buf = append(buf, tmp[:n]...)
+			buf = append(buf, sv...)
+		case Bool:
+			if v.(bool) {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case Bytes:
+			bv := v.([]byte)
+			n := binary.PutUvarint(tmp[:], uint64(len(bv)))
+			buf = append(buf, tmp[:n]...)
+			buf = append(buf, bv...)
+		}
+	}
+	return buf, nil
+}
+
+// MustEncodeRow is EncodeRow that panics on error, for use in loaders with
+// statically known row shapes.
+func (s *Schema) MustEncodeRow(row Row) []byte {
+	b, err := s.EncodeRow(row)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// DecodeRow deserializes a payload produced by EncodeRow.
+func (s *Schema) DecodeRow(data []byte) (Row, error) {
+	row := make(Row, len(s.columns))
+	pos := 0
+	for i, c := range s.columns {
+		switch c.Type {
+		case Int64:
+			v, n := binary.Varint(data[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("rel: %s: corrupt int64 at column %q", s.name, c.Name)
+			}
+			row[i] = v
+			pos += n
+		case Float64:
+			if pos+8 > len(data) {
+				return nil, fmt.Errorf("rel: %s: corrupt float64 at column %q", s.name, c.Name)
+			}
+			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		case String:
+			l, n := binary.Uvarint(data[pos:])
+			if n <= 0 || pos+n+int(l) > len(data) {
+				return nil, fmt.Errorf("rel: %s: corrupt string at column %q", s.name, c.Name)
+			}
+			pos += n
+			row[i] = string(data[pos : pos+int(l)])
+			pos += int(l)
+		case Bool:
+			if pos+1 > len(data) {
+				return nil, fmt.Errorf("rel: %s: corrupt bool at column %q", s.name, c.Name)
+			}
+			row[i] = data[pos] != 0
+			pos++
+		case Bytes:
+			l, n := binary.Uvarint(data[pos:])
+			if n <= 0 || pos+n+int(l) > len(data) {
+				return nil, fmt.Errorf("rel: %s: corrupt bytes at column %q", s.name, c.Name)
+			}
+			pos += n
+			b := make([]byte, l)
+			copy(b, data[pos:pos+int(l)])
+			row[i] = b
+			pos += int(l)
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("rel: %s: %d trailing bytes after row", s.name, len(data)-pos)
+	}
+	return row, nil
+}

@@ -1,0 +1,183 @@
+package rel
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func accountSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("account",
+		[]Column{
+			{Name: "id", Type: Int64},
+			{Name: "name", Type: String},
+			{Name: "balance", Type: Float64},
+			{Name: "active", Type: Bool},
+			{Name: "blob", Type: Bytes},
+		}, "id")
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	cols := []Column{{Name: "a", Type: Int64}}
+	cases := []struct {
+		name    string
+		colsArg []Column
+		key     []string
+	}{
+		{"", cols, []string{"a"}},
+		{"t", nil, []string{"a"}},
+		{"t", cols, nil},
+		{"t", cols, []string{"missing"}},
+		{"t", []Column{{Name: "", Type: Int64}}, []string{""}},
+		{"t", []Column{{Name: "a", Type: Int64}, {Name: "a", Type: String}}, []string{"a"}},
+		{"t", []Column{{Name: "a", Type: ColType(99)}}, []string{"a"}},
+	}
+	for i, c := range cases {
+		if _, err := NewSchema(c.name, c.colsArg, c.key...); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSchemaColLookup(t *testing.T) {
+	s := accountSchema(t)
+	if s.Col("balance") != 2 {
+		t.Fatalf("Col(balance) = %d, want 2", s.Col("balance"))
+	}
+	if s.Col("nope") != -1 {
+		t.Fatalf("Col of missing column should be -1")
+	}
+	if s.MustCol("name") != 1 {
+		t.Fatalf("MustCol(name) wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustCol of missing column should panic")
+		}
+	}()
+	s.MustCol("nope")
+}
+
+func TestEncodeDecodeRowRoundTrip(t *testing.T) {
+	s := accountSchema(t)
+	row := Row{int64(17), "alice", 103.25, true, []byte{0, 1, 2, 255}}
+	data, err := s.EncodeRow(row)
+	if err != nil {
+		t.Fatalf("EncodeRow: %v", err)
+	}
+	got, err := s.DecodeRow(data)
+	if err != nil {
+		t.Fatalf("DecodeRow: %v", err)
+	}
+	if !reflect.DeepEqual(got, row) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, row)
+	}
+}
+
+func TestEncodeRowNormalizesIntWidths(t *testing.T) {
+	s := accountSchema(t)
+	// Plain ints and float-less ints should be accepted and normalized.
+	data, err := s.EncodeRow(Row{5, "bob", 7, false, []byte{}})
+	if err != nil {
+		t.Fatalf("EncodeRow: %v", err)
+	}
+	row, err := s.DecodeRow(data)
+	if err != nil {
+		t.Fatalf("DecodeRow: %v", err)
+	}
+	if row.Int64(0) != 5 || row.Float64(2) != 7 {
+		t.Fatalf("normalization failed: %#v", row)
+	}
+}
+
+func TestEncodeRowErrors(t *testing.T) {
+	s := accountSchema(t)
+	if _, err := s.EncodeRow(Row{int64(1), "x", 1.0, true}); err == nil {
+		t.Fatalf("expected arity error")
+	}
+	if _, err := s.EncodeRow(Row{"wrong", "x", 1.0, true, []byte{}}); err == nil {
+		t.Fatalf("expected type error")
+	}
+}
+
+func TestDecodeRowCorruption(t *testing.T) {
+	s := accountSchema(t)
+	data := s.MustEncodeRow(Row{int64(1), "abc", 1.5, true, []byte{9}})
+	if _, err := s.DecodeRow(data[:len(data)-1]); err == nil {
+		t.Fatalf("expected error for truncated payload")
+	}
+	if _, err := s.DecodeRow(append(data, 0)); err == nil {
+		t.Fatalf("expected error for trailing bytes")
+	}
+}
+
+func TestRowRoundTripProperty(t *testing.T) {
+	s := accountSchema(t)
+	f := func(id int64, name string, bal float64, active bool, blob []byte) bool {
+		if math.IsNaN(bal) {
+			return true
+		}
+		if blob == nil {
+			blob = []byte{}
+		}
+		row := Row{id, name, bal, active, blob}
+		data, err := s.EncodeRow(row)
+		if err != nil {
+			return false
+		}
+		got, err := s.DecodeRow(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, row)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOfAndEncodeKey(t *testing.T) {
+	s := MustSchema("orders",
+		[]Column{
+			{Name: "provider", Type: String},
+			{Name: "wallet", Type: Int64},
+			{Name: "value", Type: Float64},
+		}, "provider", "wallet")
+	row := Row{"visa", int64(42), 10.5}
+	k1, err := s.KeyOf(row)
+	if err != nil {
+		t.Fatalf("KeyOf: %v", err)
+	}
+	k2, err := s.EncodeKey("visa", int64(42))
+	if err != nil {
+		t.Fatalf("EncodeKey: %v", err)
+	}
+	if k1 != k2 {
+		t.Fatalf("KeyOf and EncodeKey disagree")
+	}
+	prefix, err := s.EncodeKey("visa")
+	if err != nil {
+		t.Fatalf("EncodeKey prefix: %v", err)
+	}
+	if len(prefix) >= len(k1) || k1[:len(prefix)] != prefix {
+		t.Fatalf("prefix key is not a prefix of the full key")
+	}
+	if _, err := s.EncodeKey("visa", int64(1), 3.0); err == nil {
+		t.Fatalf("expected error for too many key values")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustSchema should panic on invalid schema")
+		}
+	}()
+	MustSchema("bad", nil, "k")
+}

@@ -1,0 +1,159 @@
+package rel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"reactdb/internal/kv"
+)
+
+// Table is one relation of one reactor: a schema plus an ordered primary-key
+// index of versioned records. Tables expose non-transactional primitives; all
+// transactional access goes through package occ (which reads and writes the
+// records obtained here) and the query layer in package engine.
+type Table struct {
+	schema  *Schema
+	index   *kv.BTree
+	version atomic.Uint64 // structural version, bumped on committed insert/delete (phantom guard)
+
+	// structMu serializes committed structural changes against concurrent
+	// scan validation (see occ.ScanGuard). It is held only for the short
+	// write phase of commits that insert or delete rows.
+	structMu sync.Mutex
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{schema: schema, index: kv.NewBTree()}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Name returns the relation name.
+func (t *Table) Name() string { return t.schema.Name() }
+
+// Len returns the number of indexed keys (including logically absent records).
+func (t *Table) Len() int { return t.index.Len() }
+
+// Version returns the structural version used for phantom validation: any
+// committed insert or delete bumps it.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// BumpVersion records a committed structural change (insert or delete).
+func (t *Table) BumpVersion() { t.version.Add(1) }
+
+// LockStructure acquires the structural latch held while a committing
+// transaction bumps the table version. Together with Version/BumpVersion this
+// makes Table satisfy occ.ScanGuard.
+func (t *Table) LockStructure() { t.structMu.Lock() }
+
+// TryLockStructure attempts to acquire the structural latch without blocking.
+// Scan validation uses it so that two preparing transactions can never
+// deadlock on each other's guards.
+func (t *Table) TryLockStructure() bool { return t.structMu.TryLock() }
+
+// UnlockStructure releases the structural latch.
+func (t *Table) UnlockStructure() { t.structMu.Unlock() }
+
+// Get returns the record indexed under the encoded key, or nil.
+func (t *Table) Get(key string) *kv.Record { return t.index.Get(key) }
+
+// GetOrInsert returns the record under key, inserting a fresh absent record if
+// the key is not indexed yet. The boolean reports whether an insert happened.
+func (t *Table) GetOrInsert(key string) (*kv.Record, bool) {
+	return t.index.GetOrInsert(key, kv.NewRecord())
+}
+
+// AscendRange iterates records with lo <= key < hi in ascending key order. An
+// empty hi is unbounded.
+func (t *Table) AscendRange(lo, hi string, fn func(key string, rec *kv.Record) bool) {
+	t.index.AscendRange(lo, hi, fn)
+}
+
+// DescendRange iterates records with lo <= key < hi in descending key order.
+func (t *Table) DescendRange(lo, hi string, fn func(key string, rec *kv.Record) bool) {
+	t.index.DescendRange(lo, hi, fn)
+}
+
+// AscendPrefix iterates records whose key starts with prefix, ascending.
+func (t *Table) AscendPrefix(prefix string, fn func(key string, rec *kv.Record) bool) {
+	t.index.AscendRange(prefix, KeyPrefixSuccessor(prefix), fn)
+}
+
+// LoadRow inserts a committed row outside of any transaction. It is used by
+// benchmark loaders and example setup code and must not run concurrently with
+// transactions on the same table.
+func (t *Table) LoadRow(row Row) error {
+	key, err := t.schema.KeyOf(row)
+	if err != nil {
+		return err
+	}
+	data, err := t.schema.EncodeRow(row)
+	if err != nil {
+		return err
+	}
+	if prev := t.index.Insert(key, kv.NewCommittedRecord(data, 0)); prev != nil {
+		return fmt.Errorf("rel: %s: duplicate primary key during load", t.Name())
+	}
+	t.BumpVersion()
+	return nil
+}
+
+// MustLoadRow is LoadRow that panics on error.
+func (t *Table) MustLoadRow(row Row) {
+	if err := t.LoadRow(row); err != nil {
+		panic(err)
+	}
+}
+
+// ReadRow performs a non-transactional snapshot read of the row stored under
+// key, for tests and verification code. It returns nil if the key is absent.
+func (t *Table) ReadRow(key string) (Row, error) {
+	rec := t.index.Get(key)
+	if rec == nil {
+		return nil, nil
+	}
+	data, _, present := rec.StableRead()
+	if !present {
+		return nil, nil
+	}
+	return t.schema.DecodeRow(data)
+}
+
+// Catalog is the set of relations of a single reactor, keyed by relation name.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a relation with the given schema. It fails if a relation
+// with the same name already exists.
+func (c *Catalog) CreateTable(schema *Schema) (*Table, error) {
+	if _, exists := c.tables[schema.Name()]; exists {
+		return nil, fmt.Errorf("rel: table %q already exists", schema.Name())
+	}
+	t := NewTable(schema)
+	c.tables[schema.Name()] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (c *Catalog) MustCreateTable(schema *Schema) *Table {
+	t, err := c.CreateTable(schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named relation, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// Tables returns all relations in the catalog (iteration order unspecified).
+func (c *Catalog) Tables() map[string]*Table { return c.tables }

@@ -1,0 +1,130 @@
+package rel
+
+import (
+	"testing"
+
+	"reactdb/internal/kv"
+)
+
+func simpleTable(t *testing.T) *Table {
+	t.Helper()
+	s := MustSchema("kvrel",
+		[]Column{{Name: "k", Type: Int64}, {Name: "v", Type: String}}, "k")
+	return NewTable(s)
+}
+
+func TestTableLoadAndReadRow(t *testing.T) {
+	tbl := simpleTable(t)
+	for i := 0; i < 100; i++ {
+		if err := tbl.LoadRow(Row{int64(i), "v"}); err != nil {
+			t.Fatalf("LoadRow(%d): %v", i, err)
+		}
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tbl.Len())
+	}
+	key := tbl.Schema().MustEncodeKey(int64(42))
+	row, err := tbl.ReadRow(key)
+	if err != nil {
+		t.Fatalf("ReadRow: %v", err)
+	}
+	if row == nil || row.Int64(0) != 42 {
+		t.Fatalf("ReadRow returned %v", row)
+	}
+	missing, err := tbl.ReadRow(tbl.Schema().MustEncodeKey(int64(1000)))
+	if err != nil || missing != nil {
+		t.Fatalf("missing key should read as nil, got %v, %v", missing, err)
+	}
+}
+
+func TestTableLoadDuplicateKeyFails(t *testing.T) {
+	tbl := simpleTable(t)
+	if err := tbl.LoadRow(Row{int64(1), "a"}); err != nil {
+		t.Fatalf("LoadRow: %v", err)
+	}
+	if err := tbl.LoadRow(Row{int64(1), "b"}); err == nil {
+		t.Fatalf("duplicate load should fail")
+	}
+}
+
+func TestTableVersionBumpsOnLoad(t *testing.T) {
+	tbl := simpleTable(t)
+	v0 := tbl.Version()
+	tbl.MustLoadRow(Row{int64(1), "a"})
+	if tbl.Version() != v0+1 {
+		t.Fatalf("version should bump on load")
+	}
+	tbl.BumpVersion()
+	if tbl.Version() != v0+2 {
+		t.Fatalf("BumpVersion should increment")
+	}
+}
+
+func TestTableGetOrInsert(t *testing.T) {
+	tbl := simpleTable(t)
+	key := tbl.Schema().MustEncodeKey(int64(9))
+	rec, inserted := tbl.GetOrInsert(key)
+	if !inserted || rec == nil || !rec.Absent() {
+		t.Fatalf("first GetOrInsert should create an absent record")
+	}
+	rec2, inserted2 := tbl.GetOrInsert(key)
+	if inserted2 || rec2 != rec {
+		t.Fatalf("second GetOrInsert should return the same record")
+	}
+}
+
+func TestTablePrefixScan(t *testing.T) {
+	s := MustSchema("composite",
+		[]Column{{Name: "a", Type: Int64}, {Name: "b", Type: Int64}, {Name: "v", Type: String}},
+		"a", "b")
+	tbl := NewTable(s)
+	for a := int64(0); a < 5; a++ {
+		for b := int64(0); b < 10; b++ {
+			tbl.MustLoadRow(Row{a, b, "x"})
+		}
+	}
+	prefix := s.MustEncodeKey(int64(3))
+	count := 0
+	tbl.AscendPrefix(prefix, func(key string, rec *kv.Record) bool {
+		data, _, present := rec.StableRead()
+		if !present {
+			t.Fatalf("loaded record should be present")
+		}
+		row, err := s.DecodeRow(data)
+		if err != nil {
+			t.Fatalf("DecodeRow: %v", err)
+		}
+		if row.Int64(0) != 3 {
+			t.Fatalf("prefix scan leaked row with a=%d", row.Int64(0))
+		}
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("prefix scan visited %d rows, want 10", count)
+	}
+
+	// Bounded range scan across the composite key: a in [1,3).
+	lo := s.MustEncodeKey(int64(1))
+	hi := s.MustEncodeKey(int64(3))
+	count = 0
+	tbl.AscendRange(lo, hi, func(string, *kv.Record) bool { count++; return true })
+	if count != 20 {
+		t.Fatalf("range scan visited %d rows, want 20", count)
+	}
+
+	// Descending scan sees the same rows in reverse order.
+	var keys []string
+	tbl.DescendRange(lo, hi, func(k string, _ *kv.Record) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 20 {
+		t.Fatalf("descending scan visited %d rows, want 20", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] >= keys[i-1] {
+			t.Fatalf("descending scan out of order")
+		}
+	}
+}

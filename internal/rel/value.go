@@ -1,0 +1,244 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ColType enumerates the column types supported by ReactDB-Go relations.
+type ColType uint8
+
+// Supported column types.
+const (
+	Int64 ColType = iota + 1
+	Float64
+	String
+	Bool
+	Bytes
+)
+
+// String returns the SQL-ish name of the column type.
+func (t ColType) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	case Bool:
+		return "BOOLEAN"
+	case Bytes:
+		return "VARBINARY"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(t))
+	}
+}
+
+// Row is a single tuple. Positions correspond to the columns of the schema the
+// row belongs to. Values are Go natives: int64, float64, string, bool, []byte.
+type Row []any
+
+// Clone returns a deep-enough copy of the row (byte slices are copied).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for i, v := range r {
+		if b, ok := v.([]byte); ok {
+			cp := make([]byte, len(b))
+			copy(cp, b)
+			out[i] = cp
+			continue
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Int64 returns column i as an int64, accepting int and int64 inputs.
+func (r Row) Int64(i int) int64 {
+	switch v := r[i].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	default:
+		panic(fmt.Sprintf("rel: column %d is %T, not int64", i, r[i]))
+	}
+}
+
+// Float64 returns column i as a float64, accepting integer inputs too.
+func (r Row) Float64(i int) float64 {
+	switch v := r[i].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	case int:
+		return float64(v)
+	default:
+		panic(fmt.Sprintf("rel: column %d is %T, not float64", i, r[i]))
+	}
+}
+
+// String returns column i as a string.
+func (r Row) String(i int) string {
+	v, ok := r[i].(string)
+	if !ok {
+		panic(fmt.Sprintf("rel: column %d is %T, not string", i, r[i]))
+	}
+	return v
+}
+
+// Bool returns column i as a bool.
+func (r Row) Bool(i int) bool {
+	v, ok := r[i].(bool)
+	if !ok {
+		panic(fmt.Sprintf("rel: column %d is %T, not bool", i, r[i]))
+	}
+	return v
+}
+
+// Bytes returns column i as a byte slice.
+func (r Row) Bytes(i int) []byte {
+	v, ok := r[i].([]byte)
+	if !ok {
+		panic(fmt.Sprintf("rel: column %d is %T, not []byte", i, r[i]))
+	}
+	return v
+}
+
+// normalize converts v to the canonical Go representation for type t, or
+// returns an error if v is not assignable to t.
+func normalize(v any, t ColType) (any, error) {
+	switch t {
+	case Int64:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		}
+	case Float64:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case float32:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		}
+	case String:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case Bool:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	case Bytes:
+		if x, ok := v.([]byte); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("rel: value %v (%T) is not assignable to %s", v, v, t)
+}
+
+// --- Order-preserving key encoding -----------------------------------------
+//
+// Keys are encoded so that lexicographic byte order equals logical order of
+// the key column values, which lets the B+tree serve range scans directly.
+
+// AppendKeyInt64 appends the order-preserving encoding of v to dst.
+func AppendKeyInt64(dst []byte, v int64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v)^(1<<63))
+	return append(dst, buf[:]...)
+}
+
+// AppendKeyFloat64 appends the order-preserving encoding of v to dst.
+func AppendKeyFloat64(dst []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return append(dst, buf[:]...)
+}
+
+// AppendKeyString appends the order-preserving encoding of s to dst. The
+// encoding escapes NUL bytes (0x00 -> 0x00 0xFF) and terminates the string
+// with 0x00 0x01 so that prefixes order before their extensions and composite
+// keys remain order-preserving.
+func AppendKeyString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+			continue
+		}
+		dst = append(dst, s[i])
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// AppendKeyBool appends the encoding of v to dst (false < true).
+func AppendKeyBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendKeyValue appends the order-preserving encoding of v, interpreted as
+// column type t, to dst.
+func AppendKeyValue(dst []byte, v any, t ColType) ([]byte, error) {
+	nv, err := normalize(v, t)
+	if err != nil {
+		return dst, err
+	}
+	switch t {
+	case Int64:
+		return AppendKeyInt64(dst, nv.(int64)), nil
+	case Float64:
+		return AppendKeyFloat64(dst, nv.(float64)), nil
+	case String:
+		return AppendKeyString(dst, nv.(string)), nil
+	case Bool:
+		return AppendKeyBool(dst, nv.(bool)), nil
+	case Bytes:
+		return AppendKeyString(dst, string(nv.([]byte))), nil
+	default:
+		return dst, fmt.Errorf("rel: unsupported key column type %s", t)
+	}
+}
+
+// KeyPrefixSuccessor returns the smallest key strictly greater than every key
+// having the given prefix, for use as an exclusive upper bound in prefix
+// scans. It returns "" (unbounded) if no such key exists.
+func KeyPrefixSuccessor(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xFF {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// FormatKey renders an encoded key for debugging.
+func FormatKey(key string) string {
+	var sb strings.Builder
+	for i := 0; i < len(key); i++ {
+		fmt.Fprintf(&sb, "%02x", key[i])
+	}
+	return sb.String()
+}

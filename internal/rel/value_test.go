@@ -1,0 +1,162 @@
+package rel
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyInt64OrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := string(AppendKeyInt64(nil, a))
+		kb := string(AppendKeyInt64(nil, b))
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyFloat64OrderPreserving(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := string(AppendKeyFloat64(nil, a))
+		kb := string(AppendKeyFloat64(nil, b))
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary values.
+	vals := []float64{math.Inf(-1), -1e300, -1, -0.5, 0, 0.5, 1, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		lo := string(AppendKeyFloat64(nil, vals[i-1]))
+		hi := string(AppendKeyFloat64(nil, vals[i]))
+		if lo >= hi {
+			t.Fatalf("encoding of %v not below %v", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestKeyStringOrderPreservingAndPrefixSafe(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := string(AppendKeyString(nil, a))
+		kb := string(AppendKeyString(nil, b))
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A composite key whose first component is a prefix of another must order
+	// before it regardless of the second component.
+	k1 := AppendKeyString(nil, "ab")
+	k1 = AppendKeyString(k1, "zzz")
+	k2 := AppendKeyString(nil, "abc")
+	k2 = AppendKeyString(k2, "aaa")
+	if !(string(k1) < string(k2)) {
+		t.Fatalf("composite key with prefix component must order first")
+	}
+	// Strings containing NUL bytes must stay ordered.
+	withNul := []string{"a", "a\x00", "a\x00b", "a\x01", "b"}
+	var encoded []string
+	for _, s := range withNul {
+		encoded = append(encoded, string(AppendKeyString(nil, s)))
+	}
+	if !sort.StringsAreSorted(encoded) {
+		t.Fatalf("NUL-containing strings not order-preserving: %q", encoded)
+	}
+}
+
+func TestKeyCompositeIntOrder(t *testing.T) {
+	// (w_id, d_id, o_id) style composite keys must sort like the tuple.
+	type trip struct{ a, b, c int64 }
+	enc := func(x trip) string {
+		k := AppendKeyInt64(nil, x.a)
+		k = AppendKeyInt64(k, x.b)
+		k = AppendKeyInt64(k, x.c)
+		return string(k)
+	}
+	vals := []trip{{1, 1, 1}, {1, 1, 2}, {1, 2, 0}, {2, -5, 100}, {2, 0, -1}, {2, 0, 0}}
+	for i := 1; i < len(vals); i++ {
+		if !(enc(vals[i-1]) < enc(vals[i])) {
+			t.Fatalf("composite ordering violated between %v and %v", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestKeyPrefixSuccessor(t *testing.T) {
+	if got := KeyPrefixSuccessor("abc"); got != "abd" {
+		t.Fatalf("successor of abc = %q, want abd", got)
+	}
+	if got := KeyPrefixSuccessor("ab\xff"); got != "ac" {
+		t.Fatalf("successor of ab\\xff = %q, want ac", got)
+	}
+	if got := KeyPrefixSuccessor("\xff\xff"); got != "" {
+		t.Fatalf("successor of all-0xff = %q, want unbounded", got)
+	}
+	// Every key starting with the prefix must be below the successor.
+	prefix := string(AppendKeyInt64(nil, 7))
+	succ := KeyPrefixSuccessor(prefix)
+	extended := prefix + string(AppendKeyInt64(nil, 12345))
+	if !(extended < succ) {
+		t.Fatalf("extended key not below prefix successor")
+	}
+}
+
+func TestAppendKeyValueRejectsWrongType(t *testing.T) {
+	if _, err := AppendKeyValue(nil, "not-an-int", Int64); err == nil {
+		t.Fatalf("expected type error")
+	}
+	if _, err := AppendKeyValue(nil, 3, String); err == nil {
+		t.Fatalf("expected type error")
+	}
+}
+
+func TestRowAccessors(t *testing.T) {
+	r := Row{int64(5), 2.5, "s", true, []byte{1, 2}}
+	if r.Int64(0) != 5 || r.Float64(1) != 2.5 || r.String(2) != "s" || !r.Bool(3) || len(r.Bytes(4)) != 2 {
+		t.Fatalf("accessors returned wrong values: %v", r)
+	}
+	if r.Float64(0) != 5 {
+		t.Fatalf("Float64 should accept int64 columns")
+	}
+	clone := r.Clone()
+	clone.Bytes(4)[0] = 99
+	if r.Bytes(4)[0] == 99 {
+		t.Fatalf("Clone must deep-copy byte slices")
+	}
+}
+
+func TestRowAccessorPanicsOnWrongType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for wrong column type")
+		}
+	}()
+	r := Row{"string"}
+	_ = r.Int64(0)
+}

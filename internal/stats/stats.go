@@ -1,0 +1,191 @@
+// Package stats implements the measurement machinery of the paper's
+// methodology (§4.1.2): epoch-based collection of throughput and latency with
+// means and standard deviations across epochs, plus latency distributions for
+// individual runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds descriptive statistics of a sample of float64 observations.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over the sample.
+func Summarize(sample []float64) Summary {
+	s := Summary{Count: len(sample)}
+	if len(sample) == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	var sum float64
+	for _, v := range sample {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(sample))
+	if len(sample) > 1 {
+		var ss float64
+		for _, v := range sample {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(sample)-1))
+	}
+	return s
+}
+
+// LatencyRecorder accumulates individual operation latencies.
+type LatencyRecorder struct {
+	samples []time.Duration
+}
+
+// NewLatencyRecorder returns an empty recorder with the given capacity hint.
+func NewLatencyRecorder(capacityHint int) *LatencyRecorder {
+	return &LatencyRecorder{samples: make([]time.Duration, 0, capacityHint)}
+}
+
+// Record adds one latency observation.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.samples = append(l.samples, d)
+}
+
+// Count returns the number of observations.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Mean returns the mean latency, or zero for an empty recorder.
+func (l *LatencyRecorder) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range l.samples {
+		total += d
+	}
+	return total / time.Duration(len(l.samples))
+}
+
+// StdDev returns the sample standard deviation of the latencies.
+func (l *LatencyRecorder) StdDev() time.Duration {
+	if len(l.samples) < 2 {
+		return 0
+	}
+	mean := float64(l.Mean())
+	var ss float64
+	for _, d := range l.samples {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return time.Duration(math.Sqrt(ss / float64(len(l.samples)-1)))
+}
+
+// Percentile returns the p-th percentile latency (p in [0,100]).
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Reset discards all observations.
+func (l *LatencyRecorder) Reset() { l.samples = l.samples[:0] }
+
+// EpochResult captures one measurement epoch: how many transactions committed
+// and aborted, and the latency of successful transactions.
+type EpochResult struct {
+	Duration   time.Duration
+	Committed  int
+	Aborted    int
+	MeanLat    time.Duration
+	Throughput float64 // committed transactions per second
+}
+
+// RunResult aggregates a multi-epoch measurement run, following the paper:
+// "average latency or throughput is calculated across 50 epochs and the
+// standard deviation is plotted in error bars".
+type RunResult struct {
+	Epochs []EpochResult
+}
+
+// AddEpoch appends one epoch's measurements.
+func (r *RunResult) AddEpoch(e EpochResult) { r.Epochs = append(r.Epochs, e) }
+
+// Throughput returns the mean and standard deviation of per-epoch throughput
+// (committed transactions per second).
+func (r *RunResult) Throughput() (mean, stddev float64) {
+	vals := make([]float64, len(r.Epochs))
+	for i, e := range r.Epochs {
+		vals[i] = e.Throughput
+	}
+	s := Summarize(vals)
+	return s.Mean, s.StdDev
+}
+
+// Latency returns the mean and standard deviation of per-epoch mean latency.
+func (r *RunResult) Latency() (mean, stddev time.Duration) {
+	vals := make([]float64, len(r.Epochs))
+	for i, e := range r.Epochs {
+		vals[i] = float64(e.MeanLat)
+	}
+	s := Summarize(vals)
+	return time.Duration(s.Mean), time.Duration(s.StdDev)
+}
+
+// AbortRate returns the fraction of transactions that aborted across all
+// epochs.
+func (r *RunResult) AbortRate() float64 {
+	var committed, aborted int
+	for _, e := range r.Epochs {
+		committed += e.Committed
+		aborted += e.Aborted
+	}
+	if committed+aborted == 0 {
+		return 0
+	}
+	return float64(aborted) / float64(committed+aborted)
+}
+
+// TotalCommitted returns the number of committed transactions across epochs.
+func (r *RunResult) TotalCommitted() int {
+	var c int
+	for _, e := range r.Epochs {
+		c += e.Committed
+	}
+	return c
+}
+
+// String renders the run result as a single summary line.
+func (r *RunResult) String() string {
+	tp, tpSD := r.Throughput()
+	lat, latSD := r.Latency()
+	return fmt.Sprintf("throughput %.0f ± %.0f txn/s, latency %v ± %v, abort rate %.2f%%",
+		tp, tpSD, lat.Round(time.Microsecond), latSD.Round(time.Microsecond), 100*r.AbortRate())
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+	s = Summarize([]float64{5})
+	if s.Count != 1 || s.Mean != 5 || s.StdDev != 0 || s.Min != 5 || s.Max != 5 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max wrong: %+v", s)
+	}
+}
+
+func TestSummarizeMeanWithinBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+		}
+		s := Summarize(vals)
+		if len(vals) == 0 {
+			return s.Count == 0
+		}
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	r := NewLatencyRecorder(8)
+	for i := 1; i <= 10; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 10 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if r.Mean() != 5500*time.Microsecond {
+		t.Fatalf("Mean = %v, want 5.5ms", r.Mean())
+	}
+	if p50 := r.Percentile(50); p50 != 5*time.Millisecond {
+		t.Fatalf("P50 = %v, want 5ms", p50)
+	}
+	if p100 := r.Percentile(100); p100 != 10*time.Millisecond {
+		t.Fatalf("P100 = %v, want 10ms", p100)
+	}
+	if p0 := r.Percentile(0); p0 != time.Millisecond {
+		t.Fatalf("P0 = %v, want 1ms", p0)
+	}
+	if r.StdDev() <= 0 {
+		t.Fatalf("StdDev should be positive")
+	}
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 || r.StdDev() != 0 || r.Percentile(50) != 0 {
+		t.Fatalf("Reset did not clear the recorder")
+	}
+}
+
+func TestRunResultAggregation(t *testing.T) {
+	var run RunResult
+	for i := 0; i < 5; i++ {
+		run.AddEpoch(EpochResult{
+			Duration:   100 * time.Millisecond,
+			Committed:  90,
+			Aborted:    10,
+			MeanLat:    time.Millisecond,
+			Throughput: 900,
+		})
+	}
+	tp, tpSD := run.Throughput()
+	if tp != 900 || tpSD != 0 {
+		t.Fatalf("throughput = %v ± %v", tp, tpSD)
+	}
+	lat, latSD := run.Latency()
+	if lat != time.Millisecond || latSD != 0 {
+		t.Fatalf("latency = %v ± %v", lat, latSD)
+	}
+	if got := run.AbortRate(); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("abort rate = %v, want 0.1", got)
+	}
+	if run.TotalCommitted() != 450 {
+		t.Fatalf("TotalCommitted = %d", run.TotalCommitted())
+	}
+	if run.String() == "" {
+		t.Fatalf("String should render something")
+	}
+}
+
+func TestRunResultEmptyAbortRate(t *testing.T) {
+	var run RunResult
+	if run.AbortRate() != 0 {
+		t.Fatalf("empty run should have zero abort rate")
+	}
+}

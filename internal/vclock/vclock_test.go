@@ -1,0 +1,99 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCoreMutualExclusion(t *testing.T) {
+	c := NewCore()
+	c.Acquire()
+	if !c.Busy() {
+		t.Fatalf("core should be busy while held")
+	}
+	if c.TryAcquire() {
+		t.Fatalf("TryAcquire should fail while the core is held")
+	}
+	c.Release()
+	if c.Busy() {
+		t.Fatalf("core should be idle after release")
+	}
+	if !c.TryAcquire() {
+		t.Fatalf("TryAcquire should succeed on an idle core")
+	}
+	c.Release()
+}
+
+func TestCoreSerializesHolders(t *testing.T) {
+	c := NewCore()
+	const holders = 8
+	var inside, maxInside int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < holders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Acquire()
+			mu.Lock()
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inside--
+			mu.Unlock()
+			c.Release()
+		}()
+	}
+	wg.Wait()
+	if maxInside != 1 {
+		t.Fatalf("core admitted %d concurrent holders, want 1", maxInside)
+	}
+}
+
+func TestWorkSleepsApproximately(t *testing.T) {
+	start := time.Now()
+	Work(5 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("Work returned after %v, want >= 5ms", elapsed)
+	}
+	// Zero and negative durations return immediately.
+	start = time.Now()
+	Work(0)
+	Work(-time.Second)
+	if elapsed := time.Since(start); elapsed > time.Millisecond {
+		t.Fatalf("Work(0) took %v", elapsed)
+	}
+}
+
+func TestSpinWaitsApproximately(t *testing.T) {
+	start := time.Now()
+	Spin(200 * time.Microsecond)
+	elapsed := time.Since(start)
+	if elapsed < 200*time.Microsecond {
+		t.Fatalf("Spin returned after %v, want >= 200µs", elapsed)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Fatalf("Spin took far too long: %v", elapsed)
+	}
+	start = time.Now()
+	Spin(0)
+	Spin(-time.Second)
+	if time.Since(start) > time.Millisecond {
+		t.Fatalf("Spin of non-positive duration should return immediately")
+	}
+}
+
+func TestDefaultExperimentCostsAsymmetry(t *testing.T) {
+	c := DefaultExperimentCosts()
+	if c.Receive <= c.Send {
+		t.Fatalf("paper reports Cr > Cs; defaults must preserve the asymmetry")
+	}
+	if c.Send <= 0 || c.Processing <= 0 || c.AffinityMiss <= 0 {
+		t.Fatalf("default costs must be positive")
+	}
+}

@@ -1,0 +1,496 @@
+// Package exchange implements the digital currency exchange application used
+// as the paper's running example (Figure 1) and evaluated in Appendix G: an
+// Exchange reactor authorizes payments against per-provider risk-adjusted
+// exposure limits computed by Provider reactors.
+//
+// Three program execution strategies are provided, matching Appendix G:
+//
+//   - sequential: the classic single-procedure formulation (Figure 1a), with
+//     exposure aggregation and risk simulation executed one provider at a time
+//     from the Exchange reactor via synchronous calls;
+//   - query-parallelism: the per-provider exposure aggregation (the join of
+//     providers and orders) runs in parallel across Provider reactors, but the
+//     expensive sim_risk computation still runs sequentially on the Exchange;
+//   - procedure-parallelism: the reactor formulation of Figure 1b, where each
+//     Provider computes calc_risk (aggregation + sim_risk) asynchronously.
+package exchange
+
+import (
+	"fmt"
+	"time"
+
+	"reactdb/internal/core"
+	"reactdb/internal/engine"
+	"reactdb/internal/rel"
+)
+
+// Reactor type names.
+const (
+	ExchangeTypeName = "Exchange"
+	ProviderTypeName = "Provider"
+)
+
+// ExchangeReactor is the name of the single exchange reactor.
+const ExchangeReactor = "exchange"
+
+// Relation names.
+const (
+	RelSettlementRisk = "settlement_risk"
+	RelProviderNames  = "provider_names"
+	RelProviderInfo   = "provider_info"
+	RelOrders         = "orders"
+	RelOrderSeq       = "order_seq"
+)
+
+// Procedure names.
+const (
+	// Exchange procedures.
+	ProcAuthPay              = "auth_pay"                // procedure-parallelism (Figure 1b)
+	ProcAuthPaySequential    = "auth_pay_sequential"     // sequential strategy
+	ProcAuthPayQueryParallel = "auth_pay_query_parallel" // query-parallelism strategy
+	// Provider procedures.
+	ProcCalcRisk = "calc_risk"
+	ProcExposure = "exposure"
+	ProcSimRisk  = "sim_risk_update"
+	ProcAddEntry = "add_entry"
+	ProcSettle   = "settle_window"
+)
+
+// SimRiskUnit is the simulated cost of generating one random number in
+// sim_risk. Appendix G varies the number of random numbers per provider from
+// 10^1 to 10^6; the virtual-core work is numbers × SimRiskUnit.
+const SimRiskUnit = 100 * time.Nanosecond
+
+// Strategy names the program execution strategies of Appendix G.
+type Strategy string
+
+// Strategies compared in Figure 19.
+const (
+	Sequential           Strategy = "sequential"
+	QueryParallelism     Strategy = "query-parallelism"
+	ProcedureParallelism Strategy = "procedure-parallelism"
+)
+
+// Strategies lists the strategies in the order the paper plots them.
+func Strategies() []Strategy {
+	return []Strategy{QueryParallelism, ProcedureParallelism, Sequential}
+}
+
+// ProcedureFor returns the Exchange procedure implementing the strategy.
+func ProcedureFor(s Strategy) string {
+	switch s {
+	case Sequential:
+		return ProcAuthPaySequential
+	case QueryParallelism:
+		return ProcAuthPayQueryParallel
+	default:
+		return ProcAuthPay
+	}
+}
+
+// ProviderName returns the reactor name of provider i.
+func ProviderName(i int) string { return fmt.Sprintf("provider-%02d", i) }
+
+// ExchangeSchemas returns the relations of the Exchange reactor.
+func ExchangeSchemas() []*rel.Schema {
+	return []*rel.Schema{
+		rel.MustSchema(RelSettlementRisk,
+			[]rel.Column{
+				{Name: "id", Type: rel.Int64},
+				{Name: "p_exposure", Type: rel.Float64},
+				{Name: "g_risk", Type: rel.Float64},
+			}, "id"),
+		rel.MustSchema(RelProviderNames,
+			[]rel.Column{{Name: "value", Type: rel.String}}, "value"),
+	}
+}
+
+// ProviderSchemas returns the relations of a Provider reactor.
+func ProviderSchemas() []*rel.Schema {
+	return []*rel.Schema{
+		rel.MustSchema(RelProviderInfo,
+			[]rel.Column{
+				{Name: "id", Type: rel.Int64},
+				{Name: "risk", Type: rel.Float64},
+				{Name: "time", Type: rel.Int64},
+				{Name: "window", Type: rel.Int64},
+			}, "id"),
+		rel.MustSchema(RelOrders,
+			[]rel.Column{
+				{Name: "order_id", Type: rel.Int64},
+				{Name: "wallet", Type: rel.Int64},
+				{Name: "value", Type: rel.Float64},
+				{Name: "settled", Type: rel.Bool},
+			}, "order_id"),
+		rel.MustSchema(RelOrderSeq,
+			[]rel.Column{{Name: "id", Type: rel.Int64}, {Name: "next", Type: rel.Int64}}, "id"),
+	}
+}
+
+// unsettledExposure sums the value of unsettled orders over the most recent
+// scanWindow orders (a reverse range scan ordered by order id, mirroring the
+// pre-configured settlement window of Appendix G). scanWindow <= 0 scans all.
+func unsettledExposure(ctx core.Context, scanWindow int) (float64, error) {
+	exposure := 0.0
+	seen := 0
+	err := ctx.ScanDesc(RelOrders, func(row rel.Row) bool {
+		if !row.Bool(3) {
+			exposure += row.Float64(2)
+		}
+		seen++
+		return scanWindow <= 0 || seen < scanWindow
+	})
+	return exposure, err
+}
+
+// simRisk models the expensive, potentially nondeterministic risk calculation
+// of the example: proportional virtual-core work plus a pseudo-random
+// adjustment.
+func simRisk(ctx core.Context, exposure float64, numbers int64) float64 {
+	ctx.Work(time.Duration(numbers) * SimRiskUnit)
+	return exposure * (0.9 + 0.2*ctx.Rand().Float64())
+}
+
+// ProviderType builds the Provider reactor type.
+func ProviderType() *core.Type {
+	t := core.NewType(ProviderTypeName)
+	for _, s := range ProviderSchemas() {
+		t.AddRelation(s)
+	}
+
+	// exposure returns the unsettled exposure of this provider, aborting if it
+	// exceeds the per-provider limit (application rule 1 of the example).
+	t.AddProcedure(ProcExposure, func(ctx core.Context, args core.Args) (any, error) {
+		pExposure := args.Float64(0)
+		window := int(args.Int64(1))
+		exposure, err := unsettledExposure(ctx, window)
+		if err != nil {
+			return nil, err
+		}
+		if exposure > pExposure {
+			return nil, core.Abortf("provider %s exposure %.2f above limit %.2f", ctx.Reactor(), exposure, pExposure)
+		}
+		return exposure, nil
+	})
+
+	// calc_risk is the Figure 1b procedure: exposure check plus (if the cached
+	// risk is stale) the sim_risk recomputation and provider_info update.
+	t.AddProcedure(ProcCalcRisk, func(ctx core.Context, args core.Args) (any, error) {
+		pExposure := args.Float64(0)
+		now := args.Int64(1)
+		simNumbers := args.Int64(2)
+		window := int(args.Int64(3))
+
+		exposure, err := unsettledExposure(ctx, window)
+		if err != nil {
+			return nil, err
+		}
+		if exposure > pExposure {
+			return nil, core.Abortf("provider %s exposure %.2f above limit %.2f", ctx.Reactor(), exposure, pExposure)
+		}
+		info, err := ctx.Get(RelProviderInfo, int64(0))
+		if err != nil {
+			return nil, err
+		}
+		if info == nil {
+			return nil, core.Abortf("provider %s not initialized", ctx.Reactor())
+		}
+		risk := info.Float64(1)
+		cachedAt := info.Int64(2)
+		cacheWindow := info.Int64(3)
+		if cachedAt < now-cacheWindow {
+			risk = simRisk(ctx, exposure, simNumbers)
+			if err := ctx.Update(RelProviderInfo, rel.Row{int64(0), risk, now, cacheWindow}); err != nil {
+				return nil, err
+			}
+		}
+		return risk, nil
+	})
+
+	// sim_risk_update recomputes and stores the risk for a given exposure; the
+	// query-parallelism strategy calls it after computing sim_risk centrally.
+	t.AddProcedure(ProcSimRisk, func(ctx core.Context, args core.Args) (any, error) {
+		risk := args.Float64(0)
+		now := args.Int64(1)
+		info, err := ctx.Get(RelProviderInfo, int64(0))
+		if err != nil {
+			return nil, err
+		}
+		if info == nil {
+			return nil, core.Abortf("provider %s not initialized", ctx.Reactor())
+		}
+		return nil, ctx.Update(RelProviderInfo, rel.Row{int64(0), risk, now, info.Int64(3)})
+	})
+
+	// add_entry appends an unsettled order for the wallet.
+	t.AddProcedure(ProcAddEntry, func(ctx core.Context, args core.Args) (any, error) {
+		wallet := args.Int64(0)
+		value := args.Float64(1)
+		seq, err := ctx.Get(RelOrderSeq, int64(0))
+		if err != nil {
+			return nil, err
+		}
+		if seq == nil {
+			return nil, core.Abortf("provider %s not initialized", ctx.Reactor())
+		}
+		next := seq.Int64(1)
+		if err := ctx.Update(RelOrderSeq, rel.Row{int64(0), next + 1}); err != nil {
+			return nil, err
+		}
+		return next, ctx.Insert(RelOrders, rel.Row{next, wallet, value, false})
+	})
+
+	// settle_window marks the oldest numOrders unsettled orders as settled,
+	// modeling the separate settlement transaction of Appendix G.
+	t.AddProcedure(ProcSettle, func(ctx core.Context, args core.Args) (any, error) {
+		numOrders := int(args.Int64(0))
+		var toSettle []rel.Row
+		err := ctx.Scan(RelOrders, func(row rel.Row) bool {
+			if !row.Bool(3) {
+				toSettle = append(toSettle, row)
+			}
+			return len(toSettle) < numOrders
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range toSettle {
+			if err := ctx.Update(RelOrders, rel.Row{row.Int64(0), row.Int64(1), row.Float64(2), true}); err != nil {
+				return nil, err
+			}
+		}
+		return int64(len(toSettle)), nil
+	})
+
+	return t
+}
+
+// ExchangeType builds the Exchange reactor type with the three auth_pay
+// strategies.
+func ExchangeType() *core.Type {
+	t := core.NewType(ExchangeTypeName)
+	for _, s := range ExchangeSchemas() {
+		t.AddRelation(s)
+	}
+
+	// readLimits returns (p_exposure, g_risk) from settlement_risk.
+	readLimits := func(ctx core.Context) (float64, float64, error) {
+		row, err := ctx.Get(RelSettlementRisk, int64(0))
+		if err != nil {
+			return 0, 0, err
+		}
+		if row == nil {
+			return 0, 0, core.Abortf("settlement_risk not initialized")
+		}
+		return row.Float64(1), row.Float64(2), nil
+	}
+
+	providerList := func(ctx core.Context) ([]string, error) {
+		var names []string
+		err := ctx.Scan(RelProviderNames, func(row rel.Row) bool {
+			names = append(names, row.String(0))
+			return true
+		})
+		return names, err
+	}
+
+	finish := func(ctx core.Context, totalRisk, gRisk, value float64, provider string, wallet int64) (any, error) {
+		if totalRisk+value >= gRisk {
+			return nil, core.Abortf("total risk %.2f + %.2f exceeds global limit %.2f", totalRisk, value, gRisk)
+		}
+		if _, err := ctx.Call(provider, ProcAddEntry, wallet, value); err != nil {
+			return nil, err
+		}
+		return totalRisk, nil
+	}
+
+	// auth_pay: procedure-parallelism (Figure 1b). Arguments: provider name,
+	// wallet, value, now, simNumbers, scanWindow.
+	t.AddProcedure(ProcAuthPay, func(ctx core.Context, args core.Args) (any, error) {
+		provider, wallet, value := args.String(0), args.Int64(1), args.Float64(2)
+		now, simNumbers, window := args.Int64(3), args.Int64(4), args.Int64(5)
+		pExposure, gRisk, err := readLimits(ctx)
+		if err != nil {
+			return nil, err
+		}
+		names, err := providerList(ctx)
+		if err != nil {
+			return nil, err
+		}
+		futures := make([]*core.Future, 0, len(names))
+		for _, name := range names {
+			fut, err := ctx.Call(name, ProcCalcRisk, pExposure, now, simNumbers, window)
+			if err != nil {
+				return nil, err
+			}
+			futures = append(futures, fut)
+		}
+		totalRisk := 0.0
+		for _, fut := range futures {
+			risk, err := fut.GetFloat64()
+			if err != nil {
+				return nil, err
+			}
+			totalRisk += risk
+		}
+		return finish(ctx, totalRisk, gRisk, value, provider, wallet)
+	})
+
+	// auth_pay_sequential: the classic formulation of Figure 1a expressed as
+	// synchronous per-provider calls; with the whole database deployed in a
+	// single container and executor this runs entirely sequentially.
+	t.AddProcedure(ProcAuthPaySequential, func(ctx core.Context, args core.Args) (any, error) {
+		provider, wallet, value := args.String(0), args.Int64(1), args.Float64(2)
+		now, simNumbers, window := args.Int64(3), args.Int64(4), args.Int64(5)
+		pExposure, gRisk, err := readLimits(ctx)
+		if err != nil {
+			return nil, err
+		}
+		names, err := providerList(ctx)
+		if err != nil {
+			return nil, err
+		}
+		totalRisk := 0.0
+		for _, name := range names {
+			risk, err := ctx.CallSync(name, ProcCalcRisk, pExposure, now, simNumbers, window)
+			if err != nil {
+				return nil, err
+			}
+			totalRisk += risk.(float64)
+		}
+		return finish(ctx, totalRisk, gRisk, value, provider, wallet)
+	})
+
+	// auth_pay_query_parallel: the exposure aggregation (the join) runs in
+	// parallel across providers, but sim_risk runs sequentially on the
+	// Exchange reactor's executor, as a query optimizer parallelizing only the
+	// join of Figure 1a would achieve.
+	t.AddProcedure(ProcAuthPayQueryParallel, func(ctx core.Context, args core.Args) (any, error) {
+		provider, wallet, value := args.String(0), args.Int64(1), args.Float64(2)
+		now, simNumbers, window := args.Int64(3), args.Int64(4), args.Int64(5)
+		pExposure, gRisk, err := readLimits(ctx)
+		if err != nil {
+			return nil, err
+		}
+		names, err := providerList(ctx)
+		if err != nil {
+			return nil, err
+		}
+		futures := make([]*core.Future, 0, len(names))
+		for _, name := range names {
+			fut, err := ctx.Call(name, ProcExposure, pExposure, window)
+			if err != nil {
+				return nil, err
+			}
+			futures = append(futures, fut)
+		}
+		totalRisk := 0.0
+		updates := make([]*core.Future, 0, len(names))
+		for i, fut := range futures {
+			exposure, err := fut.GetFloat64()
+			if err != nil {
+				return nil, err
+			}
+			// sim_risk executed centrally, one provider at a time.
+			risk := simRisk(ctx, exposure, simNumbers)
+			upd, err := ctx.Call(names[i], ProcSimRisk, risk, now)
+			if err != nil {
+				return nil, err
+			}
+			updates = append(updates, upd)
+			totalRisk += risk
+		}
+		// Synchronize on the risk-cache updates before booking the order on the
+		// paying provider; otherwise the add_entry sub-transaction could reach
+		// a provider whose update is still active, which the §2.2.4 safety
+		// condition would (correctly) abort.
+		if err := core.WaitAll(updates...); err != nil {
+			return nil, err
+		}
+		return finish(ctx, totalRisk, gRisk, value, provider, wallet)
+	})
+
+	return t
+}
+
+// Params configure the loaded exchange database.
+type Params struct {
+	Providers         int
+	OrdersPerProvider int
+	OrderValue        float64
+	PerProviderLimit  float64 // p_exposure
+	GlobalRiskLimit   float64 // g_risk
+	CacheWindow       int64   // provider_info window (time units)
+}
+
+// DefaultParams mirror the Appendix G setup: 15 providers, 30,000 orders per
+// provider, limits loaded so that sim_risk is always invoked and transactions
+// never abort for application reasons.
+func DefaultParams() Params {
+	return Params{
+		Providers:         15,
+		OrdersPerProvider: 30000,
+		OrderValue:        1.0,
+		PerProviderLimit:  1e12,
+		GlobalRiskLimit:   1e15,
+		CacheWindow:       0, // always stale: sim_risk runs on every auth_pay
+	}
+}
+
+// NewDefinition declares the Exchange reactor plus p.Providers provider
+// reactors.
+func NewDefinition(p Params) *core.DatabaseDef {
+	def := core.NewDatabaseDef()
+	def.MustAddType(ExchangeType())
+	def.MustAddType(ProviderType())
+	def.MustDeclareReactor(ExchangeReactor, ExchangeTypeName)
+	for i := 0; i < p.Providers; i++ {
+		def.MustDeclareReactor(ProviderName(i), ProviderTypeName)
+	}
+	return def
+}
+
+// Placement maps the Exchange reactor to container 0 and provider i to
+// container (i+1) mod containers, so that with containers == providers+1 each
+// reactor gets its own executor, as in Appendix G.
+func Placement(containers int) func(reactor string) int {
+	return func(reactor string) int {
+		if reactor == ExchangeReactor {
+			return 0
+		}
+		var i int
+		if _, err := fmt.Sscanf(reactor, "provider-%d", &i); err != nil {
+			return 0
+		}
+		if containers <= 1 {
+			return 0
+		}
+		return 1 + i%(containers-1)
+	}
+}
+
+// Load populates the exchange and provider reactors.
+func Load(db *engine.Database, p Params) error {
+	if err := db.Load(ExchangeReactor, RelSettlementRisk, rel.Row{int64(0), p.PerProviderLimit, p.GlobalRiskLimit}); err != nil {
+		return err
+	}
+	for i := 0; i < p.Providers; i++ {
+		name := ProviderName(i)
+		if err := db.Load(ExchangeReactor, RelProviderNames, rel.Row{name}); err != nil {
+			return err
+		}
+		if err := db.Load(name, RelProviderInfo, rel.Row{int64(0), 0.0, int64(-1), p.CacheWindow}); err != nil {
+			return err
+		}
+		if err := db.Load(name, RelOrderSeq, rel.Row{int64(0), int64(p.OrdersPerProvider)}); err != nil {
+			return err
+		}
+		for o := 0; o < p.OrdersPerProvider; o++ {
+			settled := o%2 == 0
+			if err := db.Load(name, RelOrders, rel.Row{int64(o), int64(o % 1000), p.OrderValue, settled}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

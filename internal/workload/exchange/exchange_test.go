@@ -1,0 +1,203 @@
+package exchange
+
+import (
+	"testing"
+
+	"reactdb/internal/core"
+	"reactdb/internal/engine"
+	"reactdb/internal/rel"
+)
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.Providers = 3
+	p.OrdersPerProvider = 20
+	return p
+}
+
+func open(t testing.TB, p Params, cfg engine.Config) *engine.Database {
+	t.Helper()
+	db, err := engine.Open(NewDefinition(p), cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := Load(db, p); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func shardedConfig(p Params) engine.Config {
+	cfg := engine.NewSharedNothing(p.Providers + 1)
+	cfg.Placement = Placement(p.Providers + 1)
+	return cfg
+}
+
+func authArgs(provider string) []any {
+	// provider, wallet, value, now, simNumbers, window
+	return []any{provider, int64(42), 10.0, int64(100), int64(10), int64(0)}
+}
+
+func TestAuthPayStrategiesCommitAndAddOrder(t *testing.T) {
+	p := smallParams()
+	for _, s := range Strategies() {
+		t.Run(string(s), func(t *testing.T) {
+			db := open(t, p, shardedConfig(p))
+			before := db.TableLen(ProviderName(1), RelOrders)
+			v, err := db.Execute(ExchangeReactor, ProcedureFor(s), authArgs(ProviderName(1))...)
+			if err != nil {
+				t.Fatalf("%s: %v", s, err)
+			}
+			if v.(float64) < 0 {
+				t.Fatalf("total risk should be non-negative, got %v", v)
+			}
+			after := db.TableLen(ProviderName(1), RelOrders)
+			if after != before+1 {
+				t.Fatalf("order not added: before=%d after=%d", before, after)
+			}
+			// The new order must be unsettled and carry the requested value.
+			row, err := db.ReadRow(ProviderName(1), RelOrders, int64(p.OrdersPerProvider))
+			if err != nil || row == nil {
+				t.Fatalf("new order row missing: %v %v", row, err)
+			}
+			if row.Bool(3) || row.Float64(2) != 10.0 {
+				t.Fatalf("new order wrong: %v", row)
+			}
+			// provider_info risk caches were refreshed for every provider.
+			for i := 0; i < p.Providers; i++ {
+				info, err := db.ReadRow(ProviderName(i), RelProviderInfo, int64(0))
+				if err != nil || info == nil {
+					t.Fatalf("provider_info missing: %v", err)
+				}
+				if info.Int64(2) != 100 {
+					t.Fatalf("risk cache timestamp not refreshed on %s", ProviderName(i))
+				}
+			}
+		})
+	}
+}
+
+func TestAuthPayAbortsWhenProviderExposureExceedsLimit(t *testing.T) {
+	p := smallParams()
+	p.PerProviderLimit = 1.0 // 10 unsettled orders of value 1.0 -> exposure 10 > 1
+	db := open(t, p, shardedConfig(p))
+	_, err := db.Execute(ExchangeReactor, ProcAuthPay, authArgs(ProviderName(0))...)
+	if !core.IsUserAbort(err) {
+		t.Fatalf("expected abort on provider exposure, got %v", err)
+	}
+	// The target provider gained no order and no risk cache changed.
+	if got := db.TableLen(ProviderName(0), RelOrders); got != p.OrdersPerProvider {
+		t.Fatalf("aborted auth_pay added an order")
+	}
+	info, _ := db.ReadRow(ProviderName(1), RelProviderInfo, int64(0))
+	if info.Int64(2) != -1 {
+		t.Fatalf("aborted auth_pay leaked a provider_info update")
+	}
+}
+
+func TestAuthPayAbortsWhenGlobalRiskExceeded(t *testing.T) {
+	p := smallParams()
+	p.GlobalRiskLimit = 0.0001
+	db := open(t, p, shardedConfig(p))
+	_, err := db.Execute(ExchangeReactor, ProcAuthPay, authArgs(ProviderName(0))...)
+	if !core.IsUserAbort(err) {
+		t.Fatalf("expected abort on global risk, got %v", err)
+	}
+}
+
+func TestRiskCacheAvoidsSimRiskWithinWindow(t *testing.T) {
+	p := smallParams()
+	p.CacheWindow = 1000 // long window: second call must reuse the cached risk
+	db := open(t, p, shardedConfig(p))
+	if _, err := db.Execute(ExchangeReactor, ProcAuthPay, authArgs(ProviderName(0))...); err != nil {
+		t.Fatalf("first auth_pay: %v", err)
+	}
+	infoBefore, _ := db.ReadRow(ProviderName(1), RelProviderInfo, int64(0))
+	// A later call within the window must not change the cached risk value.
+	args := []any{ProviderName(0), int64(7), 5.0, int64(200), int64(10), int64(0)}
+	if _, err := db.Execute(ExchangeReactor, ProcAuthPay, args...); err != nil {
+		t.Fatalf("second auth_pay: %v", err)
+	}
+	infoAfter, _ := db.ReadRow(ProviderName(1), RelProviderInfo, int64(0))
+	if infoBefore.Float64(1) != infoAfter.Float64(1) || infoAfter.Int64(2) != infoBefore.Int64(2) {
+		t.Fatalf("cached risk should not be recomputed within the window")
+	}
+}
+
+func TestSettleWindowMarksOrders(t *testing.T) {
+	p := smallParams()
+	db := open(t, p, shardedConfig(p))
+	v, err := db.Execute(ProviderName(0), ProcSettle, int64(5))
+	if err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+	if v.(int64) != 5 {
+		t.Fatalf("settled %v orders, want 5", v)
+	}
+}
+
+func TestAddEntryAssignsIncreasingOrderIDs(t *testing.T) {
+	p := smallParams()
+	db := open(t, p, shardedConfig(p))
+	first, err := db.Execute(ProviderName(2), ProcAddEntry, int64(1), 3.0)
+	if err != nil {
+		t.Fatalf("add_entry: %v", err)
+	}
+	second, err := db.Execute(ProviderName(2), ProcAddEntry, int64(1), 4.0)
+	if err != nil {
+		t.Fatalf("add_entry: %v", err)
+	}
+	if second.(int64) != first.(int64)+1 {
+		t.Fatalf("order ids not increasing: %v then %v", first, second)
+	}
+}
+
+func TestPlacementSpreadsProvidersAcrossContainers(t *testing.T) {
+	place := Placement(4)
+	if place(ExchangeReactor) != 0 {
+		t.Fatalf("exchange must live on container 0")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		idx := place(ProviderName(i))
+		if idx <= 0 || idx >= 4 {
+			t.Fatalf("provider placement out of range: %d", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("providers should use all non-exchange containers, got %v", seen)
+	}
+	if Placement(1)(ProviderName(0)) != 0 {
+		t.Fatalf("single-container placement should map everything to 0")
+	}
+}
+
+func TestDefaultParamsMatchAppendixG(t *testing.T) {
+	p := DefaultParams()
+	if p.Providers != 15 || p.OrdersPerProvider != 30000 {
+		t.Fatalf("defaults should mirror Appendix G: %+v", p)
+	}
+	if len(Strategies()) != 3 {
+		t.Fatalf("three strategies expected")
+	}
+	if ProcedureFor(Sequential) != ProcAuthPaySequential ||
+		ProcedureFor(QueryParallelism) != ProcAuthPayQueryParallel ||
+		ProcedureFor(ProcedureParallelism) != ProcAuthPay {
+		t.Fatalf("strategy to procedure mapping wrong")
+	}
+}
+
+func TestSchemasWellFormed(t *testing.T) {
+	for _, s := range append(ExchangeSchemas(), ProviderSchemas()...) {
+		if s.Name() == "" || s.NumColumns() == 0 {
+			t.Fatalf("bad schema %v", s)
+		}
+	}
+	// The orders schema must accept the loader's row shape.
+	orders := ProviderSchemas()[1]
+	if _, err := orders.EncodeRow(rel.Row{int64(1), int64(2), 3.0, true}); err != nil {
+		t.Fatalf("orders row encode: %v", err)
+	}
+}

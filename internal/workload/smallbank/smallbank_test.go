@@ -1,0 +1,238 @@
+package smallbank
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"reactdb/internal/core"
+	"reactdb/internal/engine"
+)
+
+// open deploys n customers under the given config with 1000/1000 balances.
+func open(t testing.TB, n int, cfg engine.Config) *engine.Database {
+	t.Helper()
+	def := NewDefinition(n)
+	db, err := engine.Open(def, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := Load(db, n, 1000, 1000); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func sharedNothing(containers, customersPerContainer int) engine.Config {
+	cfg := engine.NewSharedNothing(containers)
+	cfg.Placement = RangePlacement(customersPerContainer)
+	return cfg
+}
+
+func savings(t *testing.T, db *engine.Database, id int) float64 {
+	t.Helper()
+	row, err := db.ReadRow(ReactorName(id), RelSavings, int64(id))
+	if err != nil || row == nil {
+		t.Fatalf("savings row for %d: %v %v", id, row, err)
+	}
+	return row.Float64(1)
+}
+
+func checking(t *testing.T, db *engine.Database, id int) float64 {
+	t.Helper()
+	row, err := db.ReadRow(ReactorName(id), RelChecking, int64(id))
+	if err != nil || row == nil {
+		t.Fatalf("checking row for %d: %v %v", id, row, err)
+	}
+	return row.Float64(1)
+}
+
+func TestLoadAndBalance(t *testing.T) {
+	db := open(t, 4, sharedNothing(2, 2))
+	v, err := db.Execute(ReactorName(1), ProcBalance)
+	if err != nil {
+		t.Fatalf("balance: %v", err)
+	}
+	if v.(float64) != 2000 {
+		t.Fatalf("balance = %v, want 2000", v)
+	}
+	total, err := TotalBalance(db, 4)
+	if err != nil || total != 8000 {
+		t.Fatalf("TotalBalance = (%v, %v)", total, err)
+	}
+}
+
+func TestDepositAndWriteCheck(t *testing.T) {
+	db := open(t, 2, sharedNothing(2, 1))
+	if _, err := db.Execute(ReactorName(0), ProcDepositChecking, 50.0); err != nil {
+		t.Fatalf("deposit: %v", err)
+	}
+	if got := checking(t, db, 0); got != 1050 {
+		t.Fatalf("checking = %v, want 1050", got)
+	}
+	if _, err := db.Execute(ReactorName(0), ProcDepositChecking, -1.0); !core.IsUserAbort(err) {
+		t.Fatalf("negative deposit should abort, got %v", err)
+	}
+	if _, err := db.Execute(ReactorName(0), ProcWriteCheck, 100.0); err != nil {
+		t.Fatalf("write_check: %v", err)
+	}
+	if got := checking(t, db, 0); got != 950 {
+		t.Fatalf("checking = %v, want 950", got)
+	}
+	// Overdraft: balance 950 + 1000 savings = 1950 < 5000 -> penalty applies.
+	if _, err := db.Execute(ReactorName(0), ProcWriteCheck, 5000.0); err != nil {
+		t.Fatalf("write_check overdraft: %v", err)
+	}
+	if got := checking(t, db, 0); got != 950-5001 {
+		t.Fatalf("checking = %v, want %v", got, 950-5001)
+	}
+}
+
+func TestTransactSavingAbortsOnNegativeBalance(t *testing.T) {
+	db := open(t, 1, sharedNothing(1, 1))
+	if _, err := db.Execute(ReactorName(0), ProcTransactSaving, -5000.0); !core.IsUserAbort(err) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+	if got := savings(t, db, 0); got != 1000 {
+		t.Fatalf("savings modified by aborted transaction: %v", got)
+	}
+}
+
+func TestAmalgamateMovesAllFunds(t *testing.T) {
+	db := open(t, 3, sharedNothing(3, 1))
+	if _, err := db.Execute(ReactorName(0), ProcAmalgamate, ReactorName(2)); err != nil {
+		t.Fatalf("amalgamate: %v", err)
+	}
+	if savings(t, db, 0) != 0 || checking(t, db, 0) != 0 {
+		t.Fatalf("source not emptied")
+	}
+	if got := checking(t, db, 2); got != 3000 {
+		t.Fatalf("destination checking = %v, want 3000", got)
+	}
+	total, _ := TotalBalance(db, 3)
+	if total != 6000 {
+		t.Fatalf("total balance changed: %v", total)
+	}
+}
+
+func TestMultiTransferFormulationsPreserveMoneyAndSemantics(t *testing.T) {
+	const customers = 8
+	deployments := map[string]engine.Config{
+		"shared-nothing":     sharedNothing(4, 2),
+		"shared-everything":  engine.NewSharedEverythingWithAffinity(4),
+		"single-container-1": engine.NewSharedEverythingWithAffinity(1),
+	}
+	for _, f := range Formulations() {
+		for depName, cfg := range deployments {
+			t.Run(string(f)+"/"+depName, func(t *testing.T) {
+				db := open(t, customers, cfg)
+				src := ReactorName(0)
+				dsts := []string{ReactorName(3), ReactorName(5), ReactorName(6)}
+				proc, sequential := MultiTransferProcedure(f)
+				var err error
+				if proc == ProcMultiTransferSync {
+					_, err = db.Execute(src, proc, src, dsts, 10.0, sequential)
+				} else {
+					_, err = db.Execute(src, proc, src, dsts, 10.0)
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", f, err)
+				}
+				if got := savings(t, db, 0); got != 1000-30 {
+					t.Fatalf("source savings = %v, want 970", got)
+				}
+				for _, d := range []int{3, 5, 6} {
+					if got := savings(t, db, d); got != 1010 {
+						t.Fatalf("destination %d savings = %v, want 1010", d, got)
+					}
+				}
+				total, _ := TotalBalance(db, customers)
+				if total != customers*2000 {
+					t.Fatalf("money not conserved: %v", total)
+				}
+			})
+		}
+	}
+}
+
+func TestMultiTransferInsufficientFundsAborts(t *testing.T) {
+	db := open(t, 4, sharedNothing(4, 1))
+	src := ReactorName(0)
+	dsts := []string{ReactorName(1), ReactorName(2), ReactorName(3)}
+	// 3 x 400 = 1200 > 1000: the final debits must abort the whole transaction
+	// and roll back the already-issued credits.
+	_, err := db.Execute(src, ProcMultiTransferOpt, src, dsts, 400.0)
+	if !core.IsUserAbort(err) {
+		t.Fatalf("expected user abort, got %v", err)
+	}
+	total, _ := TotalBalance(db, 4)
+	if total != 8000 {
+		t.Fatalf("aborted multi-transfer leaked money: %v", total)
+	}
+	for _, d := range []int{1, 2, 3} {
+		if got := savings(t, db, d); got != 1000 {
+			t.Fatalf("credit leaked to destination %d: %v", d, got)
+		}
+	}
+}
+
+func TestConcurrentMultiTransfersConserveMoney(t *testing.T) {
+	const customers = 8
+	db := open(t, customers, sharedNothing(4, 2))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				src := (seed + i) % customers
+				d1 := (src + 1) % customers
+				d2 := (src + 3) % customers
+				_, err := db.Execute(ReactorName(src), ProcMultiTransferOpt,
+					ReactorName(src), []string{ReactorName(d1), ReactorName(d2)}, 1.0)
+				if err != nil && !errors.Is(err, engine.ErrConflict) &&
+					!core.IsUserAbort(err) && !errors.Is(err, core.ErrDangerousStructure) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total, err := TotalBalance(db, customers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != customers*2000 {
+		t.Fatalf("money not conserved under concurrency: %v", total)
+	}
+}
+
+func TestMultiTransferProcedureMapping(t *testing.T) {
+	if p, seq := MultiTransferProcedure(FullySync); p != ProcMultiTransferSync || !seq {
+		t.Fatalf("FullySync mapping wrong")
+	}
+	if p, seq := MultiTransferProcedure(PartiallyAsync); p != ProcMultiTransferSync || seq {
+		t.Fatalf("PartiallyAsync mapping wrong")
+	}
+	if p, _ := MultiTransferProcedure(FullyAsync); p != ProcMultiTransferFullAsync {
+		t.Fatalf("FullyAsync mapping wrong")
+	}
+	if p, _ := MultiTransferProcedure(Opt); p != ProcMultiTransferOpt {
+		t.Fatalf("Opt mapping wrong")
+	}
+	if len(Formulations()) != 4 {
+		t.Fatalf("Formulations should list 4 entries")
+	}
+}
+
+func TestRangePlacement(t *testing.T) {
+	p := RangePlacement(1000)
+	if p(ReactorName(0)) != 0 || p(ReactorName(999)) != 0 || p(ReactorName(1000)) != 1 || p(ReactorName(6999)) != 6 {
+		t.Fatalf("range placement wrong")
+	}
+	if p("not-a-customer") != 0 {
+		t.Fatalf("non-customer reactors should map to container 0")
+	}
+}

@@ -1,0 +1,373 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"reactdb/internal/core"
+	"reactdb/internal/engine"
+	"reactdb/internal/randutil"
+	"reactdb/internal/rel"
+)
+
+// Params scales the TPC-C database. The TPC-C specification uses 3,000
+// customers per district and 100,000 items; the defaults here are smaller so
+// that loading stays fast on a single-core host — the paper's results depend
+// on warehouse count and cross-warehouse access probabilities, not on the raw
+// table cardinalities. Use SpecParams for specification-sized tables.
+type Params struct {
+	// Warehouses is the scale factor: the number of warehouse reactors.
+	Warehouses int
+	// CustomersPerDistrict is the number of customers in each district.
+	CustomersPerDistrict int
+	// Items is the size of the item and stock relations.
+	Items int
+}
+
+// DefaultParams returns the scaled-down sizing used by the experiment drivers.
+func DefaultParams(warehouses int) Params {
+	return Params{Warehouses: warehouses, CustomersPerDistrict: 120, Items: 1000}
+}
+
+// SpecParams returns the full TPC-C sizing.
+func SpecParams(warehouses int) Params {
+	return Params{Warehouses: warehouses, CustomersPerDistrict: 3000, Items: 100000}
+}
+
+// NewDefinition declares the Warehouse type and p.Warehouses warehouse
+// reactors.
+func NewDefinition(p Params) *core.DatabaseDef {
+	def := core.NewDatabaseDef()
+	def.MustAddType(Type())
+	for w := 1; w <= p.Warehouses; w++ {
+		def.MustDeclareReactor(ReactorName(w), TypeName)
+	}
+	return def
+}
+
+// Load populates all warehouse reactors of the database.
+func Load(db *engine.Database, p Params) error {
+	for w := 1; w <= p.Warehouses; w++ {
+		if err := loadWarehouse(db, p, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadWarehouse(db *engine.Database, p Params, w int) error {
+	name := ReactorName(w)
+	rng := randutil.New(int64(w) * 7919)
+	if err := db.Load(name, RelWarehouse, rel.Row{int64(w), fmt.Sprintf("WH%04d", w), 0.1, 0.0}); err != nil {
+		return err
+	}
+	for i := 1; i <= p.Items; i++ {
+		price := 1.0 + float64(randutil.UniformInt(rng, 0, 9900))/100
+		if err := db.Load(name, RelItem, rel.Row{int64(i), fmt.Sprintf("item-%06d", i), price, randutil.AlphaString(rng, 8, 16)}); err != nil {
+			return err
+		}
+		if err := db.Load(name, RelStock, rel.Row{
+			int64(i), int64(randutil.UniformInt(rng, 10, 100)), int64(0), int64(0), int64(0),
+			randutil.AlphaString(rng, 24, 24)}); err != nil {
+			return err
+		}
+	}
+	for d := 1; d <= DistrictsPerWarehouse; d++ {
+		nextOID := int64(InitialOrdersPerDistrict + 1)
+		if err := db.Load(name, RelDistrict, rel.Row{
+			int64(d), fmt.Sprintf("D%02d", d), 0.05, 0.0, nextOID}); err != nil {
+			return err
+		}
+		for c := 1; c <= p.CustomersPerDistrict; c++ {
+			last := randutil.LastName((c - 1) % 1000)
+			first := fmt.Sprintf("first-%04d", c)
+			credit := "GC"
+			if rng.Float64() < 0.1 {
+				credit = "BC"
+			}
+			row := rel.Row{
+				int64(d), int64(c), first, "OE", last, credit,
+				float64(randutil.UniformInt(rng, 0, 50)) / 100.0, // discount
+				-10.0, 10.0, int64(1), int64(0),
+				randutil.AlphaString(rng, 32, 64),
+			}
+			if err := db.Load(name, RelCustomer, row); err != nil {
+				return err
+			}
+			if err := db.Load(name, RelCustomerNameIdx, rel.Row{int64(d), last, first, int64(c)}); err != nil {
+				return err
+			}
+		}
+		// Preload a few delivered and undelivered orders per district so that
+		// order-status, delivery and stock-level have data to work on.
+		for o := 1; o <= InitialOrdersPerDistrict; o++ {
+			cID := int64(randutil.UniformInt(rng, 1, p.CustomersPerDistrict))
+			olCnt := int64(randutil.UniformInt(rng, MinItemsPerOrder, MaxItemsPerOrder))
+			undelivered := o > InitialOrdersPerDistrict-10
+			carrier := int64(0)
+			if !undelivered {
+				carrier = int64(randutil.UniformInt(rng, 1, 10))
+			}
+			if err := db.Load(name, RelOrders, rel.Row{
+				int64(d), int64(o), cID, int64(o), carrier, olCnt, true}); err != nil {
+				return err
+			}
+			if err := db.Load(name, RelOrderCustIdx, rel.Row{int64(d), cID, int64(o)}); err != nil {
+				return err
+			}
+			if undelivered {
+				if err := db.Load(name, RelNewOrder, rel.Row{int64(d), int64(o)}); err != nil {
+					return err
+				}
+			}
+			for ol := int64(1); ol <= olCnt; ol++ {
+				itemID := int64(randutil.UniformInt(rng, 1, p.Items))
+				if err := db.Load(name, RelOrderLine, rel.Row{
+					int64(d), int64(o), ol, itemID, name, int64(5),
+					float64(randutil.UniformInt(rng, 1, 9999)) / 100.0,
+					randutil.AlphaString(rng, 24, 24), int64(o)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Mix is a transaction mix as percentages (summing to 100).
+type Mix struct {
+	NewOrder    int
+	Payment     int
+	OrderStatus int
+	Delivery    int
+	StockLevel  int
+}
+
+// StandardMix is the TPC-C standard mix used in §4.3.1 and Appendix F.
+func StandardMix() Mix {
+	return Mix{NewOrder: 45, Payment: 43, OrderStatus: 4, Delivery: 4, StockLevel: 4}
+}
+
+// NewOrderOnlyMix is the 100% new-order mix used in §4.3.2 and Appendices D/E.
+func NewOrderOnlyMix() Mix {
+	return Mix{NewOrder: 100}
+}
+
+// GeneratorConfig controls input generation for one client worker.
+type GeneratorConfig struct {
+	// Params must match the loaded database.
+	Params Params
+	// HomeWarehouse is the warehouse this worker generates load for (client
+	// affinity to a warehouse, §4.1.3). 1-based.
+	HomeWarehouse int
+	// Mix is the transaction mix.
+	Mix Mix
+	// RemoteItemProbability is the probability that a single new-order item is
+	// supplied by a remote warehouse (TPC-C standard: 0.01; Appendix E varies
+	// it from 0 to 1).
+	RemoteItemProbability float64
+	// RemotePaymentProbability is the probability that the paying customer
+	// belongs to a remote warehouse (TPC-C standard: 0.15).
+	RemotePaymentProbability float64
+	// NewOrderDelayMicros adds the stock replenishment delay of §4.3.2 (a
+	// uniform value in [300,400]µs when set to a positive upper bound range;
+	// zero disables the delay). The concrete delay per transaction is drawn in
+	// [NewOrderDelayMinMicros, NewOrderDelayMicros].
+	NewOrderDelayMinMicros int64
+	NewOrderDelayMicros    int64
+	// SyncStockUpdates makes generated new-order transactions await every
+	// stock-update sub-transaction immediately (the shared-nothing-sync
+	// program formulation of §3.3).
+	SyncStockUpdates bool
+	// Seed seeds the worker's deterministic random stream.
+	Seed int64
+}
+
+// Request is one generated transaction invocation.
+type Request struct {
+	Reactor   string
+	Procedure string
+	Args      []any
+}
+
+// generatorInstances numbers generator instances so that history nonces stay
+// unique even when several measurement runs create generators with the same
+// seed against the same loaded database.
+var generatorInstances atomic.Int64
+
+// Generator produces TPC-C transaction inputs for one client worker.
+type Generator struct {
+	cfg       GeneratorConfig
+	rng       *rand.Rand
+	nonceBase int64
+	nonce     int64
+}
+
+// NewGenerator builds a generator; it panics if the configuration is invalid.
+func NewGenerator(cfg GeneratorConfig) *Generator {
+	if cfg.HomeWarehouse < 1 || cfg.HomeWarehouse > cfg.Params.Warehouses {
+		panic(fmt.Sprintf("tpcc: home warehouse %d out of range", cfg.HomeWarehouse))
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = StandardMix()
+	}
+	return &Generator{
+		cfg:       cfg,
+		rng:       randutil.New(cfg.Seed),
+		nonceBase: generatorInstances.Add(1) * 10_000_000,
+	}
+}
+
+// home returns the worker's home warehouse reactor name.
+func (g *Generator) home() string { return ReactorName(g.cfg.HomeWarehouse) }
+
+// remoteWarehouse picks a warehouse different from home, uniformly; with a
+// single warehouse it returns home.
+func (g *Generator) remoteWarehouse() string {
+	if g.cfg.Params.Warehouses <= 1 {
+		return g.home()
+	}
+	for {
+		w := randutil.UniformInt(g.rng, 1, g.cfg.Params.Warehouses)
+		if w != g.cfg.HomeWarehouse {
+			return ReactorName(w)
+		}
+	}
+}
+
+func (g *Generator) customerID() int64 {
+	c := randutil.NURandCustomerID(g.rng)
+	return int64((c-1)%g.cfg.Params.CustomersPerDistrict + 1)
+}
+
+// lastName picks a last name that is guaranteed to exist in the loaded
+// database: the loader assigns last names by (c-1) mod 1000, so valid indices
+// are bounded by the per-district customer count.
+func (g *Generator) lastName() string {
+	bound := g.cfg.Params.CustomersPerDistrict
+	if bound > 1000 {
+		bound = 1000
+	}
+	return randutil.LastName(randutil.NURandLastNameIndex(g.rng) % bound)
+}
+
+func (g *Generator) itemID() int64 {
+	i := randutil.NURandItemID(g.rng)
+	return int64((i-1)%g.cfg.Params.Items + 1)
+}
+
+// Next generates the next transaction request according to the mix.
+func (g *Generator) Next() Request {
+	p := randutil.UniformInt(g.rng, 1, 100)
+	m := g.cfg.Mix
+	switch {
+	case p <= m.NewOrder:
+		return g.newOrder()
+	case p <= m.NewOrder+m.Payment:
+		return g.payment()
+	case p <= m.NewOrder+m.Payment+m.OrderStatus:
+		return g.orderStatus()
+	case p <= m.NewOrder+m.Payment+m.OrderStatus+m.Delivery:
+		return g.delivery()
+	default:
+		return g.stockLevel()
+	}
+}
+
+// NewOrder generates a new-order request explicitly (used by the 100%
+// new-order experiments regardless of the configured mix).
+func (g *Generator) NewOrder() Request { return g.newOrder() }
+
+func (g *Generator) newOrder() Request {
+	dID := int64(randutil.UniformInt(g.rng, 1, DistrictsPerWarehouse))
+	cID := g.customerID()
+	nItems := randutil.UniformInt(g.rng, MinItemsPerOrder, MaxItemsPerOrder)
+	itemIDs := make([]int64, 0, nItems)
+	supplyWs := make([]string, 0, nItems)
+	quantities := make([]int64, 0, nItems)
+	seen := make(map[int64]bool, nItems)
+	remoteUsed := make(map[string]bool)
+	for len(itemIDs) < nItems {
+		id := g.itemID()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		supply := g.home()
+		if g.rng.Float64() < g.cfg.RemoteItemProbability {
+			supply = g.remoteWarehouse()
+		}
+		itemIDs = append(itemIDs, id)
+		supplyWs = append(supplyWs, supply)
+		quantities = append(quantities, int64(randutil.UniformInt(g.rng, 1, 10)))
+		remoteUsed[supply] = true
+	}
+	// TPC-C: 1% of new-order transactions contain an unused item id and abort.
+	if g.rng.Float64() < 0.01 {
+		itemIDs[len(itemIDs)-1] = -1
+	}
+	delay := int64(0)
+	if g.cfg.NewOrderDelayMicros > 0 {
+		lo := g.cfg.NewOrderDelayMinMicros
+		if lo <= 0 {
+			lo = g.cfg.NewOrderDelayMicros
+		}
+		delay = int64(randutil.UniformInt(g.rng, int(lo), int(g.cfg.NewOrderDelayMicros)))
+	}
+	g.nonce++
+	return Request{
+		Reactor:   g.home(),
+		Procedure: ProcNewOrder,
+		Args:      []any{dID, cID, itemIDs, supplyWs, quantities, g.nonce, delay, g.cfg.SyncStockUpdates},
+	}
+}
+
+func (g *Generator) payment() Request {
+	dID := int64(randutil.UniformInt(g.rng, 1, DistrictsPerWarehouse))
+	amount := float64(randutil.UniformInt(g.rng, 100, 500000)) / 100.0
+	custWarehouse := g.home()
+	if g.rng.Float64() < g.cfg.RemotePaymentProbability {
+		custWarehouse = g.remoteWarehouse()
+	}
+	cDID := int64(randutil.UniformInt(g.rng, 1, DistrictsPerWarehouse))
+	byName := g.rng.Float64() < 0.6
+	cID := g.customerID()
+	cLast := g.lastName()
+	g.nonce++
+	nonce := g.nonceBase + g.nonce
+	return Request{
+		Reactor:   g.home(),
+		Procedure: ProcPayment,
+		Args:      []any{dID, amount, custWarehouse, cDID, byName, cID, cLast, nonce},
+	}
+}
+
+func (g *Generator) orderStatus() Request {
+	dID := int64(randutil.UniformInt(g.rng, 1, DistrictsPerWarehouse))
+	byName := g.rng.Float64() < 0.6
+	cID := g.customerID()
+	cLast := g.lastName()
+	return Request{
+		Reactor:   g.home(),
+		Procedure: ProcOrderStatus,
+		Args:      []any{dID, byName, cID, cLast},
+	}
+}
+
+func (g *Generator) delivery() Request {
+	g.nonce++
+	return Request{
+		Reactor:   g.home(),
+		Procedure: ProcDelivery,
+		Args:      []any{int64(randutil.UniformInt(g.rng, 1, 10)), g.nonce},
+	}
+}
+
+func (g *Generator) stockLevel() Request {
+	return Request{
+		Reactor:   g.home(),
+		Procedure: ProcStockLevel,
+		Args:      []any{int64(randutil.UniformInt(g.rng, 1, DistrictsPerWarehouse)), int64(randutil.UniformInt(g.rng, 10, 20))},
+	}
+}

@@ -1,0 +1,533 @@
+package tpcc
+
+import (
+	"time"
+
+	"reactdb/internal/core"
+	"reactdb/internal/rel"
+)
+
+// Column index constants resolved once against the static schemas, so the
+// procedures avoid per-call column lookups.
+var (
+	customerSchema = Schemas()[2]
+	colCBalance    = customerSchema.MustCol("c_balance")
+	colCYtd        = customerSchema.MustCol("c_ytd_payment")
+	colCPayCnt     = customerSchema.MustCol("c_payment_cnt")
+	colCDelivCnt   = customerSchema.MustCol("c_delivery_cnt")
+	colCCredit     = customerSchema.MustCol("c_credit")
+	colCDiscount   = customerSchema.MustCol("c_discount")
+)
+
+// Type builds the Warehouse reactor type with all five TPC-C transactions plus
+// the stock_update and payment_customer sub-transaction procedures.
+func Type() *core.Type {
+	t := core.NewType(TypeName)
+	for _, s := range Schemas() {
+		t.AddRelation(s)
+	}
+	t.AddProcedure(ProcNewOrder, newOrder)
+	t.AddProcedure(ProcStockUpdate, stockUpdate)
+	t.AddProcedure(ProcStockUpdateBatch, stockUpdateBatch)
+	t.AddProcedure(ProcPayment, payment)
+	t.AddProcedure(ProcPaymentCustomer, paymentCustomer)
+	t.AddProcedure(ProcOrderStatus, orderStatus)
+	t.AddProcedure(ProcDelivery, delivery)
+	t.AddProcedure(ProcStockLevel, stockLevel)
+	return t
+}
+
+// newOrder implements the TPC-C new-order transaction. Arguments:
+//
+//	0: d_id int64
+//	1: c_id int64
+//	2: item ids []int64 (an id of -1 denotes the 1% "unused item" user abort)
+//	3: supplying warehouse reactor names []string (same length as item ids)
+//	4: quantities []int64
+//	5: entry date int64
+//	6: per-stock-update delay in microseconds (the new-order-delay variant of
+//	   §4.3.2; 0 for standard new-order)
+//	7: optional bool: when true, stock-update sub-transactions are awaited
+//	   immediately after invocation (the shared-nothing-sync program
+//	   formulation of §3.3); default false (asynchronous, shared-nothing-async)
+//
+// It returns the assigned order id.
+func newOrder(ctx core.Context, args core.Args) (any, error) {
+	dID := args.Int64(0)
+	cID := args.Int64(1)
+	itemIDs := args.Int64s(2)
+	supplyWs := args.Strings(3)
+	quantities := args.Int64s(4)
+	entryD := args.Int64(5)
+	delayMicros := args.Int64(6)
+	syncStock := false
+	if args.Len() > 7 {
+		syncStock = args.Bool(7)
+	}
+	if len(itemIDs) == 0 || len(itemIDs) != len(supplyWs) || len(itemIDs) != len(quantities) {
+		return nil, core.Abortf("new_order: malformed order lines")
+	}
+
+	warehouse, err := ctx.Get(RelWarehouse, int64(WarehouseID(ctx.Reactor())))
+	if err != nil {
+		return nil, err
+	}
+	if warehouse == nil {
+		return nil, core.Abortf("warehouse %s not loaded", ctx.Reactor())
+	}
+	wTax := warehouse.Float64(2)
+
+	district, err := ctx.Get(RelDistrict, dID)
+	if err != nil {
+		return nil, err
+	}
+	if district == nil {
+		return nil, core.Abortf("district %d missing on %s", dID, ctx.Reactor())
+	}
+	dTax := district.Float64(2)
+	oID := district.Int64(4)
+	district[4] = oID + 1
+	if err := ctx.Update(RelDistrict, district); err != nil {
+		return nil, err
+	}
+
+	customer, err := ctx.Get(RelCustomer, dID, cID)
+	if err != nil {
+		return nil, err
+	}
+	if customer == nil {
+		return nil, core.Abortf("customer %d/%d missing", dID, cID)
+	}
+	discount := customer.Float64(colCDiscount)
+
+	allLocal := true
+	for _, w := range supplyWs {
+		if w != ctx.Reactor() {
+			allLocal = false
+			break
+		}
+	}
+	if err := ctx.Insert(RelOrders, rel.Row{dID, oID, cID, entryD, int64(0), int64(len(itemIDs)), allLocal}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Insert(RelNewOrder, rel.Row{dID, oID}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Insert(RelOrderCustIdx, rel.Row{dID, cID, oID}); err != nil {
+		return nil, err
+	}
+
+	// Resolve item prices locally (the item relation is replicated on every
+	// warehouse), group the stock updates by supplying warehouse, dispatch one
+	// asynchronous sub-transaction per distinct remote warehouse so they all
+	// overlap, then collect results and insert the order lines.
+	prices := make([]float64, len(itemIDs))
+	for i, itemID := range itemIDs {
+		if itemID < 0 {
+			// TPC-C mandates that ~1% of new-order transactions roll back due
+			// to an unused item number.
+			return nil, core.Abortf("new_order: unused item number")
+		}
+		item, err := ctx.Get(RelItem, itemID)
+		if err != nil {
+			return nil, err
+		}
+		if item == nil {
+			return nil, core.Abortf("new_order: item %d not found", itemID)
+		}
+		prices[i] = item.Float64(2)
+	}
+	groups := make(map[string][]int) // supply warehouse -> line indices
+	var groupOrder []string
+	for i, w := range supplyWs {
+		if _, seen := groups[w]; !seen {
+			groupOrder = append(groupOrder, w)
+		}
+		groups[w] = append(groups[w], i)
+	}
+	futures := make(map[string]*core.Future, len(groupOrder))
+	for _, w := range groupOrder {
+		idxs := groups[w]
+		batchItems := make([]int64, len(idxs))
+		batchQtys := make([]int64, len(idxs))
+		for j, i := range idxs {
+			batchItems[j] = itemIDs[i]
+			batchQtys[j] = quantities[i]
+		}
+		remote := w != ctx.Reactor()
+		fut, err := ctx.Call(w, ProcStockUpdateBatch, batchItems, batchQtys, remote, delayMicros)
+		if err != nil {
+			return nil, err
+		}
+		if syncStock {
+			if _, err := fut.Get(); err != nil {
+				return nil, err
+			}
+		}
+		futures[w] = fut
+	}
+	distInfos := make([]string, len(itemIDs))
+	for _, w := range groupOrder {
+		res, err := futures[w].Get()
+		if err != nil {
+			return nil, err
+		}
+		infos, _ := res.([]string)
+		for j, i := range groups[w] {
+			if j < len(infos) {
+				distInfos[i] = infos[j]
+			}
+		}
+	}
+	total := 0.0
+	for i := range itemIDs {
+		amount := float64(quantities[i]) * prices[i]
+		total += amount
+		row := rel.Row{dID, oID, int64(i + 1), itemIDs[i], supplyWs[i], quantities[i], amount, distInfos[i], int64(0)}
+		if err := ctx.Insert(RelOrderLine, row); err != nil {
+			return nil, err
+		}
+	}
+	_ = total * (1 - discount) * (1 + wTax + dTax) // computed as in the spec; returned value is the order id
+	return oID, nil
+}
+
+// stockUpdate is the sub-transaction executed on the supplying warehouse for
+// one order line: it adjusts the stock row and returns its district info
+// string. Arguments: item id, quantity, remote flag, delay in microseconds.
+func stockUpdate(ctx core.Context, args core.Args) (any, error) {
+	itemID := args.Int64(0)
+	quantity := args.Int64(1)
+	remote := args.Bool(2)
+	delayMicros := args.Int64(3)
+
+	stock, err := ctx.Get(RelStock, itemID)
+	if err != nil {
+		return nil, err
+	}
+	if stock == nil {
+		return nil, core.Abortf("stock for item %d missing on %s", itemID, ctx.Reactor())
+	}
+	sQty := stock.Int64(1)
+	if sQty-quantity >= 10 {
+		sQty -= quantity
+	} else {
+		sQty = sQty - quantity + 91
+	}
+	stock[1] = sQty
+	stock[2] = stock.Int64(2) + quantity
+	stock[3] = stock.Int64(3) + 1
+	if remote {
+		stock[4] = stock.Int64(4) + 1
+	}
+	if delayMicros > 0 {
+		// Stock replenishment calculation of the new-order-delay variant
+		// (§4.3.2), modeled as virtual-core work.
+		ctx.Work(time.Duration(delayMicros) * time.Microsecond)
+	}
+	if err := ctx.Update(RelStock, stock); err != nil {
+		return nil, err
+	}
+	return stock.String(5), nil
+}
+
+// stockUpdateBatch applies stockUpdate to several items of one supplying
+// warehouse within a single sub-transaction, returning their district info
+// strings in order. New-order uses it so that each distinct remote warehouse
+// receives exactly one asynchronous sub-transaction (two concurrent
+// sub-transactions on the same reactor would violate the §2.2.4 safety
+// condition). Arguments: item ids, quantities, remote flag, delay in
+// microseconds (the new-order-delay stock replenishment computation, charged
+// once per supplying warehouse).
+func stockUpdateBatch(ctx core.Context, args core.Args) (any, error) {
+	itemIDs := args.Int64s(0)
+	quantities := args.Int64s(1)
+	remote := args.Bool(2)
+	delayMicros := args.Int64(3)
+	infos := make([]string, len(itemIDs))
+	for i, itemID := range itemIDs {
+		delay := int64(0)
+		if i == 0 {
+			delay = delayMicros
+		}
+		res, err := stockUpdate(ctx, core.Args{itemID, quantities[i], remote, delay})
+		if err != nil {
+			return nil, err
+		}
+		infos[i] = res.(string)
+	}
+	return infos, nil
+}
+
+// payment implements the TPC-C payment transaction. Arguments:
+//
+//	0: d_id int64
+//	1: h_amount float64
+//	2: customer warehouse reactor name (15% of the time a remote warehouse)
+//	3: c_d_id int64
+//	4: byName bool
+//	5: c_id int64 (when byName is false)
+//	6: c_last string (when byName is true)
+//	7: h_nonce int64 (unique per invocation, keys the history row)
+//
+// It returns the id of the customer that was charged.
+func payment(ctx core.Context, args core.Args) (any, error) {
+	dID := args.Int64(0)
+	amount := args.Float64(1)
+	custWarehouse := args.String(2)
+	cDID := args.Int64(3)
+	byName := args.Bool(4)
+	cID := args.Int64(5)
+	cLast := args.String(6)
+	nonce := args.Int64(7)
+
+	warehouse, err := ctx.Get(RelWarehouse, int64(WarehouseID(ctx.Reactor())))
+	if err != nil {
+		return nil, err
+	}
+	if warehouse == nil {
+		return nil, core.Abortf("warehouse %s not loaded", ctx.Reactor())
+	}
+	warehouse[3] = warehouse.Float64(3) + amount
+	if err := ctx.Update(RelWarehouse, warehouse); err != nil {
+		return nil, err
+	}
+
+	district, err := ctx.Get(RelDistrict, dID)
+	if err != nil {
+		return nil, err
+	}
+	if district == nil {
+		return nil, core.Abortf("district %d missing", dID)
+	}
+	district[3] = district.Float64(3) + amount
+	if err := ctx.Update(RelDistrict, district); err != nil {
+		return nil, err
+	}
+
+	// The customer may belong to a different warehouse reactor (15% in the
+	// standard mix); the update then runs as a sub-transaction there.
+	res, err := ctx.CallSync(custWarehouse, ProcPaymentCustomer, cDID, byName, cID, cLast, amount)
+	if err != nil {
+		return nil, err
+	}
+	chargedCID := res.(int64)
+
+	hData := warehouse.String(1) + "    " + district.String(1)
+	if err := ctx.Insert(RelHistory, rel.Row{dID, chargedCID, nonce, amount, hData}); err != nil {
+		return nil, err
+	}
+	return chargedCID, nil
+}
+
+// lookupCustomerByName returns the TPC-C "middle" customer (by first name
+// order) among those with the given last name in the district.
+func lookupCustomerByName(ctx core.Context, dID int64, last string) (rel.Row, error) {
+	var ids []int64
+	err := ctx.Scan(RelCustomerNameIdx, func(row rel.Row) bool {
+		ids = append(ids, row.Int64(3))
+		return true
+	}, dID, last)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, core.Abortf("no customer with last name %s in district %d", last, dID)
+	}
+	mid := ids[len(ids)/2]
+	return ctx.Get(RelCustomer, dID, mid)
+}
+
+// paymentCustomer applies the customer side of a payment on the customer's
+// home warehouse. Arguments: c_d_id, byName, c_id, c_last, amount. It returns
+// the customer id.
+func paymentCustomer(ctx core.Context, args core.Args) (any, error) {
+	cDID := args.Int64(0)
+	byName := args.Bool(1)
+	cID := args.Int64(2)
+	cLast := args.String(3)
+	amount := args.Float64(4)
+
+	var customer rel.Row
+	var err error
+	if byName {
+		customer, err = lookupCustomerByName(ctx, cDID, cLast)
+	} else {
+		customer, err = ctx.Get(RelCustomer, cDID, cID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if customer == nil {
+		return nil, core.Abortf("customer %d/%d missing on %s", cDID, cID, ctx.Reactor())
+	}
+	customer[colCBalance] = customer.Float64(colCBalance) - amount
+	customer[colCYtd] = customer.Float64(colCYtd) + amount
+	customer[colCPayCnt] = customer.Int64(colCPayCnt) + 1
+	if customer.String(colCCredit) == "BC" {
+		data := customer.String(len(customer) - 1)
+		if len(data) > 300 {
+			data = data[:300]
+		}
+		customer[len(customer)-1] = "BC-PAYMENT|" + data
+	}
+	if err := ctx.Update(RelCustomer, customer); err != nil {
+		return nil, err
+	}
+	return customer.Int64(1), nil
+}
+
+// orderStatus implements the TPC-C order-status transaction. Arguments:
+// d_id, byName, c_id, c_last. It returns the id of the customer's most recent
+// order, or -1 if the customer has no orders.
+func orderStatus(ctx core.Context, args core.Args) (any, error) {
+	dID := args.Int64(0)
+	byName := args.Bool(1)
+	cID := args.Int64(2)
+	cLast := args.String(3)
+
+	var customer rel.Row
+	var err error
+	if byName {
+		customer, err = lookupCustomerByName(ctx, dID, cLast)
+	} else {
+		customer, err = ctx.Get(RelCustomer, dID, cID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if customer == nil {
+		return nil, core.Abortf("customer %d/%d missing", dID, cID)
+	}
+	custID := customer.Int64(1)
+
+	latest := int64(-1)
+	err = ctx.ScanDesc(RelOrderCustIdx, func(row rel.Row) bool {
+		latest = row.Int64(2)
+		return false
+	}, dID, custID)
+	if err != nil {
+		return nil, err
+	}
+	if latest < 0 {
+		return int64(-1), nil
+	}
+	// Read the order and its order lines, as the specification requires.
+	if _, err := ctx.Get(RelOrders, dID, latest); err != nil {
+		return nil, err
+	}
+	err = ctx.Scan(RelOrderLine, func(rel.Row) bool { return true }, dID, latest)
+	if err != nil {
+		return nil, err
+	}
+	return latest, nil
+}
+
+// delivery implements the TPC-C delivery transaction: for every district it
+// picks the oldest undelivered order, removes it from new_order, stamps the
+// carrier and delivery dates, and credits the customer. Arguments: carrier id,
+// delivery date. It returns the number of orders delivered.
+func delivery(ctx core.Context, args core.Args) (any, error) {
+	carrier := args.Int64(0)
+	deliveryD := args.Int64(1)
+	delivered := int64(0)
+	for d := int64(1); d <= DistrictsPerWarehouse; d++ {
+		oldest := int64(-1)
+		err := ctx.Scan(RelNewOrder, func(row rel.Row) bool {
+			oldest = row.Int64(1)
+			return false
+		}, d)
+		if err != nil {
+			return nil, err
+		}
+		if oldest < 0 {
+			continue
+		}
+		if err := ctx.Delete(RelNewOrder, d, oldest); err != nil {
+			return nil, err
+		}
+		order, err := ctx.Get(RelOrders, d, oldest)
+		if err != nil {
+			return nil, err
+		}
+		if order == nil {
+			return nil, core.Abortf("delivery: order %d/%d missing", d, oldest)
+		}
+		order[4] = carrier
+		if err := ctx.Update(RelOrders, order); err != nil {
+			return nil, err
+		}
+		var total float64
+		var lines []rel.Row
+		err = ctx.Scan(RelOrderLine, func(row rel.Row) bool {
+			lines = append(lines, row)
+			return true
+		}, d, oldest)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range lines {
+			total += line.Float64(6)
+			line[8] = deliveryD
+			if err := ctx.Update(RelOrderLine, line); err != nil {
+				return nil, err
+			}
+		}
+		customer, err := ctx.Get(RelCustomer, d, order.Int64(2))
+		if err != nil {
+			return nil, err
+		}
+		if customer == nil {
+			return nil, core.Abortf("delivery: customer %d/%d missing", d, order.Int64(2))
+		}
+		customer[colCBalance] = customer.Float64(colCBalance) + total
+		customer[colCDelivCnt] = customer.Int64(colCDelivCnt) + 1
+		if err := ctx.Update(RelCustomer, customer); err != nil {
+			return nil, err
+		}
+		delivered++
+	}
+	return delivered, nil
+}
+
+// stockLevel implements the TPC-C stock-level transaction. Arguments: d_id,
+// threshold. It returns the number of distinct recently-ordered items whose
+// stock quantity is below the threshold.
+func stockLevel(ctx core.Context, args core.Args) (any, error) {
+	dID := args.Int64(0)
+	threshold := args.Int64(1)
+
+	district, err := ctx.Get(RelDistrict, dID)
+	if err != nil {
+		return nil, err
+	}
+	if district == nil {
+		return nil, core.Abortf("district %d missing", dID)
+	}
+	nextOID := district.Int64(4)
+	lowOID := nextOID - StockLevelOrders
+	if lowOID < 1 {
+		lowOID = 1
+	}
+	itemSet := make(map[int64]bool)
+	err = ctx.Scan(RelOrderLine, func(row rel.Row) bool {
+		if row.Int64(1) >= lowOID && row.Int64(1) < nextOID {
+			itemSet[row.Int64(3)] = true
+		}
+		return true
+	}, dID)
+	if err != nil {
+		return nil, err
+	}
+	low := int64(0)
+	for itemID := range itemSet {
+		stock, err := ctx.Get(RelStock, itemID)
+		if err != nil {
+			return nil, err
+		}
+		if stock != nil && stock.Int64(1) < threshold {
+			low++
+		}
+	}
+	return low, nil
+}

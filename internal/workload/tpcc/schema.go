@@ -1,0 +1,186 @@
+// Package tpcc implements the TPC-C benchmark in the reactor programming
+// model, following the paper's port (§4.1.3): every warehouse is a reactor
+// encapsulating its districts, customers, orders, stock and a replicated item
+// relation. New-order stock updates on remote warehouses and payment customer
+// updates on remote warehouses are the cross-reactor sub-transactions.
+//
+// The implementation follows OLTP-Bench's simplifications, as the paper does
+// (no think times, simplified text fields), and supports the paper's
+// variations: the new-order-delay transaction with an artificial 300–400µs
+// stock replenishment computation (§4.3.2) and a configurable probability of
+// cross-reactor item accesses (Appendix E).
+package tpcc
+
+import (
+	"fmt"
+
+	"reactdb/internal/rel"
+)
+
+// TypeName is the reactor type of a warehouse.
+const TypeName = "Warehouse"
+
+// Fixed TPC-C cardinalities (per warehouse) that are not scaled in this
+// implementation.
+const (
+	// DistrictsPerWarehouse is the number of districts per warehouse.
+	DistrictsPerWarehouse = 10
+	// MaxItemsPerOrder is the largest number of order lines in a new-order.
+	MaxItemsPerOrder = 15
+	// MinItemsPerOrder is the smallest number of order lines in a new-order.
+	MinItemsPerOrder = 5
+	// InitialOrdersPerDistrict is the number of orders preloaded per district.
+	InitialOrdersPerDistrict = 30
+	// StockLevelOrders is how many recent orders stock-level inspects.
+	StockLevelOrders = 20
+)
+
+// Relation names.
+const (
+	RelWarehouse       = "warehouse"
+	RelDistrict        = "district"
+	RelCustomer        = "customer"
+	RelCustomerNameIdx = "customer_name_idx"
+	RelHistory         = "history"
+	RelNewOrder        = "new_order"
+	RelOrders          = "orders"
+	RelOrderCustIdx    = "order_customer_idx"
+	RelOrderLine       = "order_line"
+	RelStock           = "stock"
+	RelItem            = "item"
+)
+
+// Procedure names.
+const (
+	ProcNewOrder         = "new_order"
+	ProcStockUpdate      = "stock_update"
+	ProcStockUpdateBatch = "stock_update_batch"
+	ProcPayment          = "payment"
+	ProcPaymentCustomer  = "payment_customer"
+	ProcOrderStatus      = "order_status"
+	ProcDelivery         = "delivery"
+	ProcStockLevel       = "stock_level"
+)
+
+// ReactorName returns the reactor name of warehouse w (1-based, as in TPC-C).
+func ReactorName(w int) string { return fmt.Sprintf("wh-%04d", w) }
+
+// WarehouseID parses a warehouse reactor name back into its id; it returns 0
+// for non-warehouse reactors.
+func WarehouseID(reactor string) int {
+	var id int
+	if _, err := fmt.Sscanf(reactor, "wh-%d", &id); err != nil {
+		return 0
+	}
+	return id
+}
+
+// Placement maps warehouse w (1-based) to container (w-1); other reactors go
+// to container 0. It is the shared-nothing placement used throughout §4.3.
+func Placement(reactor string) int {
+	id := WarehouseID(reactor)
+	if id <= 0 {
+		return 0
+	}
+	return id - 1
+}
+
+// Schemas returns the relations encapsulated by a warehouse reactor.
+func Schemas() []*rel.Schema {
+	return []*rel.Schema{
+		rel.MustSchema(RelWarehouse,
+			[]rel.Column{
+				{Name: "w_id", Type: rel.Int64},
+				{Name: "w_name", Type: rel.String},
+				{Name: "w_tax", Type: rel.Float64},
+				{Name: "w_ytd", Type: rel.Float64},
+			}, "w_id"),
+		rel.MustSchema(RelDistrict,
+			[]rel.Column{
+				{Name: "d_id", Type: rel.Int64},
+				{Name: "d_name", Type: rel.String},
+				{Name: "d_tax", Type: rel.Float64},
+				{Name: "d_ytd", Type: rel.Float64},
+				{Name: "d_next_o_id", Type: rel.Int64},
+			}, "d_id"),
+		rel.MustSchema(RelCustomer,
+			[]rel.Column{
+				{Name: "d_id", Type: rel.Int64},
+				{Name: "c_id", Type: rel.Int64},
+				{Name: "c_first", Type: rel.String},
+				{Name: "c_middle", Type: rel.String},
+				{Name: "c_last", Type: rel.String},
+				{Name: "c_credit", Type: rel.String},
+				{Name: "c_discount", Type: rel.Float64},
+				{Name: "c_balance", Type: rel.Float64},
+				{Name: "c_ytd_payment", Type: rel.Float64},
+				{Name: "c_payment_cnt", Type: rel.Int64},
+				{Name: "c_delivery_cnt", Type: rel.Int64},
+				{Name: "c_data", Type: rel.String},
+			}, "d_id", "c_id"),
+		rel.MustSchema(RelCustomerNameIdx,
+			[]rel.Column{
+				{Name: "d_id", Type: rel.Int64},
+				{Name: "c_last", Type: rel.String},
+				{Name: "c_first", Type: rel.String},
+				{Name: "c_id", Type: rel.Int64},
+			}, "d_id", "c_last", "c_first", "c_id"),
+		rel.MustSchema(RelHistory,
+			[]rel.Column{
+				{Name: "d_id", Type: rel.Int64},
+				{Name: "c_id", Type: rel.Int64},
+				{Name: "h_nonce", Type: rel.Int64},
+				{Name: "h_amount", Type: rel.Float64},
+				{Name: "h_data", Type: rel.String},
+			}, "d_id", "c_id", "h_nonce"),
+		rel.MustSchema(RelNewOrder,
+			[]rel.Column{
+				{Name: "d_id", Type: rel.Int64},
+				{Name: "o_id", Type: rel.Int64},
+			}, "d_id", "o_id"),
+		rel.MustSchema(RelOrders,
+			[]rel.Column{
+				{Name: "d_id", Type: rel.Int64},
+				{Name: "o_id", Type: rel.Int64},
+				{Name: "c_id", Type: rel.Int64},
+				{Name: "o_entry_d", Type: rel.Int64},
+				{Name: "o_carrier_id", Type: rel.Int64},
+				{Name: "o_ol_cnt", Type: rel.Int64},
+				{Name: "o_all_local", Type: rel.Bool},
+			}, "d_id", "o_id"),
+		rel.MustSchema(RelOrderCustIdx,
+			[]rel.Column{
+				{Name: "d_id", Type: rel.Int64},
+				{Name: "c_id", Type: rel.Int64},
+				{Name: "o_id", Type: rel.Int64},
+			}, "d_id", "c_id", "o_id"),
+		rel.MustSchema(RelOrderLine,
+			[]rel.Column{
+				{Name: "d_id", Type: rel.Int64},
+				{Name: "o_id", Type: rel.Int64},
+				{Name: "ol_number", Type: rel.Int64},
+				{Name: "ol_i_id", Type: rel.Int64},
+				{Name: "ol_supply_w", Type: rel.String},
+				{Name: "ol_quantity", Type: rel.Int64},
+				{Name: "ol_amount", Type: rel.Float64},
+				{Name: "ol_dist_info", Type: rel.String},
+				{Name: "ol_delivery_d", Type: rel.Int64},
+			}, "d_id", "o_id", "ol_number"),
+		rel.MustSchema(RelStock,
+			[]rel.Column{
+				{Name: "s_i_id", Type: rel.Int64},
+				{Name: "s_quantity", Type: rel.Int64},
+				{Name: "s_ytd", Type: rel.Int64},
+				{Name: "s_order_cnt", Type: rel.Int64},
+				{Name: "s_remote_cnt", Type: rel.Int64},
+				{Name: "s_dist_info", Type: rel.String},
+			}, "s_i_id"),
+		rel.MustSchema(RelItem,
+			[]rel.Column{
+				{Name: "i_id", Type: rel.Int64},
+				{Name: "i_name", Type: rel.String},
+				{Name: "i_price", Type: rel.Float64},
+				{Name: "i_data", Type: rel.String},
+			}, "i_id"),
+	}
+}

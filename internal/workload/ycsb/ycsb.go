@@ -1,0 +1,153 @@
+// Package ycsb implements the YCSB-based workload of the paper's Appendix C:
+// every key is modeled as a reactor holding a single 100-byte record, and the
+// multi_update transaction applies a read-modify-write to 10 keys chosen from
+// a zipfian distribution, invoking the update sub-transaction asynchronously
+// on every remote key and synchronously on local ones.
+package ycsb
+
+import (
+	"fmt"
+
+	"reactdb/internal/core"
+	"reactdb/internal/engine"
+	"reactdb/internal/rel"
+)
+
+// TypeName is the reactor type name of a YCSB key.
+const TypeName = "YCSBKey"
+
+// RelUserTable is the single-record relation each key reactor encapsulates.
+const RelUserTable = "usertable"
+
+// Procedure names.
+const (
+	ProcReadModifyWrite = "read_modify_write"
+	ProcMultiUpdate     = "multi_update"
+	ProcRead            = "read"
+)
+
+// RecordSize is the payload size in bytes (Appendix C: "record size of 100
+// bytes").
+const RecordSize = 100
+
+// KeysPerMultiUpdate is the number of keys touched by one multi_update.
+const KeysPerMultiUpdate = 10
+
+// ReactorName returns the reactor name of key id.
+func ReactorName(id int) string { return fmt.Sprintf("key-%08d", id) }
+
+// Schema returns the usertable schema: a single row keyed by a constant id
+// with a version counter and an opaque payload.
+func Schema() *rel.Schema {
+	return rel.MustSchema(RelUserTable,
+		[]rel.Column{
+			{Name: "id", Type: rel.Int64},
+			{Name: "version", Type: rel.Int64},
+			{Name: "field", Type: rel.Bytes},
+		}, "id")
+}
+
+// Type builds the YCSB key reactor type.
+func Type() *core.Type {
+	t := core.NewType(TypeName).AddRelation(Schema())
+
+	// read returns the record's version.
+	t.AddProcedure(ProcRead, func(ctx core.Context, args core.Args) (any, error) {
+		row, err := ctx.Get(RelUserTable, int64(0))
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return nil, core.Abortf("key %s not loaded", ctx.Reactor())
+		}
+		return row.Int64(1), nil
+	})
+
+	// read_modify_write increments the version and rewrites the payload.
+	t.AddProcedure(ProcReadModifyWrite, func(ctx core.Context, args core.Args) (any, error) {
+		row, err := ctx.Get(RelUserTable, int64(0))
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return nil, core.Abortf("key %s not loaded", ctx.Reactor())
+		}
+		payload := row.Bytes(2)
+		if len(payload) > 0 {
+			payload[0]++
+		}
+		return nil, ctx.Update(RelUserTable, rel.Row{int64(0), row.Int64(1) + 1, payload})
+	})
+
+	// multi_update applies read_modify_write to every key in the argument
+	// list. Keys that live on other reactors are invoked asynchronously; the
+	// key hosting the transaction is updated synchronously via the inlined
+	// self-call. The caller is expected to order remote keys before local ones
+	// (Appendix C) and to deduplicate the key set (two sub-transactions on the
+	// same reactor would violate the §2.2.4 safety condition).
+	t.AddProcedure(ProcMultiUpdate, func(ctx core.Context, args core.Args) (any, error) {
+		for _, key := range args.Strings(0) {
+			if _, err := ctx.Call(key, ProcReadModifyWrite); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+
+	return t
+}
+
+// Declare adds the key type and numKeys key reactors to the definition.
+func Declare(def *core.DatabaseDef, numKeys int) {
+	def.MustAddType(Type())
+	for i := 0; i < numKeys; i++ {
+		def.MustDeclareReactor(ReactorName(i), TypeName)
+	}
+}
+
+// NewDefinition builds a database definition with numKeys key reactors.
+func NewDefinition(numKeys int) *core.DatabaseDef {
+	def := core.NewDatabaseDef()
+	Declare(def, numKeys)
+	return def
+}
+
+// Load populates every key reactor with a zero-version 100-byte record.
+func Load(db *engine.Database, numKeys int) error {
+	payload := make([]byte, RecordSize)
+	for i := 0; i < numKeys; i++ {
+		if err := db.Load(ReactorName(i), RelUserTable, rel.Row{int64(0), int64(0), payload}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RangePlacement maps key reactors to containers in contiguous ranges of the
+// given size ("four containers ... assigned 10,000 contiguous reactors").
+func RangePlacement(rangeSize int) func(reactor string) int {
+	return func(reactor string) int {
+		var id int
+		if _, err := fmt.Sscanf(reactor, "key-%d", &id); err != nil {
+			return 0
+		}
+		return id / rangeSize
+	}
+}
+
+// TotalVersion sums the version counters of all keys (non-transactionally);
+// tests use it to check that committed multi_updates applied exactly 10
+// increments each.
+func TotalVersion(db *engine.Database, numKeys int) (int64, error) {
+	var total int64
+	for i := 0; i < numKeys; i++ {
+		row, err := db.ReadRow(ReactorName(i), RelUserTable, int64(0))
+		if err != nil {
+			return 0, err
+		}
+		if row != nil {
+			total += row.Int64(1)
+		}
+	}
+	return total, nil
+}

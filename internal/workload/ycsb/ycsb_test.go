@@ -1,0 +1,141 @@
+package ycsb
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"reactdb/internal/core"
+	"reactdb/internal/engine"
+	"reactdb/internal/randutil"
+)
+
+func open(t testing.TB, keys, containers int) *engine.Database {
+	t.Helper()
+	cfg := engine.NewSharedNothing(containers)
+	cfg.Placement = RangePlacement((keys + containers - 1) / containers)
+	db, err := engine.Open(NewDefinition(keys), cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := Load(db, keys); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func TestReadModifyWrite(t *testing.T) {
+	db := open(t, 4, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := db.Execute(ReactorName(1), ProcReadModifyWrite); err != nil {
+			t.Fatalf("rmw: %v", err)
+		}
+	}
+	v, err := db.Execute(ReactorName(1), ProcRead)
+	if err != nil || v.(int64) != 3 {
+		t.Fatalf("read = (%v, %v), want 3", v, err)
+	}
+}
+
+func TestMultiUpdateAppliesAllKeys(t *testing.T) {
+	db := open(t, 20, 4)
+	keys := []string{ReactorName(2), ReactorName(7), ReactorName(12), ReactorName(19)}
+	// Invoke on one of the keys, remote keys first (Appendix C ordering).
+	home := ReactorName(19)
+	var ordered []string
+	for _, k := range keys {
+		if k != home {
+			ordered = append(ordered, k)
+		}
+	}
+	ordered = append(ordered, home)
+	if _, err := db.Execute(home, ProcMultiUpdate, ordered); err != nil {
+		t.Fatalf("multi_update: %v", err)
+	}
+	total, err := TotalVersion(db, 20)
+	if err != nil || total != int64(len(keys)) {
+		t.Fatalf("TotalVersion = (%d, %v), want %d", total, err, len(keys))
+	}
+}
+
+func TestMultiUpdateDuplicateKeyTriggersSafetyCondition(t *testing.T) {
+	db := open(t, 8, 4)
+	home := ReactorName(0)
+	dup := ReactorName(5)
+	_, err := db.Execute(home, ProcMultiUpdate, []string{dup, dup})
+	if !errors.Is(err, core.ErrDangerousStructure) {
+		t.Fatalf("duplicate remote key should violate the safety condition, got %v", err)
+	}
+	total, _ := TotalVersion(db, 8)
+	if total != 0 {
+		t.Fatalf("aborted multi_update leaked updates: %d", total)
+	}
+}
+
+func TestConcurrentMultiUpdatesVersionsConsistent(t *testing.T) {
+	const keys = 16
+	db := open(t, keys, 4)
+	var wg sync.WaitGroup
+	var committedUpdates int64
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := randutil.New(seed)
+			z := randutil.NewZipfian(keys, 0.6)
+			for i := 0; i < 25; i++ {
+				seen := map[int]bool{}
+				var ids []int
+				for len(ids) < 4 {
+					k := z.Next(rng)
+					if !seen[k] {
+						seen[k] = true
+						ids = append(ids, k)
+					}
+				}
+				home := ids[len(ids)-1]
+				var ordered []string
+				sort.Ints(ids)
+				for _, id := range ids {
+					if id != home {
+						ordered = append(ordered, ReactorName(id))
+					}
+				}
+				ordered = append(ordered, ReactorName(home))
+				_, err := db.Execute(ReactorName(home), ProcMultiUpdate, ordered)
+				if err == nil {
+					mu.Lock()
+					committedUpdates += int64(len(ordered))
+					mu.Unlock()
+				} else if !errors.Is(err, engine.ErrConflict) && !errors.Is(err, core.ErrDangerousStructure) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	total, err := TotalVersion(db, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != committedUpdates {
+		t.Fatalf("version sum %d != committed updates %d (atomicity violated)", total, committedUpdates)
+	}
+	if committedUpdates == 0 {
+		t.Fatalf("no multi_update committed")
+	}
+}
+
+func TestRangePlacement(t *testing.T) {
+	p := RangePlacement(10000)
+	if p(ReactorName(0)) != 0 || p(ReactorName(9999)) != 0 || p(ReactorName(10000)) != 1 || p(ReactorName(39999)) != 3 {
+		t.Fatalf("placement wrong")
+	}
+	if p("other") != 0 {
+		t.Fatalf("non-key reactor should map to container 0")
+	}
+}

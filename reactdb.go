@@ -1,0 +1,150 @@
+// Package reactdb is the public API of ReactDB-Go, a reproduction of
+// "Reactors: A Case for Predictable, Virtualized Actor Database Systems"
+// (Shah & Vaz Salles, SIGMOD 2018).
+//
+// Applications are written once against the reactor programming model —
+// reactor types encapsulating relations and procedures, asynchronous
+// cross-reactor calls returning futures, serializable transactions — and the
+// database architecture (shared-everything with or without affinity,
+// shared-nothing) is chosen at deployment time through a Config, without any
+// change to application code.
+//
+// A minimal application looks like this:
+//
+//	account := reactdb.NewReactorType("Account").
+//		AddRelation(reactdb.MustSchema("balance",
+//			[]reactdb.Column{{Name: "id", Type: reactdb.Int64}, {Name: "amount", Type: reactdb.Float64}}, "id")).
+//		AddProcedure("deposit", func(ctx reactdb.Context, args reactdb.Args) (any, error) {
+//			row, err := ctx.Get("balance", int64(0))
+//			if err != nil {
+//				return nil, err
+//			}
+//			return nil, ctx.Update("balance", reactdb.Row{int64(0), row.Float64(1) + args.Float64(0)})
+//		})
+//
+//	def := reactdb.NewDatabaseDef().MustAddType(account)
+//	def.MustDeclareReactors("Account", "alice", "bob")
+//	db := reactdb.MustOpen(def, reactdb.SharedNothing(2))
+//	defer db.Close()
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping between the paper's sections and the implementation.
+package reactdb
+
+import (
+	"reactdb/internal/core"
+	"reactdb/internal/engine"
+	"reactdb/internal/rel"
+	"reactdb/internal/vclock"
+)
+
+// Re-exported programming-model types (paper §2).
+type (
+	// ReactorType declares the relations and procedures of a reactor type.
+	ReactorType = core.Type
+	// DatabaseDef is the logical declaration of a reactor database.
+	DatabaseDef = core.DatabaseDef
+	// Context is the execution interface procedures receive.
+	Context = core.Context
+	// Procedure is application logic invoked on a reactor.
+	Procedure = core.Procedure
+	// Args carries procedure arguments.
+	Args = core.Args
+	// Future is the promise returned by asynchronous cross-reactor calls.
+	Future = core.Future
+)
+
+// Re-exported relational types.
+type (
+	// Schema describes one relation.
+	Schema = rel.Schema
+	// Column is one attribute of a relation.
+	Column = rel.Column
+	// ColType enumerates column types.
+	ColType = rel.ColType
+	// Row is a tuple.
+	Row = rel.Row
+)
+
+// Re-exported runtime types (paper §3).
+type (
+	// Database is a running ReactDB instance.
+	Database = engine.Database
+	// Config describes a deployment (containers, executors, routing, costs).
+	Config = engine.Config
+	// Strategy names a deployment strategy.
+	Strategy = engine.Strategy
+	// Costs are the virtual-core cost parameters.
+	Costs = vclock.Costs
+	// Profile is the per-transaction latency breakdown.
+	Profile = engine.Profile
+)
+
+// Column types.
+const (
+	Int64   = rel.Int64
+	Float64 = rel.Float64
+	String  = rel.String
+	Bool    = rel.Bool
+	Bytes   = rel.Bytes
+)
+
+// Errors.
+var (
+	// ErrConflict reports a serialization conflict abort; clients may retry.
+	ErrConflict = engine.ErrConflict
+	// ErrUserAbort reports an application-level abort (see Abortf).
+	ErrUserAbort = core.ErrUserAbort
+	// ErrDangerousStructure reports a violation of the intra-transaction
+	// safety condition (§2.2.4).
+	ErrDangerousStructure = core.ErrDangerousStructure
+)
+
+// NewReactorType creates an empty reactor type.
+func NewReactorType(name string) *ReactorType { return core.NewType(name) }
+
+// NewDatabaseDef creates an empty database declaration.
+func NewDatabaseDef() *DatabaseDef { return core.NewDatabaseDef() }
+
+// NewSchema builds a relation schema.
+func NewSchema(name string, columns []Column, keyCols ...string) (*Schema, error) {
+	return rel.NewSchema(name, columns, keyCols...)
+}
+
+// MustSchema is NewSchema that panics on error, for static declarations.
+func MustSchema(name string, columns []Column, keyCols ...string) *Schema {
+	return rel.MustSchema(name, columns, keyCols...)
+}
+
+// Abortf builds an application-level abort error; returning it from a
+// procedure rolls back the root transaction.
+func Abortf(format string, args ...any) error { return core.Abortf(format, args...) }
+
+// IsUserAbort reports whether err is an application-level abort.
+func IsUserAbort(err error) bool { return core.IsUserAbort(err) }
+
+// WaitAll waits for a set of futures and returns the first error.
+func WaitAll(futures ...*Future) error { return core.WaitAll(futures...) }
+
+// Open deploys a reactor database under the given configuration.
+func Open(def *DatabaseDef, cfg Config) (*Database, error) { return engine.Open(def, cfg) }
+
+// MustOpen is Open that panics on error.
+func MustOpen(def *DatabaseDef, cfg Config) *Database { return engine.MustOpen(def, cfg) }
+
+// SharedEverythingWithoutAffinity returns the S1 deployment of §3.3.
+func SharedEverythingWithoutAffinity(executors int) Config {
+	return engine.NewSharedEverythingWithoutAffinity(executors)
+}
+
+// SharedEverythingWithAffinity returns the S2 deployment of §3.3.
+func SharedEverythingWithAffinity(executors int) Config {
+	return engine.NewSharedEverythingWithAffinity(executors)
+}
+
+// SharedNothing returns the S3 deployment of §3.3.
+func SharedNothing(containers int) Config { return engine.NewSharedNothing(containers) }
+
+// DefaultExperimentCosts returns the virtual-core cost parameters used by the
+// experiment drivers (see DESIGN.md §5).
+func DefaultExperimentCosts() Costs { return vclock.DefaultExperimentCosts() }

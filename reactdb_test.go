@@ -1,0 +1,113 @@
+package reactdb_test
+
+import (
+	"errors"
+	"testing"
+
+	"reactdb"
+)
+
+// bankDef builds a tiny two-reactor database through the public facade only.
+func bankDef(t testing.TB) *reactdb.DatabaseDef {
+	t.Helper()
+	account := reactdb.NewReactorType("Account").
+		AddRelation(reactdb.MustSchema("balance",
+			[]reactdb.Column{{Name: "id", Type: reactdb.Int64}, {Name: "amount", Type: reactdb.Float64}}, "id")).
+		AddProcedure("init", func(ctx reactdb.Context, args reactdb.Args) (any, error) {
+			return nil, ctx.Insert("balance", reactdb.Row{int64(0), args.Float64(0)})
+		}).
+		AddProcedure("balance", func(ctx reactdb.Context, args reactdb.Args) (any, error) {
+			row, err := ctx.Get("balance", int64(0))
+			if err != nil || row == nil {
+				return 0.0, err
+			}
+			return row.Float64(1), nil
+		}).
+		AddProcedure("deposit", func(ctx reactdb.Context, args reactdb.Args) (any, error) {
+			row, err := ctx.Get("balance", int64(0))
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				return nil, reactdb.Abortf("account %s not initialized", ctx.Reactor())
+			}
+			return nil, ctx.Update("balance", reactdb.Row{int64(0), row.Float64(1) + args.Float64(0)})
+		}).
+		AddProcedure("transfer", func(ctx reactdb.Context, args reactdb.Args) (any, error) {
+			dst, amt := args.String(0), args.Float64(1)
+			fut, err := ctx.Call(dst, "deposit", amt)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ctx.Call(ctx.Reactor(), "deposit", -amt); err != nil {
+				return nil, err
+			}
+			return nil, reactdb.WaitAll(fut)
+		})
+	def := reactdb.NewDatabaseDef().MustAddType(account)
+	def.MustDeclareReactors("Account", "alice", "bob")
+	return def
+}
+
+func TestPublicAPIEndToEndAcrossDeployments(t *testing.T) {
+	configs := map[string]reactdb.Config{
+		"shared-nothing":          reactdb.SharedNothing(2),
+		"shared-everything-aff":   reactdb.SharedEverythingWithAffinity(2),
+		"shared-everything-round": reactdb.SharedEverythingWithoutAffinity(2),
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			db, err := reactdb.Open(bankDef(t), cfg)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer db.Close()
+			for _, who := range []string{"alice", "bob"} {
+				if _, err := db.Execute(who, "init", 100.0); err != nil {
+					t.Fatalf("init %s: %v", who, err)
+				}
+			}
+			if _, err := db.Execute("alice", "transfer", "bob", 30.0); err != nil {
+				t.Fatalf("transfer: %v", err)
+			}
+			v, err := db.Execute("bob", "balance")
+			if err != nil || v.(float64) != 130 {
+				t.Fatalf("bob balance = %v, %v", v, err)
+			}
+			v, err = db.Execute("alice", "balance")
+			if err != nil || v.(float64) != 70 {
+				t.Fatalf("alice balance = %v, %v", v, err)
+			}
+			// Application abort surfaces through the facade error helpers.
+			_, err = db.Execute("missing-account", "balance")
+			if err == nil {
+				t.Fatalf("unknown reactor should fail")
+			}
+		})
+	}
+}
+
+func TestPublicAPIErrorsAndCosts(t *testing.T) {
+	if reactdb.DefaultExperimentCosts().Receive <= reactdb.DefaultExperimentCosts().Send {
+		t.Fatalf("cost asymmetry lost in facade")
+	}
+	if !reactdb.IsUserAbort(reactdb.Abortf("x")) {
+		t.Fatalf("Abortf/IsUserAbort broken through facade")
+	}
+	if errors.Is(reactdb.ErrConflict, reactdb.ErrUserAbort) {
+		t.Fatalf("error identities must be distinct")
+	}
+	if _, err := reactdb.NewSchema("", nil); err == nil {
+		t.Fatalf("NewSchema should validate")
+	}
+	if reactdb.MustSchema("t", []reactdb.Column{{Name: "k", Type: reactdb.Int64}}, "k") == nil {
+		t.Fatalf("MustSchema returned nil")
+	}
+	cfg := reactdb.SharedNothing(3)
+	if cfg.Containers != 3 || cfg.Strategy == "" {
+		t.Fatalf("SharedNothing config wrong: %+v", cfg)
+	}
+	if _, err := reactdb.Open(reactdb.NewDatabaseDef(), cfg); err == nil {
+		t.Fatalf("Open of empty definition should fail")
+	}
+}
