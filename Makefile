@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all fmt fmt-check vet build test race bench
+
+all: fmt-check vet build test
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/... ./internal/occ/...
+
+bench:
+	$(GO) test -run=XXX -bench=. -benchtime=1x ./...

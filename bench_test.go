@@ -12,6 +12,8 @@ package reactdb_test
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -438,6 +440,72 @@ func BenchmarkFig19AuthPay(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				mustExecute(b, db, exchange.ExchangeReactor, proc,
 					exchange.ProviderName(i%params.Providers), int64(i), 1.0, int64(i+1), int64(2000), int64(0))
+			}
+		})
+	}
+}
+
+// --- Scheduler: request queue + group commit ----------------------------------
+
+// BenchmarkSchedulerQueuedVsDirect compares the executor request-queue
+// scheduler with batched group commit against direct goroutine dispatch under
+// concurrent clients (ns/op is inversely proportional to sustained
+// throughput). Both sides pay the same modeled per-transaction processing and
+// log-write costs; direct dispatch pays the log write on the executor core
+// for every commit, while the queued scheduler amortizes it across each
+// group-commit batch.
+func BenchmarkSchedulerQueuedVsDirect(b *testing.B) {
+	const customers = 16
+	configs := map[string]func() reactdb.Config{
+		"direct": func() reactdb.Config {
+			cfg := reactdb.SharedEverythingWithAffinity(2)
+			cfg.Dispatch = reactdb.DispatchDirect
+			return cfg
+		},
+		"queued-group-commit": func() reactdb.Config {
+			cfg := reactdb.SharedEverythingWithAffinity(2)
+			cfg.GroupCommit = reactdb.GroupCommitConfig{Enabled: true, MaxBatch: 32, Window: 300 * time.Microsecond}
+			return cfg
+		},
+	}
+	for name, mk := range configs {
+		b.Run(name, func(b *testing.B) {
+			cfg := mk()
+			cfg.Costs = reactdb.Costs{Processing: 20 * time.Microsecond, LogWrite: 400 * time.Microsecond}
+			db, err := engine.Open(smallbank.NewDefinition(customers), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := smallbank.Load(db, customers, 1e9, 1e9); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(db.Close)
+			// Spread client goroutines across distinct customers so the
+			// comparison measures scheduling and commit costs, not OCC
+			// conflicts. SetParallelism keeps >= 8 concurrent clients even on
+			// small hosts.
+			if gomaxprocs := runtime.GOMAXPROCS(0); gomaxprocs < 8 {
+				b.SetParallelism((8 + gomaxprocs - 1) / gomaxprocs)
+			}
+			var clientSeq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := int(clientSeq.Add(1))
+				reactor := smallbank.ReactorName(client % customers)
+				for pb.Next() {
+					mustExecute(b, db, reactor, smallbank.ProcDepositChecking, 1.0)
+				}
+			})
+			if qs := db.QueueStats(); len(qs) > 0 {
+				var wait time.Duration
+				var n int64
+				for _, s := range qs {
+					n += s.Wait.Count
+					wait += time.Duration(s.Wait.Mean() * float64(s.Wait.Count))
+				}
+				if n > 0 {
+					b.ReportMetric(float64(wait.Nanoseconds())/float64(n), "queue-wait-ns")
+				}
 			}
 		})
 	}

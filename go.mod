@@ -1,0 +1,3 @@
+module reactdb
+
+go 1.22

@@ -68,6 +68,7 @@ func Run(db *engine.Database, opts Options, newGenerator func(worker int) Genera
 		lat        = stats.NewLatencyRecorder(1024)
 		committed  int
 		aborted    int
+		rejected   int
 		runErr     error
 	)
 	stop := make(chan struct{})
@@ -88,7 +89,7 @@ func Run(db *engine.Database, opts Options, newGenerator func(worker int) Genera
 				req := gen()
 				_, err := db.Execute(req.Reactor, req.Procedure, req.Args...)
 				elapsed := time.Since(start)
-				if err != nil && !errors.Is(err, engine.ErrConflict) &&
+				if err != nil && !errors.Is(err, engine.ErrConflict) && !errors.Is(err, engine.ErrOverloaded) &&
 					!core.IsUserAbort(err) && !errors.Is(err, core.ErrDangerousStructure) {
 					mu.Lock()
 					if runErr == nil {
@@ -101,10 +102,16 @@ func Run(db *engine.Database, opts Options, newGenerator func(worker int) Genera
 					continue
 				}
 				mu.Lock()
-				if err == nil {
+				switch {
+				case err == nil:
 					committed++
 					lat.Record(elapsed)
-				} else {
+				case errors.Is(err, engine.ErrOverloaded):
+					// Shed by admission control before consuming executor
+					// resources: accounted separately from transactional
+					// aborts.
+					rejected++
+				default:
 					aborted++
 				}
 				mu.Unlock()
@@ -121,7 +128,7 @@ func Run(db *engine.Database, opts Options, newGenerator func(worker int) Genera
 	for e := 0; e < opts.Epochs; e++ {
 		mu.Lock()
 		lat.Reset()
-		committed, aborted = 0, 0
+		committed, aborted, rejected = 0, 0, 0
 		mu.Unlock()
 		time.Sleep(opts.EpochDuration)
 		mu.Lock()
@@ -129,6 +136,7 @@ func Run(db *engine.Database, opts Options, newGenerator func(worker int) Genera
 			Duration:   opts.EpochDuration,
 			Committed:  committed,
 			Aborted:    aborted,
+			Rejected:   rejected,
 			MeanLat:    lat.Mean(),
 			Throughput: float64(committed) / opts.EpochDuration.Seconds(),
 		}

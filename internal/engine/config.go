@@ -39,6 +39,49 @@ const (
 	RouterAffinity   RouterKind = "affinity"
 )
 
+// DispatchMode selects how routed requests reach their executor.
+type DispatchMode string
+
+// Dispatch modes.
+const (
+	// DispatchQueued (the default) enqueues every request on the target
+	// executor's bounded request queue; a per-executor run loop admits one
+	// request at a time onto the executor's virtual core (paper §3.2.3:
+	// executors queue requests and cooperatively multitask).
+	DispatchQueued DispatchMode = "queued"
+	// DispatchDirect runs every request on a fresh goroutine contending
+	// directly for the executor core — the pre-scheduler behaviour, kept for
+	// ablation benchmarks.
+	DispatchDirect DispatchMode = "direct"
+)
+
+// AdmissionPolicy decides what happens to a root transaction arriving at an
+// executor whose request queue is full.
+type AdmissionPolicy string
+
+// Admission policies.
+const (
+	// AdmissionBlock (the default) blocks the caller until queue space frees
+	// up: backpressure propagates to clients.
+	AdmissionBlock AdmissionPolicy = "block"
+	// AdmissionFail rejects the request immediately with ErrOverloaded so
+	// callers can shed load or retry elsewhere.
+	AdmissionFail AdmissionPolicy = "fail-fast"
+)
+
+// GroupCommitConfig enables batched group commit on each container: OCC
+// transactions that validated successfully (Prepare) accumulate in a batch
+// and are committed together when the batch reaches MaxBatch transactions or
+// Window elapses, whichever comes first. The modeled log-write cost
+// (Costs.LogWrite) is charged once per batch instead of once per transaction.
+// Group commit applies to single-container commits; multi-container
+// transactions keep the eager two-phase commit path.
+type GroupCommitConfig struct {
+	Enabled  bool
+	MaxBatch int           // flush when this many transactions accumulated (default 32)
+	Window   time.Duration // flush at least this often (default 200µs)
+}
+
 // Config describes a ReactDB deployment: how many containers and executors to
 // create, how reactors map to containers and executors, the routing policy,
 // and the virtual-core cost parameters. Editing the configuration and
@@ -59,6 +102,25 @@ type Config struct {
 	// Router selects how a container routes incoming root transactions to its
 	// executors.
 	Router RouterKind
+
+	// Dispatch selects how routed requests reach their executor: through the
+	// executor's bounded request queue (DispatchQueued, the default) or on a
+	// goroutine per request (DispatchDirect, the pre-scheduler behaviour).
+	Dispatch DispatchMode
+
+	// QueueDepth bounds the number of root transactions waiting in each
+	// executor's request queue (default 256). Sub-transaction requests bypass
+	// the bound: rejecting them mid-transaction could deadlock or abort work
+	// the system already admitted.
+	QueueDepth int
+
+	// Admission selects the backpressure behaviour when an executor queue is
+	// full: block the caller (AdmissionBlock, the default) or fail fast with
+	// ErrOverloaded (AdmissionFail).
+	Admission AdmissionPolicy
+
+	// GroupCommit configures batched group commit (disabled by default).
+	GroupCommit GroupCommitConfig
 
 	// Placement maps a reactor name to the index of the container hosting it.
 	// The result is clamped into [0, Containers). If nil, reactors are
@@ -116,6 +178,29 @@ func (c *Config) Validate() error {
 	}
 	if c.Router != RouterRoundRobin && c.Router != RouterAffinity {
 		return fmt.Errorf("engine: unknown router kind %q", c.Router)
+	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchQueued
+	}
+	if c.Dispatch != DispatchQueued && c.Dispatch != DispatchDirect {
+		return fmt.Errorf("engine: unknown dispatch mode %q", c.Dispatch)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Admission == "" {
+		c.Admission = AdmissionBlock
+	}
+	if c.Admission != AdmissionBlock && c.Admission != AdmissionFail {
+		return fmt.Errorf("engine: unknown admission policy %q", c.Admission)
+	}
+	if c.GroupCommit.Enabled {
+		if c.GroupCommit.MaxBatch <= 0 {
+			c.GroupCommit.MaxBatch = 32
+		}
+		if c.GroupCommit.Window <= 0 {
+			c.GroupCommit.Window = 200 * time.Microsecond
+		}
 	}
 	if c.Strategy == "" {
 		c.Strategy = Strategy(fmt.Sprintf("custom-%dx%d-%s", c.Containers, c.ExecutorsPerContainer, c.Router))

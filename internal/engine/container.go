@@ -19,6 +19,7 @@ type Container struct {
 	domain    *occ.Domain
 	executors []*Executor
 	router    Router
+	committer *groupCommitter // nil unless group commit is enabled
 
 	// catalogs holds the relational state of every reactor mapped to this
 	// container, keyed by reactor name. The map is built at Open time and
@@ -43,7 +44,21 @@ func newContainer(db *Database, id int) *Container {
 		c.executors = append(c.executors, newExecutor(c, i))
 	}
 	c.router = newRouter(db.cfg.Router, c)
+	if db.cfg.GroupCommit.Enabled {
+		c.committer = newGroupCommitter(c)
+	}
 	return c
+}
+
+// shutdown stops the container's executors (draining their request queues)
+// and its group committer.
+func (c *Container) shutdown() {
+	for _, e := range c.executors {
+		e.shutdown()
+	}
+	if c.committer != nil {
+		c.committer.stop()
+	}
 }
 
 // ID returns the container's index within the database.

@@ -334,7 +334,17 @@ func (c *execContext) Call(reactor, procedure string, args ...any) (*core.Future
 		isRoot:   false,
 	}
 	c.trackChild(fut)
-	c.db.dispatch(t)
+	if err := c.db.dispatch(t); err != nil {
+		// The request never reached an executor (queue closed mid-shutdown).
+		// Resolve the tracked future so waitChildren observes the failure
+		// instead of hanging, and undo the active-set entry the task's
+		// completion would have removed.
+		if !cfg.DisableActiveSetCheck {
+			c.root.activeSet.Exit(reactor)
+		}
+		fut.Resolve(nil, err)
+		return nil, err
+	}
 	return fut, nil
 }
 

@@ -21,6 +21,12 @@ type Database struct {
 
 	nextTxnID atomic.Uint64
 
+	// inflight counts root transactions between admission and completion;
+	// Close waits for it to drain before shutting down executor run loops, so
+	// in-flight transactions (and the sub-transactions they may still
+	// dispatch) always find live queues.
+	inflight sync.WaitGroup
+
 	epochStop chan struct{}
 	epochWG   sync.WaitGroup
 	closed    atomic.Bool
@@ -49,6 +55,11 @@ func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
 		c := db.containers[cfg.placementFor(reactor)]
 		typ := def.TypeOf(reactor)
 		if err := c.addReactor(reactor, typ.Relations()); err != nil {
+			// Containers already spawned run-loop and committer goroutines;
+			// reclaim them instead of leaking on a failed Open.
+			for _, created := range db.containers {
+				created.shutdown()
+			}
 			return nil, err
 		}
 		db.placement[reactor] = c
@@ -74,6 +85,10 @@ func MustOpen(def *core.DatabaseDef, cfg Config) *Database {
 // Execute must not be called after Close.
 func (db *Database) Close() {
 	if db.closed.CompareAndSwap(false, true) {
+		db.inflight.Wait()
+		for _, c := range db.containers {
+			c.shutdown()
+		}
 		close(db.epochStop)
 		db.epochWG.Wait()
 	}
@@ -159,8 +174,13 @@ func (db *Database) ExecuteProfiled(reactor, procedure string, args ...any) (any
 		future:   fut,
 		isRoot:   true,
 	}
-	db.dispatch(t)
+	db.inflight.Add(1)
+	if err := db.dispatch(t); err != nil {
+		db.inflight.Done()
+		return nil, Profile{}, err
+	}
 	res, err := fut.Get()
+	db.inflight.Done()
 
 	profile := root.snapshotProfile()
 	profile.Total = time.Since(start)
@@ -168,20 +188,32 @@ func (db *Database) ExecuteProfiled(reactor, procedure string, args ...any) (any
 	return res, profile, err
 }
 
-// dispatch hands a task to its executor. Every task runs on its own goroutine;
-// the executor's virtual core serializes processing, and cooperative
-// multitasking releases the core while a task waits for remote results.
-func (db *Database) dispatch(t *task) {
-	go db.runTask(t)
+// dispatch hands a task to its executor. Under DispatchQueued the task joins
+// the executor's bounded request queue (admission control may block the
+// caller or return ErrOverloaded) and the executor's run loop starts it in
+// FIFO order. Under DispatchDirect the task runs on a fresh goroutine
+// contending directly for the executor core, the pre-scheduler behaviour. In
+// both modes the executor's virtual core serializes processing, and
+// cooperative multitasking releases the core while a task waits for remote
+// results.
+func (db *Database) dispatch(t *task) error {
+	if db.cfg.Dispatch == DispatchDirect {
+		go func() {
+			session := &coreSession{exec: t.executor}
+			session.acquire()
+			db.runTask(t, session)
+		}()
+		return nil
+	}
+	return t.executor.submit(t)
 }
 
-// runTask executes one (sub-)transaction request on its executor: it acquires
-// the executor core, charges per-request costs, runs the procedure, enforces
-// completion of all child sub-transactions and, for root transactions, runs
-// the commit protocol. The task's future is resolved with the result.
-func (db *Database) runTask(t *task) {
-	session := &coreSession{exec: t.executor}
-	session.acquire()
+// runTask executes one (sub-)transaction request on its executor. The caller
+// hands over a coreSession that already holds the executor core; runTask
+// charges per-request costs, runs the procedure, enforces completion of all
+// child sub-transactions and, for root transactions, runs the commit
+// protocol. The task's future is resolved with the result.
+func (db *Database) runTask(t *task, session *coreSession) {
 	t.executor.chargeEntry(t.reactor)
 
 	ctx := &execContext{
@@ -210,7 +242,7 @@ func (db *Database) runTask(t *task) {
 		if err != nil {
 			t.root.abortAll()
 		} else {
-			err = t.root.commit()
+			err = t.root.commit(session)
 		}
 		t.root.profMu.Lock()
 		t.root.profile.Commit = time.Since(commitStart)

@@ -4,27 +4,59 @@ import (
 	"sync/atomic"
 	"time"
 
+	"reactdb/internal/stats"
 	"reactdb/internal/vclock"
 )
 
 // Executor is a transaction executor: the unit of compute inside a container
-// (paper §3.1). Each executor owns one virtual core; requests routed to the
-// executor contend for that core, and a request that blocks on a remote
-// sub-transaction releases the core so queued work can proceed (cooperative
-// multitasking, §3.2.3).
+// (paper §3.1). Each executor owns one virtual core and, under the queued
+// dispatch mode, a bounded request queue drained by a run-loop goroutine:
+// requests admitted to the queue are started in FIFO order, one core-holder
+// at a time, and a request that blocks on a remote sub-transaction releases
+// the core so queued work can proceed (cooperative multitasking, §3.2.3).
 type Executor struct {
 	container *Container
 	id        int
 	core      *vclock.Core
 
+	// request-queue scheduler (nil queue under DispatchDirect)
+	queue    *requestQueue
+	loopDone chan struct{}
+
 	// instrumentation
 	busy      atomic.Int64 // accumulated nanoseconds the core was held
 	processed atomic.Int64 // number of (sub-)transaction requests processed
 	started   time.Time
+	enqueued  atomic.Int64
+	rejected  atomic.Int64
+	waitHist  *stats.Histogram // scheduling delay: enqueue -> core acquired
+	depthHist *stats.Histogram // queue depth observed at enqueue
 }
 
 func newExecutor(c *Container, id int) *Executor {
-	return &Executor{container: c, id: id, core: vclock.NewCore(), started: time.Now()}
+	e := &Executor{
+		container: c,
+		id:        id,
+		core:      vclock.NewCore(),
+		started:   time.Now(),
+		waitHist:  stats.NewHistogram(stats.DurationBounds()),
+		depthHist: stats.NewHistogram(stats.DepthBounds()),
+	}
+	if c.db.cfg.Dispatch == DispatchQueued {
+		e.queue = newRequestQueue(c.db.cfg.QueueDepth)
+		e.loopDone = make(chan struct{})
+		go e.runLoop()
+	}
+	return e
+}
+
+// shutdown closes the request queue and waits for the run loop to drain.
+func (e *Executor) shutdown() {
+	if e.queue == nil {
+		return
+	}
+	e.queue.close()
+	<-e.loopDone
 }
 
 // ID returns the executor's index within its container.
@@ -52,11 +84,17 @@ func (e *Executor) Utilization() float64 {
 	return u
 }
 
-// ResetStats restarts the utilization measurement window.
+// ResetStats restarts the utilization measurement window and clears the
+// scheduler instrumentation (queue-wait and queue-depth histograms, admission
+// counters).
 func (e *Executor) ResetStats() {
 	e.busy.Store(0)
 	e.processed.Store(0)
 	e.started = time.Now()
+	e.enqueued.Store(0)
+	e.rejected.Store(0)
+	e.waitHist.Reset()
+	e.depthHist.Reset()
 }
 
 // acquire takes the executor's core and returns the acquisition time used to

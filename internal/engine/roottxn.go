@@ -7,6 +7,7 @@ import (
 
 	"reactdb/internal/core"
 	"reactdb/internal/occ"
+	"reactdb/internal/vclock"
 )
 
 // ErrConflict is returned by Execute when the transaction failed
@@ -59,6 +60,10 @@ type task struct {
 	executor *Executor
 	future   *core.Future
 	isRoot   bool
+
+	// enqueuedAt is stamped when the task joins an executor's request queue;
+	// the run loop measures scheduling delay from it.
+	enqueuedAt time.Time
 }
 
 // rootTxn is the runtime state of a root transaction: its active set (§2.2.4
@@ -129,11 +134,23 @@ func (r *rootTxn) addBlocked(d time.Duration) {
 	r.profMu.Unlock()
 }
 
+// mapCommitErr converts occ-level conflict errors into the engine's public
+// ErrConflict, passing every other error through.
+func mapCommitErr(err error) error {
+	if errors.Is(err, occ.ErrConflict) {
+		return ErrConflict
+	}
+	return err
+}
+
 // commit runs the commitment protocol over every container the transaction
-// touched: the container's native OCC commit when a single container is
-// involved, two-phase commit with OCC validation as the vote otherwise
-// (§3.2.2). It returns ErrConflict on validation failure.
-func (r *rootTxn) commit() error {
+// touched: the container's native OCC commit (or group commit when enabled)
+// when a single container is involved, two-phase commit with OCC validation
+// as the vote otherwise (§3.2.2). It returns ErrConflict on validation
+// failure. session is the executor core session of the committing task; the
+// group-commit path yields it while waiting for the batch window, since the
+// wait is log latency, not CPU work.
+func (r *rootTxn) commit(session *coreSession) error {
 	if r.db.cfg.DisableCC {
 		return nil
 	}
@@ -142,12 +159,18 @@ func (r *rootTxn) commit() error {
 	case 0:
 		return nil
 	case 1:
-		txn := r.txns[containers[0]]
+		c := containers[0]
+		txn := r.txns[c]
+		if gc := c.committer; gc != nil {
+			return r.groupCommit(gc, txn, session)
+		}
 		if _, err := txn.Commit(); err != nil {
-			if errors.Is(err, occ.ErrConflict) {
-				return ErrConflict
-			}
-			return err
+			return mapCommitErr(err)
+		}
+		// Without group commit every transaction pays the full modeled log
+		// write on its own executor core.
+		if lw := r.db.cfg.Costs.LogWrite; lw > 0 {
+			vclock.Spin(lw)
 		}
 		return nil
 	}
@@ -165,20 +188,42 @@ func (r *rootTxn) commit() error {
 			for _, later := range containers[len(prepared)+1:] {
 				r.txns[later].Abort()
 			}
-			if errors.Is(err, occ.ErrConflict) {
-				return ErrConflict
-			}
-			return err
+			return mapCommitErr(err)
 		}
 		prepared = append(prepared, txn)
 	}
-	// Phase two: commit every participant.
+	// Phase two: commit every participant. Each participant container owns
+	// its own (modeled) log, so the log write is charged per participant.
 	for _, txn := range prepared {
 		if _, err := txn.CommitPrepared(); err != nil {
 			return err
 		}
+		if lw := r.db.cfg.Costs.LogWrite; lw > 0 {
+			vclock.Spin(lw)
+		}
 	}
 	return nil
+}
+
+// groupCommit validates the transaction on its executor core, then hands it
+// to the container's group committer and waits for the batch to flush. The
+// executor core is released during the wait (unless cooperative multitasking
+// is disabled) so queued requests can run; the prepared transaction keeps its
+// OCC locks until the flush, bounding the wait by the configured window.
+func (r *rootTxn) groupCommit(gc *groupCommitter, txn *occ.Txn, session *coreSession) error {
+	if err := txn.Prepare(); err != nil {
+		return mapCommitErr(err)
+	}
+	done := gc.submit(txn)
+	yield := session != nil && !r.db.cfg.DisableCooperativeMultitasking
+	if yield {
+		session.release()
+	}
+	err := <-done
+	if yield {
+		session.acquire()
+	}
+	return mapCommitErr(err)
 }
 
 // abortAll aborts every per-container transaction that is still active, used

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"reactdb/internal/stats"
+)
+
+// ErrOverloaded is returned by Execute under the fail-fast admission policy
+// when the target executor's request queue is full. Clients should shed load
+// or retry after backing off.
+var ErrOverloaded = errors.New("engine: executor request queue full")
+
+// errDatabaseClosed is returned when a request arrives after Close.
+var errDatabaseClosed = errors.New("engine: database closed")
+
+// requestQueue is the bounded FIFO of (sub-)transaction requests awaiting an
+// executor. Root transactions are subject to the configured depth bound
+// (admission control); sub-transaction requests bypass it, since rejecting
+// work the system already admitted could abort or deadlock a running root.
+type requestQueue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	items    []*task
+	limit    int
+	closed   bool
+}
+
+func newRequestQueue(limit int) *requestQueue {
+	q := &requestQueue{limit: limit}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// enqueue appends a task and returns the queue depth observed just before
+// the append. Root tasks respect the depth bound according to the admission
+// policy; sub-transaction tasks are always accepted while the queue is open.
+// The task's enqueuedAt is stamped here, after any admission-block wait, so
+// wait-time stats measure in-queue scheduling delay only.
+func (q *requestQueue) enqueue(t *task, admission AdmissionPolicy) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return 0, errDatabaseClosed
+		}
+		if !t.isRoot || len(q.items) < q.limit {
+			depth := len(q.items)
+			t.enqueuedAt = time.Now()
+			q.items = append(q.items, t)
+			q.notEmpty.Signal()
+			return depth, nil
+		}
+		if admission == AdmissionFail {
+			return 0, ErrOverloaded
+		}
+		q.notFull.Wait()
+	}
+}
+
+// dequeue removes the oldest task, blocking while the queue is open and
+// empty. It returns false once the queue is closed and drained.
+func (q *requestQueue) dequeue() (*task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.notEmpty.Wait()
+	}
+	t := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return t, true
+}
+
+// depth returns the number of waiting requests.
+func (q *requestQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close marks the queue closed and wakes all waiters; pending items are still
+// drained by dequeue.
+func (q *requestQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// runLoop is the executor's scheduler goroutine: it pops the next request,
+// waits for the executor's virtual core, and starts the request on its own
+// goroutine with core ownership transferred. The request goroutine releases
+// the core when it finishes — or, under cooperative multitasking, while it
+// awaits a remote future — which unblocks this loop for the next request.
+func (e *Executor) runLoop() {
+	defer close(e.loopDone)
+	for {
+		t, ok := e.queue.dequeue()
+		if !ok {
+			return
+		}
+		acquiredAt := e.acquire()
+		e.waitHist.ObserveDuration(acquiredAt.Sub(t.enqueuedAt))
+		session := &coreSession{exec: e, acquiredAt: acquiredAt, held: true}
+		go e.container.db.runTask(t, session)
+	}
+}
+
+// submit places a task on the executor's request queue, recording queue-depth
+// and admission statistics.
+func (e *Executor) submit(t *task) error {
+	depth, err := e.queue.enqueue(t, e.container.db.cfg.Admission)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			e.rejected.Add(1)
+		}
+		return err
+	}
+	e.depthHist.Observe(float64(depth))
+	e.enqueued.Add(1)
+	return nil
+}
+
+// QueueStats is a snapshot of one executor's scheduler instrumentation.
+type QueueStats struct {
+	Container int
+	Executor  int
+	// Enqueued counts requests accepted onto the queue; Rejected counts root
+	// transactions refused with ErrOverloaded under fail-fast admission.
+	Enqueued int64
+	Rejected int64
+	// Depth is the instantaneous number of waiting requests.
+	Depth int
+	// Wait is the distribution of scheduling delay (enqueue to core acquired),
+	// in nanoseconds.
+	Wait stats.HistogramSnapshot
+	// DepthSeen is the distribution of queue depth observed at enqueue time.
+	DepthSeen stats.HistogramSnapshot
+}
+
+// QueueStats returns the scheduler statistics of this executor.
+func (e *Executor) QueueStats() QueueStats {
+	s := QueueStats{
+		Container: e.container.id,
+		Executor:  e.id,
+		Enqueued:  e.enqueued.Load(),
+		Rejected:  e.rejected.Load(),
+		Wait:      e.waitHist.Snapshot(),
+		DepthSeen: e.depthHist.Snapshot(),
+	}
+	if e.queue != nil {
+		s.Depth = e.queue.depth()
+	}
+	return s
+}
+
+// QueueStats returns the scheduler statistics of every executor, flattened
+// across containers. Under DispatchDirect all counters are zero.
+func (db *Database) QueueStats() []QueueStats {
+	var out []QueueStats
+	for _, c := range db.containers {
+		for _, e := range c.executors {
+			out = append(out, e.QueueStats())
+		}
+	}
+	return out
+}

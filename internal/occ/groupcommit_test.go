@@ -1,0 +1,85 @@
+package occ
+
+import (
+	"errors"
+	"testing"
+
+	"reactdb/internal/kv"
+)
+
+func TestCommitPreparedBatchCommitsAllPrepared(t *testing.T) {
+	d := NewDomain("batch")
+	const n = 5
+	recs := make([]*kv.Record, n)
+	txns := make([]*Txn, n)
+	for i := 0; i < n; i++ {
+		recs[i] = kv.NewCommittedRecord(encInt(int64(i)), 0)
+		txns[i] = d.Begin()
+		if _, _, err := txns[i].Read(recs[i]); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if err := txns[i].Write(recs[i], "k", encInt(int64(100+i))); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := txns[i].Prepare(); err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+	}
+	for i, err := range d.CommitPreparedBatch(txns) {
+		if err != nil {
+			t.Fatalf("batch slot %d: %v", i, err)
+		}
+	}
+	for i, rec := range recs {
+		data, _, present := rec.StableRead()
+		if !present || decInt(data) != int64(100+i) {
+			t.Fatalf("record %d = %d (present=%v), want %d", i, decInt(data), present, 100+i)
+		}
+	}
+	committed, _ := d.Stats()
+	if committed != n {
+		t.Fatalf("committed = %d, want %d", committed, n)
+	}
+	batches, txnsCommitted, largest := d.GroupCommitStats()
+	if batches != 1 || txnsCommitted != n || largest != n {
+		t.Fatalf("group stats = (%d batches, %d txns, %d largest), want (1, %d, %d)",
+			batches, txnsCommitted, largest, n, n)
+	}
+}
+
+func TestCommitPreparedBatchSkipsUnpreparedSlots(t *testing.T) {
+	d := NewDomain("batch-mixed")
+	recA := kv.NewCommittedRecord(encInt(1), 0)
+	recB := kv.NewCommittedRecord(encInt(2), 0)
+
+	prepared := d.Begin()
+	if err := prepared.Write(recA, "a", encInt(10)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := prepared.Prepare(); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+
+	unprepared := d.Begin()
+	if err := unprepared.Write(recB, "b", encInt(20)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	errs := d.CommitPreparedBatch([]*Txn{prepared, unprepared})
+	if errs[0] != nil {
+		t.Fatalf("prepared slot: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrTxnClosed) {
+		t.Fatalf("unprepared slot error = %v, want ErrTxnClosed", errs[1])
+	}
+	if data, _, _ := recA.StableRead(); decInt(data) != 10 {
+		t.Fatalf("prepared write not installed: %d", decInt(data))
+	}
+	if data, _, _ := recB.StableRead(); decInt(data) != 2 {
+		t.Fatalf("unprepared write must not install: %d", decInt(data))
+	}
+	_, txns, largest := d.GroupCommitStats()
+	if txns != 1 || largest != 1 {
+		t.Fatalf("group stats = (%d txns, %d largest), want (1, 1)", txns, largest)
+	}
+}

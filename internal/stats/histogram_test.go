@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 9, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	// Buckets: le1=2 (0.5, 1), le2=1 (1.5), le4=1 (3), le8=0, overflow=2.
+	want := []int64{2, 1, 1, 0, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all=%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if got := h.Mean(); got < 19 || got > 20 {
+		t.Fatalf("mean = %v, want ~19.17", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExponentialBounds(1, 2, 10))
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 16))
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0 || q > 16 {
+		t.Fatalf("p50 = %v, want in (0,16]", q)
+	}
+	if q := s.Quantile(1); q > s.Bounds[len(s.Bounds)-1] {
+		t.Fatalf("p100 = %v beyond last bound", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty snapshot quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DurationBounds())
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	var sum int64
+	for _, c := range h.Snapshot().Counts {
+		sum += c
+	}
+	if sum != goroutines*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, goroutines*per)
+	}
+}
+
+func TestHistogramResetAndString(t *testing.T) {
+	h := NewHistogram(DepthBounds())
+	h.Observe(3)
+	h.Observe(5)
+	s := h.Snapshot().String()
+	if !strings.Contains(s, "count=2") {
+		t.Fatalf("String() = %q, want count=2", s)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatalf("reset histogram not empty: count=%d mean=%v", h.Count(), h.Mean())
+	}
+}

@@ -119,11 +119,13 @@ func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 func (l *LatencyRecorder) Reset() { l.samples = l.samples[:0] }
 
 // EpochResult captures one measurement epoch: how many transactions committed
-// and aborted, and the latency of successful transactions.
+// and aborted, how many were rejected by admission control before running,
+// and the latency of successful transactions.
 type EpochResult struct {
 	Duration   time.Duration
 	Committed  int
 	Aborted    int
+	Rejected   int // refused by admission control (engine.ErrOverloaded)
 	MeanLat    time.Duration
 	Throughput float64 // committed transactions per second
 }
@@ -178,6 +180,16 @@ func (r *RunResult) TotalCommitted() int {
 	var c int
 	for _, e := range r.Epochs {
 		c += e.Committed
+	}
+	return c
+}
+
+// TotalRejected returns the number of admission-control rejections across
+// epochs.
+func (r *RunResult) TotalRejected() int {
+	var c int
+	for _, e := range r.Epochs {
+		c += e.Rejected
 	}
 	return c
 }

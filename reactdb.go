@@ -78,6 +78,16 @@ type (
 	Costs = vclock.Costs
 	// Profile is the per-transaction latency breakdown.
 	Profile = engine.Profile
+	// DispatchMode selects queued (scheduler) or direct request dispatch.
+	DispatchMode = engine.DispatchMode
+	// AdmissionPolicy selects blocking or fail-fast admission control.
+	AdmissionPolicy = engine.AdmissionPolicy
+	// GroupCommitConfig configures container-level batched group commit.
+	GroupCommitConfig = engine.GroupCommitConfig
+	// QueueStats is a snapshot of one executor's request-queue activity.
+	QueueStats = engine.QueueStats
+	// GroupCommitStats is a snapshot of one container's group-commit activity.
+	GroupCommitStats = engine.GroupCommitStats
 )
 
 // Column types.
@@ -89,10 +99,28 @@ const (
 	Bytes   = rel.Bytes
 )
 
+// Scheduler modes and admission policies.
+const (
+	// DispatchQueued routes requests through each executor's bounded request
+	// queue (the default).
+	DispatchQueued = engine.DispatchQueued
+	// DispatchDirect runs each request on its own goroutine contending for
+	// the executor core (the pre-scheduler behaviour, kept for ablations).
+	DispatchDirect = engine.DispatchDirect
+	// AdmissionBlock blocks callers while the target queue is full.
+	AdmissionBlock = engine.AdmissionBlock
+	// AdmissionFail rejects requests with ErrOverloaded while the target
+	// queue is full.
+	AdmissionFail = engine.AdmissionFail
+)
+
 // Errors.
 var (
 	// ErrConflict reports a serialization conflict abort; clients may retry.
 	ErrConflict = engine.ErrConflict
+	// ErrOverloaded reports a root transaction rejected by fail-fast
+	// admission control because the target executor's queue was full.
+	ErrOverloaded = engine.ErrOverloaded
 	// ErrUserAbort reports an application-level abort (see Abortf).
 	ErrUserAbort = core.ErrUserAbort
 	// ErrDangerousStructure reports a violation of the intra-transaction
