@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench
+.PHONY: all fmt fmt-check vet build test race bench bench-wal
 
 all: fmt-check vet build test
 
@@ -23,7 +23,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/occ/...
+	$(GO) test -race ./internal/engine/... ./internal/occ/... ./internal/wal/...
 
 bench:
 	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
+
+# Smoke-run the durability sweep (modeled vs WAL, window x batch) in its
+# quick configuration.
+bench-wal:
+	$(GO) run ./cmd/reactdb-bench -experiment durability

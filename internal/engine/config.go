@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"reactdb/internal/vclock"
+	"reactdb/internal/wal"
 )
 
 // Strategy names the deployment strategies of §3.3. The strategy value is
@@ -82,6 +83,39 @@ type GroupCommitConfig struct {
 	Window   time.Duration // flush at least this often (default 200µs)
 }
 
+// DurabilityMode selects how a commit becomes durable before it is
+// acknowledged.
+type DurabilityMode string
+
+// Durability modes.
+const (
+	// DurabilityModeled (the default) charges the modeled log-write cost
+	// (Costs.LogWrite) as virtual-core work instead of doing real IO — the
+	// original cost-model ablation. Nothing is recoverable.
+	DurabilityModeled DurabilityMode = "modeled"
+	// DurabilityWAL appends every committed transaction's write set to the
+	// owning container's write-ahead log and fsyncs before the commit is
+	// acknowledged. Group commit amortizes the fsync across a batch.
+	// Database.Recover replays the log after a restart or crash.
+	DurabilityWAL DurabilityMode = "wal"
+)
+
+// DurabilityConfig selects and parameterizes the durability implementation.
+type DurabilityConfig struct {
+	// Mode is the durability mode (default DurabilityModeled).
+	Mode DurabilityMode
+	// Dir, when set under DurabilityWAL, stores WAL segments as files under
+	// this directory (one subdirectory per container). Empty means in-memory
+	// segments, durable only for the lifetime of the Storage object.
+	Dir string
+	// Storage overrides Dir with an explicit segment store. Recovery tests
+	// pass a wal.MemStorage here so the log outlives the Database instance.
+	Storage wal.Storage
+	// SegmentSize is the WAL segment rotation threshold in bytes
+	// (default wal.DefaultSegmentSize).
+	SegmentSize int
+}
+
 // Config describes a ReactDB deployment: how many containers and executors to
 // create, how reactors map to containers and executors, the routing policy,
 // and the virtual-core cost parameters. Editing the configuration and
@@ -121,6 +155,11 @@ type Config struct {
 
 	// GroupCommit configures batched group commit (disabled by default).
 	GroupCommit GroupCommitConfig
+
+	// Durability selects how commits become durable: the modeled log-write
+	// cost (the default, an ablation) or a real per-container write-ahead
+	// log with group fsync (see Database.Recover).
+	Durability DurabilityConfig
 
 	// Placement maps a reactor name to the index of the container hosting it.
 	// The result is clamped into [0, Containers). If nil, reactors are
@@ -200,6 +239,24 @@ func (c *Config) Validate() error {
 		}
 		if c.GroupCommit.Window <= 0 {
 			c.GroupCommit.Window = 200 * time.Microsecond
+		}
+	}
+	if c.Durability.Mode == "" {
+		c.Durability.Mode = DurabilityModeled
+	}
+	if c.Durability.Mode != DurabilityModeled && c.Durability.Mode != DurabilityWAL {
+		return fmt.Errorf("engine: unknown durability mode %q", c.Durability.Mode)
+	}
+	if c.Durability.Mode == DurabilityWAL {
+		if c.Durability.Storage == nil {
+			if c.Durability.Dir != "" {
+				c.Durability.Storage = wal.NewFileStorage(c.Durability.Dir)
+			} else {
+				c.Durability.Storage = wal.NewMemStorage()
+			}
+		}
+		if c.Durability.SegmentSize <= 0 {
+			c.Durability.SegmentSize = wal.DefaultSegmentSize
 		}
 	}
 	if c.Strategy == "" {

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"reactdb/internal/occ"
 	"reactdb/internal/rel"
+	"reactdb/internal/wal"
 )
 
 // Container is a database container (paper §3.1): an isolated portion of the
@@ -20,6 +22,7 @@ type Container struct {
 	executors []*Executor
 	router    Router
 	committer *groupCommitter // nil unless group commit is enabled
+	wal       *wal.Log        // nil unless Durability.Mode == DurabilityWAL
 
 	// catalogs holds the relational state of every reactor mapped to this
 	// container, keyed by reactor name. The map is built at Open time and
@@ -32,13 +35,21 @@ type Container struct {
 	lastExecutor map[string]int
 }
 
-func newContainer(db *Database, id int) *Container {
+func newContainer(db *Database, id int) (*Container, error) {
 	c := &Container{
 		db:           db,
 		id:           id,
 		domain:       occ.NewDomain(fmt.Sprintf("container-%d", id)),
 		catalogs:     make(map[string]*rel.Catalog),
 		lastExecutor: make(map[string]int),
+	}
+	if db.cfg.Durability.Mode == DurabilityWAL {
+		log, err := wal.Open(db.cfg.Durability.Storage.Sub(fmt.Sprintf("container-%d", id)),
+			wal.Options{SegmentSize: db.cfg.Durability.SegmentSize})
+		if err != nil {
+			return nil, fmt.Errorf("engine: container %d: open wal: %w", id, err)
+		}
+		c.wal = log
 	}
 	for i := 0; i < db.cfg.ExecutorsPerContainer; i++ {
 		c.executors = append(c.executors, newExecutor(c, i))
@@ -47,11 +58,11 @@ func newContainer(db *Database, id int) *Container {
 	if db.cfg.GroupCommit.Enabled {
 		c.committer = newGroupCommitter(c)
 	}
-	return c
+	return c, nil
 }
 
-// shutdown stops the container's executors (draining their request queues)
-// and its group committer.
+// shutdown stops the container's executors (draining their request queues),
+// its group committer, and closes its write-ahead log.
 func (c *Container) shutdown() {
 	for _, e := range c.executors {
 		e.shutdown()
@@ -59,6 +70,123 @@ func (c *Container) shutdown() {
 	if c.committer != nil {
 		c.committer.stop()
 	}
+	if c.wal != nil {
+		_ = c.wal.Close()
+	}
+}
+
+// WAL returns the container's write-ahead log, or nil when the deployment
+// does not use real durability.
+func (c *Container) WAL() *wal.Log { return c.wal }
+
+// walRecordPrepared assigns the prepared transaction's commit TID and
+// serializes its write set into a WAL commit record. It must run *before*
+// CommitPrepared installs the writes: appending ahead of in-memory
+// visibility guarantees that any transaction reading those writes appends —
+// and fsyncs — after this record, so recovery can never surface a dependent
+// commit without its antecedent. An error means the transaction is not
+// prepared.
+func walRecordPrepared(txn *occ.Txn) (wal.Record, error) {
+	tid, err := txn.AssignTID()
+	if err != nil {
+		return wal.Record{}, err
+	}
+	rec := wal.Record{TID: tid}
+	txn.PreparedWrites(func(key string, data []byte, deleted bool) {
+		rec.Writes = append(rec.Writes, wal.Write{Key: key, Data: data, Delete: deleted})
+	})
+	return rec, nil
+}
+
+// appendCommitRecord appends the prepared transaction's commit record to the
+// container's WAL without fsyncing, reporting whether anything was appended
+// (read-only transactions append nothing). It is the unbatched durability
+// path, used when group commit is disabled and for two-phase commit
+// participants; the group committer batches its appends instead. The caller
+// must fsync (wal.Sync) after the write phase and before acknowledging the
+// commit — including for read-only transactions, whose antecedents' records
+// may still await their fsync.
+func (c *Container) appendCommitRecord(txn *occ.Txn) (bool, error) {
+	if c.wal == nil {
+		return false, nil
+	}
+	rec, err := walRecordPrepared(txn)
+	if err != nil {
+		return false, err
+	}
+	if len(rec.Writes) == 0 {
+		return false, nil
+	}
+	if _, err := c.wal.Append(rec); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// retractCommitRecord appends an abort record for the transaction's TID and
+// fsyncs it, best-effort. It is called when a multi-participant commit fails
+// after this container's log already received the transaction's commit
+// record: without the retraction a later fsync of this (healthy) log would
+// make the aborted transaction durable and recovery would resurrect it. If
+// this append fails too, the log wedges, which keeps the un-retracted record
+// from ever being fsynced by this process.
+func (c *Container) retractCommitRecord(txn *occ.Txn) {
+	if c.wal == nil {
+		return
+	}
+	tid, err := txn.AssignTID() // returns the TID the commit record carries
+	if err != nil {
+		return
+	}
+	if _, err := c.wal.Append(wal.Record{TID: tid, Abort: true}); err == nil {
+		_ = c.wal.Sync()
+	}
+}
+
+// recover replays the container's WAL into its catalogs and concurrency
+// control domain, returning the number of transactions replayed. See
+// Database.Recover.
+func (c *Container) recover() (int, error) {
+	if c.wal == nil {
+		return 0, nil
+	}
+	n := 0
+	err := c.wal.Replay(func(rec wal.Record) error {
+		for _, w := range rec.Writes {
+			reactor, relation, key, ok := splitWALKey(w.Key)
+			if !ok {
+				return fmt.Errorf("engine: recovery: malformed WAL key %q in container %d", w.Key, c.id)
+			}
+			cat := c.catalogs[reactor]
+			if cat == nil {
+				return fmt.Errorf("engine: recovery: reactor %q not mapped to container %d (placement changed since the log was written?)", reactor, c.id)
+			}
+			tbl := cat.Table(relation)
+			if tbl == nil {
+				return fmt.Errorf("engine: recovery: unknown relation %s.%s in container %d", reactor, relation, c.id)
+			}
+			r, _ := tbl.GetOrInsert(key)
+			c.domain.ApplyReplayedWrite(r, tbl, rec.TID, w.Data, w.Delete)
+		}
+		c.domain.ObserveRecoveredTID(rec.TID)
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// splitWALKey decomposes the engine's fully-qualified write key
+// (reactor \x00 relation \x00 primary-key, see execContext.lockKey).
+func splitWALKey(k string) (reactor, relation, key string, ok bool) {
+	i := strings.IndexByte(k, 0)
+	if i < 0 {
+		return "", "", "", false
+	}
+	j := strings.IndexByte(k[i+1:], 0)
+	if j < 0 {
+		return "", "", "", false
+	}
+	return k[:i], k[i+1 : i+1+j], k[i+1+j+1:], true
 }
 
 // ID returns the container's index within the database.

@@ -49,7 +49,14 @@ func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
 		epochStop: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Containers; i++ {
-		db.containers = append(db.containers, newContainer(db, i))
+		c, err := newContainer(db, i)
+		if err != nil {
+			for _, created := range db.containers {
+				created.shutdown()
+			}
+			return nil, err
+		}
+		db.containers = append(db.containers, c)
 	}
 	for _, reactor := range def.Reactors() {
 		c := db.containers[cfg.placementFor(reactor)]

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"reactdb/internal/wal"
+)
+
+// Recover replays the containers' write-ahead logs into memory, restoring
+// every acknowledged committed transaction. It is meant to run on startup,
+// after Open (and after any loader-based bootstrap: replayed versions
+// overwrite loaded rows, never the other way around) and before the database
+// serves transactions. Under any durability mode other than DurabilityWAL it
+// is a no-op.
+//
+// Replay applies full row images in log order, so it is idempotent: a write
+// whose TID is not newer than the record's current version is skipped.
+// Every acknowledged commit is replayed. For transactions that were still
+// mid-flush when the previous incarnation died — appended but never fsynced
+// — the outcome depends on what killed it: after a machine crash the page
+// cache is gone and the CRC framing cuts the log at the last complete
+// durable record, so they are not replayed; after a mere process kill their
+// bytes may survive in the OS page cache, and Open adopts (and fsyncs) that
+// inherited tail, so such never-acknowledged transactions can be replayed.
+// Both are correct: an unacknowledged outcome is ambiguous by definition.
+// Transactions that were definitively aborted (a participant's log append
+// failed) are retracted with abort records and never resurface.
+//
+// It returns the number of transactions replayed.
+func (db *Database) Recover() (int, error) {
+	total := 0
+	for _, c := range db.containers {
+		n, err := c.recover()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WALStats is a snapshot of one container's write-ahead log activity.
+type WALStats struct {
+	Container int
+	// Enabled reports whether the container has a WAL (DurabilityWAL mode);
+	// when false the embedded stats are zero.
+	Enabled bool
+	wal.Stats
+}
+
+// WALStats returns per-container WAL statistics: appended records and bytes,
+// physical fsyncs versus absorbed sync requests, and the fsync-latency and
+// bytes-per-flush distributions.
+func (db *Database) WALStats() []WALStats {
+	out := make([]WALStats, 0, len(db.containers))
+	for _, c := range db.containers {
+		s := WALStats{Container: c.id}
+		if c.wal != nil {
+			s.Enabled = true
+			s.Stats = c.wal.Stats()
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -7,13 +7,15 @@ import (
 	"reactdb/internal/occ"
 	"reactdb/internal/stats"
 	"reactdb/internal/vclock"
+	"reactdb/internal/wal"
 )
 
 // groupCommitter batches validated (prepared) single-container transactions
-// and commits them together. The motivation is the classic one: the modeled
-// durable log write (Costs.LogWrite) is charged once per batch instead of
-// once per transaction, so under concurrent load commit cost amortizes across
-// the batch. Prepared transactions hold their OCC locks while waiting, so the
+// and commits them together. The motivation is the classic one: the durable
+// log write — a real WAL append + fsync under DurabilityWAL, the modeled
+// Costs.LogWrite ablation otherwise — is paid once per batch instead of once
+// per transaction, so under concurrent load commit cost amortizes across the
+// batch. Prepared transactions hold their OCC locks while waiting, so the
 // Window also bounds the extra conflict exposure group commit introduces.
 type groupCommitter struct {
 	container *Container
@@ -21,8 +23,17 @@ type groupCommitter struct {
 	maxBatch  int
 	logWrite  time.Duration
 
-	mu    sync.Mutex
-	batch []gcEntry
+	// mu guards the accumulating batch and its generation. gen identifies
+	// the batch currently accumulating; it bumps every time flush takes a
+	// batch, so a window timer armed for an earlier batch can recognize
+	// itself as stale and become a no-op instead of flushing a fresh batch
+	// before its window elapsed. flushGen is the highest generation a timer
+	// or full-batch signal has requested to flush.
+	mu       sync.Mutex
+	batch    []gcEntry
+	gen      uint64
+	flushGen uint64
+	stopped  bool
 
 	flushCh chan struct{}
 	stopCh  chan struct{}
@@ -57,22 +68,50 @@ func newGroupCommitter(c *Container) *groupCommitter {
 // release its executor core while waiting: the wait is the group-commit
 // window, not CPU work. The first entry of a fresh batch arms a one-shot
 // window timer, so an idle committer costs nothing.
-func (g *groupCommitter) submit(txn *occ.Txn) <-chan error {
+//
+// A false return means the committer has been stopped and did not accept the
+// transaction; the caller still owns it (prepared, holding its locks) and
+// must abort or commit it itself. Failing fast here closes the shutdown race
+// in which an entry appended concurrently with stop, after the loop's final
+// drain, would never be flushed and its waiter would block forever.
+func (g *groupCommitter) submit(txn *occ.Txn) (<-chan error, bool) {
 	done := make(chan error, 1)
 	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return nil, false
+	}
 	g.batch = append(g.batch, gcEntry{txn: txn, done: done})
 	n := len(g.batch)
+	gen := g.gen
 	g.mu.Unlock()
 	if n >= g.maxBatch {
-		g.signalFlush()
+		g.requestFlush(gen)
 	} else if n == 1 {
-		time.AfterFunc(g.window, g.signalFlush)
+		time.AfterFunc(g.window, func() { g.requestFlush(gen) })
 	}
-	return done
+	return done, true
 }
 
-// signalFlush nudges the loop; a flush already pending absorbs the signal,
-// and a spurious flush of an empty batch is a no-op.
+// requestFlush records that the batch of generation gen is due to flush and
+// nudges the loop. A request for a generation that has already been taken by
+// a flush is stale — the timer that fired belongs to a batch that is gone —
+// and is dropped, protecting the currently accumulating batch's window.
+func (g *groupCommitter) requestFlush(gen uint64) {
+	g.mu.Lock()
+	if g.stopped || gen < g.gen {
+		g.mu.Unlock()
+		return
+	}
+	if gen > g.flushGen {
+		g.flushGen = gen
+	}
+	g.mu.Unlock()
+	g.signalFlush()
+}
+
+// signalFlush nudges the loop; a nudge already pending absorbs the signal
+// (the due generation is recorded in flushGen, not in the channel).
 func (g *groupCommitter) signalFlush() {
 	select {
 	case g.flushCh <- struct{}{}:
@@ -88,23 +127,30 @@ func (g *groupCommitter) loop() {
 		select {
 		case <-g.stopCh:
 			for g.pending() > 0 {
-				g.flush()
+				g.flush(true)
 			}
 			return
 		case <-g.flushCh:
-			g.flush()
+			g.flush(false)
 		}
 	}
 }
 
 // flush commits up to maxBatch accumulated transactions: the write phase of
-// every prepared transaction runs back to back, then the modeled log write is
-// charged once for the whole batch before any waiter learns its outcome (a
-// commit is not acknowledged before it is durable). Anything beyond maxBatch
-// stays queued: a further full batch flushes immediately, a partial remainder
-// gets a fresh window timer.
-func (g *groupCommitter) flush() {
+// every prepared transaction runs back to back, then the batch's commit
+// records are made durable once — a single WAL append+fsync under
+// DurabilityWAL, one modeled log write otherwise — before any waiter learns
+// its outcome (a commit is not acknowledged before it is durable). Anything
+// beyond maxBatch stays queued: a further full batch flushes immediately, a
+// partial remainder gets a fresh window timer. Unless forced (shutdown
+// drain), a flush whose batch generation was never requested is a spurious
+// wakeup and is skipped.
+func (g *groupCommitter) flush(force bool) {
 	g.mu.Lock()
+	if !force && g.flushGen < g.gen {
+		g.mu.Unlock()
+		return
+	}
 	n := len(g.batch)
 	if n > g.maxBatch {
 		n = g.maxBatch
@@ -112,14 +158,20 @@ func (g *groupCommitter) flush() {
 	batch := g.batch[:n:n]
 	g.batch = g.batch[n:]
 	remainder := len(g.batch)
+	if n > 0 {
+		g.gen++
+	}
+	gen := g.gen
 	g.mu.Unlock()
 	if len(batch) == 0 {
 		return
 	}
 	if remainder >= g.maxBatch {
-		g.signalFlush()
+		g.requestFlush(gen)
 	} else if remainder > 0 {
-		time.AfterFunc(g.window, g.signalFlush)
+		// The remainder's original window timer belongs to a flushed
+		// generation; arm a fresh one for the new batch.
+		time.AfterFunc(g.window, func() { g.requestFlush(gen) })
 	}
 	g.batchSize.Observe(float64(len(batch)))
 
@@ -127,12 +179,54 @@ func (g *groupCommitter) flush() {
 	for i, e := range batch {
 		txns[i] = e.txn
 	}
+	// Append the batch's commit records *before* the write phase makes the
+	// writes visible (see walRecordPrepared): one buffer, one write. If the
+	// append itself fails nothing was installed yet, so the whole batch can
+	// abort cleanly.
+	w := g.container.wal
+	if w != nil {
+		recs := make([]wal.Record, 0, len(batch))
+		for _, t := range txns {
+			// AssignTID fails only for transactions that are not prepared;
+			// CommitPreparedBatch reports ErrTxnClosed for those slots.
+			if rec, err := walRecordPrepared(t); err == nil && len(rec.Writes) > 0 {
+				recs = append(recs, rec)
+			}
+		}
+		if len(recs) > 0 {
+			if _, err := w.AppendBatch(recs); err != nil {
+				for _, t := range txns {
+					_ = t.AbortPrepared()
+				}
+				for _, e := range batch {
+					e.done <- err
+				}
+				for i := range batch {
+					batch[i] = gcEntry{}
+				}
+				return
+			}
+		}
+	}
 	errs := g.container.domain.CommitPreparedBatch(txns)
-	if g.logWrite > 0 {
+	var logErr error
+	if w != nil {
+		// Sync even for an all-read-only batch: antecedent records its
+		// members read are already appended, and an already-durable log
+		// absorbs the call.
+		logErr = w.Sync()
+	} else if g.logWrite > 0 {
 		vclock.Work(g.logWrite)
 	}
 	for i, e := range batch {
-		e.done <- errs[i]
+		err := errs[i]
+		if err == nil && logErr != nil {
+			// The write phase installed in memory but the fsync failed: the
+			// commit must not be acknowledged. Survivors of a crash at this
+			// point are exactly the fsynced prefix of the log.
+			err = logErr
+		}
+		e.done <- err
 	}
 	// Zero the flushed slots so the shared backing array does not pin the
 	// committed transactions' read/write sets until append reallocates.
@@ -148,8 +242,19 @@ func (g *groupCommitter) pending() int {
 	return len(g.batch)
 }
 
-// stop shuts the committer down after flushing pending work.
+// stop shuts the committer down after flushing pending work. The stopped
+// flag is set under mu before stopCh closes, so every entry a concurrent
+// submit managed to append is visible to the loop's final drain, and every
+// later submit fails fast. stop is idempotent.
 func (g *groupCommitter) stop() {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		<-g.done
+		return
+	}
+	g.stopped = true
+	g.mu.Unlock()
 	close(g.stopCh)
 	<-g.done
 }

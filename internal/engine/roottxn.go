@@ -164,12 +164,31 @@ func (r *rootTxn) commit(session *coreSession) error {
 		if gc := c.committer; gc != nil {
 			return r.groupCommit(gc, txn, session)
 		}
-		if _, err := txn.Commit(); err != nil {
+		// Without group commit every transaction pays the full durable log
+		// write on its own: a real WAL append+fsync under DurabilityWAL, the
+		// modeled cost on its executor core otherwise. The append happens
+		// between prepare and the write phase so log order respects read
+		// dependencies (see walRecordPrepared).
+		if err := txn.Prepare(); err != nil {
 			return mapCommitErr(err)
 		}
-		// Without group commit every transaction pays the full modeled log
-		// write on its own executor core.
-		if lw := r.db.cfg.Costs.LogWrite; lw > 0 {
+		if _, err := c.appendCommitRecord(txn); err != nil {
+			_ = txn.AbortPrepared()
+			return err
+		}
+		if _, err := txn.CommitPrepared(); err != nil {
+			return err
+		}
+		if c.wal != nil {
+			// Sync even when this transaction appended nothing (read-only):
+			// the records of the commits it read are already in the log, so
+			// the fsync makes every antecedent durable before this result is
+			// externalized. An already-durable log absorbs the call.
+			if err := c.wal.Sync(); err != nil {
+				return err
+			}
+		}
+		if lw := r.db.cfg.Costs.LogWrite; lw > 0 && c.wal == nil {
 			vclock.Spin(lw)
 		}
 		return nil
@@ -192,17 +211,61 @@ func (r *rootTxn) commit(session *coreSession) error {
 		}
 		prepared = append(prepared, txn)
 	}
-	// Phase two: commit every participant. Each participant container owns
-	// its own (modeled) log, so the log write is charged per participant.
-	for _, txn := range prepared {
-		if _, err := txn.CommitPrepared(); err != nil {
+	// Append every participant's commit record before *any* participant's
+	// write phase runs: a failed append can still abort the whole
+	// transaction atomically (nothing is installed yet), and log order keeps
+	// respecting read dependencies (walRecordPrepared). Records already
+	// appended to healthy sibling logs are retracted with abort records so a
+	// later fsync + recovery cannot resurrect the aborted transaction.
+	appendedRec := make([]bool, len(prepared))
+	for i, txn := range prepared {
+		appended, err := containers[i].appendCommitRecord(txn)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				if appendedRec[j] {
+					containers[j].retractCommitRecord(prepared[j])
+				}
+			}
+			for _, p := range prepared {
+				_ = p.AbortPrepared()
+			}
 			return err
 		}
-		if lw := r.db.cfg.Costs.LogWrite; lw > 0 {
+		appendedRec[i] = appended
+	}
+
+	// Phase two: commit every participant. Each participant container owns
+	// its own log, so the durable write is charged per participant (routing
+	// prepared participants through each container's group committer is a
+	// ROADMAP item). Once phase two begins every participant must run its
+	// write phase — returning early on a durability error would leave the
+	// remaining prepared participants holding their OCC locks forever — so
+	// the first error is remembered and reported after the loop completes.
+	var firstErr error
+	for i, txn := range prepared {
+		c := containers[i]
+		if _, err := txn.CommitPrepared(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if c.wal != nil {
+			// Sync even when this transaction appended nothing here (it may
+			// be a read-only participant): records of the transactions it
+			// read are already in this log — appended before their writes
+			// became visible — so the fsync makes every antecedent durable
+			// before this commit is acknowledged. Already-durable logs
+			// absorb the call without touching the disk.
+			if err := c.wal.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if lw := r.db.cfg.Costs.LogWrite; lw > 0 && c.wal == nil {
 			vclock.Spin(lw)
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // groupCommit validates the transaction on its executor core, then hands it
@@ -214,7 +277,15 @@ func (r *rootTxn) groupCommit(gc *groupCommitter, txn *occ.Txn, session *coreSes
 	if err := txn.Prepare(); err != nil {
 		return mapCommitErr(err)
 	}
-	done := gc.submit(txn)
+	done, ok := gc.submit(txn)
+	if !ok {
+		// The committer stopped before accepting the transaction (shutdown
+		// racing the tail of an in-flight commit); release its locks and
+		// report the closure instead of blocking on a flush that will never
+		// happen.
+		_ = txn.AbortPrepared()
+		return errDatabaseClosed
+	}
 	yield := session != nil && !r.db.cfg.DisableCooperativeMultitasking
 	if yield {
 		session.release()

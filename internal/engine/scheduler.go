@@ -20,17 +20,29 @@ var errDatabaseClosed = errors.New("engine: database closed")
 // executor. Root transactions are subject to the configured depth bound
 // (admission control); sub-transaction requests bypass it, since rejecting
 // work the system already admitted could abort or deadlock a running root.
+//
+// The FIFO is a circular buffer: head/count indexes into a fixed backing
+// array, so steady-state enqueue/dequeue churn allocates nothing and never
+// leaks head capacity the way the previous `items = items[1:]` slice FIFO
+// did. The buffer starts large enough for the root-transaction bound and
+// doubles only in the rare case that bypassing sub-transactions outgrow it.
 type requestQueue struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	notFull  *sync.Cond
-	items    []*task
+	buf      []*task
+	head     int
+	count    int
 	limit    int
 	closed   bool
 }
 
 func newRequestQueue(limit int) *requestQueue {
-	q := &requestQueue{limit: limit}
+	capacity := 16
+	for capacity < limit+1 {
+		capacity <<= 1
+	}
+	q := &requestQueue{buf: make([]*task, capacity), limit: limit}
 	q.notEmpty = sync.NewCond(&q.mu)
 	q.notFull = sync.NewCond(&q.mu)
 	return q
@@ -48,10 +60,10 @@ func (q *requestQueue) enqueue(t *task, admission AdmissionPolicy) (int, error) 
 		if q.closed {
 			return 0, errDatabaseClosed
 		}
-		if !t.isRoot || len(q.items) < q.limit {
-			depth := len(q.items)
+		if !t.isRoot || q.count < q.limit {
+			depth := q.count
 			t.enqueuedAt = time.Now()
-			q.items = append(q.items, t)
+			q.push(t)
 			q.notEmpty.Signal()
 			return depth, nil
 		}
@@ -62,20 +74,35 @@ func (q *requestQueue) enqueue(t *task, admission AdmissionPolicy) (int, error) 
 	}
 }
 
+// push appends t to the ring, growing the backing array if sub-transaction
+// bypass filled it. The caller holds q.mu.
+func (q *requestQueue) push(t *task) {
+	if q.count == len(q.buf) {
+		grown := make([]*task, 2*len(q.buf))
+		n := copy(grown, q.buf[q.head:])
+		copy(grown[n:], q.buf[:q.head])
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = t
+	q.count++
+}
+
 // dequeue removes the oldest task, blocking while the queue is open and
 // empty. It returns false once the queue is closed and drained.
 func (q *requestQueue) dequeue() (*task, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 {
+	for q.count == 0 {
 		if q.closed {
 			return nil, false
 		}
 		q.notEmpty.Wait()
 	}
-	t := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
 	q.notFull.Signal()
 	return t, true
 }
@@ -84,7 +111,7 @@ func (q *requestQueue) dequeue() (*task, bool) {
 func (q *requestQueue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.count
 }
 
 // close marks the queue closed and wakes all waiters; pending items are still

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"reactdb/internal/bench"
+	"reactdb/internal/engine"
+	"reactdb/internal/randutil"
+	"reactdb/internal/workload/smallbank"
+)
+
+// durabilityConfig is one point of the durability sweep.
+type durabilityConfig struct {
+	name     string
+	wal      bool
+	group    bool
+	window   time.Duration
+	maxBatch int
+}
+
+// durabilityConfigs enumerates the sweep: the modeled log-write ablation
+// versus the real WAL, each without group commit (one durable write per
+// transaction) and with group commit across window × batch combinations.
+func durabilityConfigs(opts Options) []durabilityConfig {
+	windows := []time.Duration{200 * time.Microsecond, 1 * time.Millisecond}
+	batches := []int{8, 32}
+	if opts.Full {
+		windows = []time.Duration{100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond}
+		batches = []int{4, 16, 64}
+	}
+	cfgs := []durabilityConfig{
+		{name: "modeled", wal: false, group: false},
+		{name: "modeled+gc", wal: false, group: true, window: windows[0], maxBatch: batches[len(batches)-1]},
+		{name: "wal", wal: true, group: false},
+	}
+	for _, w := range windows {
+		for _, b := range batches {
+			cfgs = append(cfgs, durabilityConfig{
+				name:     fmt.Sprintf("wal+gc w=%v b=%d", w, b),
+				wal:      true,
+				group:    true,
+				window:   w,
+				maxBatch: b,
+			})
+		}
+	}
+	return cfgs
+}
+
+// Durability is the durability sweep: single-container smallbank deposits
+// (pure updates on distinct customers, so group-commit batches form freely)
+// under the modeled log-write ablation versus the real write-ahead log, with
+// and without group commit. It reports throughput next to the WAL's fsync
+// amortization: transactions per fsync, mean flushed batch size, and bytes
+// made durable per fsync.
+func Durability(opts Options) (*Table, error) {
+	customers := 64
+	workers := 8
+	if opts.Full {
+		customers = 512
+		workers = 16
+	}
+
+	table := &Table{
+		ID:    "durability",
+		Title: "Durability sweep: modeled log write vs WAL group fsync (single container)",
+		Header: []string{"config", "throughput [txn/s]", "abort%", "txns/fsync",
+			"mean batch", "bytes/fsync", "fsync p99 [ms]"},
+		Notes: []string{
+			"modeled charges Costs.LogWrite as virtual-core work (the DurabilityModeled ablation); wal appends+fsyncs real segments",
+			"txns/fsync and bytes/fsync come from the per-container WAL histograms; '-' where no WAL exists",
+		},
+	}
+
+	for _, dc := range durabilityConfigs(opts) {
+		row, err := runDurabilityPoint(opts, dc, customers, workers)
+		if err != nil {
+			return nil, fmt.Errorf("durability point %s: %w", dc.name, err)
+		}
+		table.AddRow(row...)
+	}
+	return table, nil
+}
+
+func runDurabilityPoint(opts Options, dc durabilityConfig, customers, workers int) ([]string, error) {
+	cfg := engine.NewSharedEverythingWithAffinity(2)
+	cfg.Costs = opts.commCosts()
+	// The modeled ablation needs an explicit log-write cost to amortize;
+	// under the WAL the real fsync replaces it.
+	cfg.Costs.LogWrite = 100 * time.Microsecond
+	if dc.group {
+		cfg.GroupCommit = engine.GroupCommitConfig{Enabled: true, Window: dc.window, MaxBatch: dc.maxBatch}
+	}
+	if dc.wal {
+		dir, err := os.MkdirTemp("", "reactdb-durability-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Durability = engine.DurabilityConfig{Mode: engine.DurabilityWAL, Dir: dir}
+	}
+
+	db, err := engine.Open(smallbank.NewDefinition(customers), cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := smallbank.Load(db, customers, 1e9, 1e9); err != nil {
+		return nil, err
+	}
+
+	benchOpts := bench.Options{
+		Workers:       workers,
+		Epochs:        opts.epochs(),
+		EpochDuration: opts.epochDuration(),
+		Warmup:        50 * time.Millisecond,
+	}
+	result, err := bench.Run(db, benchOpts, func(worker int) bench.Generator {
+		rng := randutil.New(int64(worker) + 1)
+		return func() bench.Request {
+			// Distinct-key updates: each worker owns a stripe of customers.
+			id := worker + workers*randutil.UniformInt(rng, 0, customers/workers-1)
+			return bench.Request{
+				Reactor:   smallbank.ReactorName(id),
+				Procedure: smallbank.ProcDepositChecking,
+				Args:      []any{1.0},
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tp, _ := result.Throughput()
+	row := []string{dc.name, formatThroughput(tp), formatPercent(result.AbortRate())}
+	txnsPerFsync, meanBatch, bytesPerFsync, fsyncP99 := "-", "-", "-", "-"
+	if dc.wal {
+		for _, ws := range db.WALStats() {
+			if !ws.Enabled || ws.Fsyncs == 0 {
+				continue
+			}
+			txnsPerFsync = fmt.Sprintf("%.1f", float64(ws.Appends)/float64(ws.Fsyncs))
+			bytesPerFsync = fmt.Sprintf("%.0f", ws.BytesPerFlush.Mean())
+			fsyncP99 = fmt.Sprintf("%.3f", ws.FsyncLatency.Quantile(0.99)/1e6)
+		}
+	}
+	if dc.group {
+		for _, gs := range db.GroupCommitStats() {
+			if gs.Batches > 0 {
+				meanBatch = fmt.Sprintf("%.1f", float64(gs.Txns)/float64(gs.Batches))
+			}
+		}
+	}
+	row = append(row, txnsPerFsync, meanBatch, bytesPerFsync, fsyncP99)
+	return row, nil
+}

@@ -20,7 +20,7 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 	want := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"affinity", "overhead",
+		"affinity", "overhead", "durability",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -37,6 +37,38 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 	for i := 1; i < len(ids); i++ {
 		if ids[i] <= ids[i-1] {
 			t.Fatalf("IDs() not sorted")
+		}
+	}
+}
+
+func TestDurabilitySweepReportsFsyncAmortization(t *testing.T) {
+	tbl, err := Durability(tinyOptions())
+	if err != nil {
+		t.Fatalf("Durability: %v", err)
+	}
+	if len(tbl.Rows) != len(durabilityConfigs(tinyOptions())) {
+		t.Fatalf("sweep produced %d rows, want %d", len(tbl.Rows), len(durabilityConfigs(tinyOptions())))
+	}
+	for _, row := range tbl.Rows {
+		name, txnsPerFsync := row[0], row[3]
+		switch {
+		case name == "wal":
+			// Unbatched WAL still reports fsync stats; the ratio itself
+			// depends on how much concurrent sync absorption the scheduler
+			// happens to produce, so only sanity-check it.
+			var v float64
+			if _, err := fmtSscan(txnsPerFsync, &v); err != nil || v < 1 {
+				t.Fatalf("unbatched wal txns/fsync = %q, want a ratio >= 1", txnsPerFsync)
+			}
+		case strings.HasPrefix(name, "wal+gc"):
+			var v float64
+			if _, err := fmtSscan(txnsPerFsync, &v); err != nil || v <= 1.0 {
+				t.Fatalf("%s txns/fsync = %q, want > 1 (group fsync must amortize)", name, txnsPerFsync)
+			}
+		default:
+			if txnsPerFsync != "-" {
+				t.Fatalf("%s reports WAL stats %q without a WAL", name, txnsPerFsync)
+			}
 		}
 	}
 }

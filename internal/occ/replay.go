@@ -1,0 +1,48 @@
+package occ
+
+import (
+	"reactdb/internal/kv"
+)
+
+// ApplyReplayedWrite installs one recovered committed write into a record:
+// the WAL replay hook. The write is applied only if its TID is newer than the
+// record's current version, so replaying a log whose append order differs
+// slightly from TID order (group-commit batches interleaved with two-phase
+// commit participants) converges on the newest version of every key. guard,
+// when non-nil, is the structural guard of the record's table; it is bumped
+// when the replay materializes or deletes a row so post-recovery scans
+// validate against the recovered structure.
+//
+// Recovery runs before the database serves transactions, but the hook takes
+// the record latch and the structural guard anyway so it is safe by
+// construction.
+func (d *Domain) ApplyReplayedWrite(rec *kv.Record, guard ScanGuard, tid uint64, data []byte, deleted bool) {
+	rec.Lock()
+	if tid <= rec.TID() {
+		rec.Unlock()
+		return
+	}
+	structural := rec.Absent() || deleted
+	if !deleted {
+		rec.SetData(data)
+	}
+	rec.UnlockWithTID(tid, deleted)
+	if structural && guard != nil {
+		guard.LockStructure()
+		guard.BumpVersion()
+		guard.UnlockStructure()
+	}
+}
+
+// ObserveRecoveredTID advances the domain's epoch past a replayed TID so that
+// every TID generated after recovery is strictly greater than every recovered
+// one, preserving Silo's monotonicity invariant across restarts.
+func (d *Domain) ObserveRecoveredTID(tid uint64) {
+	want := (tid >> epochBits) + 1
+	for {
+		cur := d.epoch.Load()
+		if cur >= want || d.epoch.CompareAndSwap(cur, want) {
+			return
+		}
+	}
+}

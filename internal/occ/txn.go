@@ -87,6 +87,7 @@ type Txn struct {
 	scans    []scanEntry
 	scanIdx  map[ScanGuard]int
 	maxTID   uint64
+	tid      uint64 // commit TID, set by CommitPrepared
 
 	// prepare bookkeeping
 	lockedRecs   []*kv.Record
@@ -273,6 +274,17 @@ func (t *Txn) PendingWriteFor(rec *kv.Record) (data []byte, deleted, ok bool) {
 	return w.data, w.kind == writeDelete, true
 }
 
+// TID returns the transaction's TID, or zero if none has been assigned yet.
+// Assignment happens in AssignTID (prepared transactions, for the WAL) or in
+// CommitPrepared, so a non-zero TID does not imply the transaction
+// committed: a prepared transaction whose TID was pre-assigned can still
+// abort.
+func (t *Txn) TID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tid
+}
+
 // ReadOnly reports whether the transaction buffered no writes.
 func (t *Txn) ReadOnly() bool {
 	t.mu.Lock()
@@ -376,16 +388,56 @@ func (t *Txn) Prepare() error {
 	return nil
 }
 
+// AssignTID assigns (or returns the already-assigned) commit TID of a
+// prepared transaction before the write phase installs its writes. The
+// durability layer uses it to append the commit record to the WAL *ahead of*
+// in-memory visibility: because no other transaction can observe the writes
+// until CommitPrepared installs them, any dependent commit's append — and
+// therefore its fsync, which covers everything appended before it — is
+// ordered after this transaction's record, so recovery can never replay a
+// dependent commit without its antecedent.
+func (t *Txn) AssignTID() (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != statePrepared {
+		return 0, ErrTxnClosed
+	}
+	if t.tid == 0 {
+		t.tid = t.domain.nextTID(t.maxTID)
+	}
+	return t.tid, nil
+}
+
+// PreparedWrites calls fn for every buffered write of a prepared transaction
+// — the write set CommitPrepared is about to install — in buffer order. The
+// data slice must be treated as immutable. For a transaction that is not
+// prepared, fn is never called.
+func (t *Txn) PreparedWrites(fn func(key string, data []byte, deleted bool)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != statePrepared {
+		return
+	}
+	for _, w := range t.writes {
+		fn(w.key, w.data, w.kind == writeDelete)
+	}
+}
+
 // CommitPrepared runs the write phase after a successful Prepare: it installs
-// buffered writes under a fresh TID, bumps structural versions, and releases
-// all locks. It returns the TID assigned to the transaction.
+// buffered writes under a fresh TID (or the one AssignTID already chose),
+// bumps structural versions, and releases all locks. It returns the TID
+// assigned to the transaction.
 func (t *Txn) CommitPrepared() (uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.state != statePrepared {
 		return 0, ErrTxnClosed
 	}
-	tid := t.domain.nextTID(t.maxTID)
+	tid := t.tid
+	if tid == 0 {
+		tid = t.domain.nextTID(t.maxTID)
+		t.tid = tid
+	}
 	for _, w := range t.writes {
 		switch w.kind {
 		case writeDelete:

@@ -52,6 +52,12 @@ func DepthBounds() []float64 {
 	return append([]float64{0}, ExponentialBounds(1, 2, 13)...)
 }
 
+// ByteBounds returns exponential bounds suitable for byte-size histograms
+// (e.g. bytes fsynced per WAL flush): 64B up to ~32MiB.
+func ByteBounds() []float64 {
+	return ExponentialBounds(64, 2, 20)
+}
+
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
 	i := 0

@@ -1,0 +1,416 @@
+package wal
+
+import (
+	"fmt"
+	"time"
+
+	"sync"
+
+	"reactdb/internal/stats"
+)
+
+// Options configure a Log.
+type Options struct {
+	// SegmentSize is the byte size at which the active segment is sealed and
+	// a new one started (default 1 MiB). A batch is never split across
+	// segments: rotation happens between batches, so every segment holds
+	// whole records.
+	SegmentSize int
+}
+
+// DefaultSegmentSize is used when Options.SegmentSize is zero.
+const DefaultSegmentSize = 1 << 20
+
+// Log is an append-only segmented write-ahead log. Append assigns LSNs and
+// buffers frames into the active segment; Sync makes everything appended so
+// far durable with one fsync. Concurrent Sync callers batch: whoever fsyncs
+// first covers every record appended before it, and later callers whose
+// records are already durable return without touching the disk (group-fsync
+// absorption).
+type Log struct {
+	storage Storage
+	segSize int
+
+	mu        sync.Mutex
+	active    SegmentFile // nil until the first append (lazy creation)
+	activeIdx uint64
+	nextIdx   uint64 // index the next created segment will get
+	activeLen int
+	appended  uint64 // last LSN appended
+	durable   uint64 // last LSN made durable by fsync
+	unsynced  int    // bytes appended since the last successful fsync
+	closed    bool
+	broken    error // set on a failed segment write: the tail may be torn
+
+	// stats (guarded by mu except the histograms, which are internally atomic)
+	appends       uint64
+	appendedBytes uint64
+	fsyncs        uint64
+	absorbed      uint64
+	segments      uint64
+	fsyncLat      *stats.Histogram
+	flushBytes    *stats.Histogram
+}
+
+// Open opens a log on the given storage: it scans existing segments to find
+// the last assigned LSN (so new appends continue the sequence). The active
+// segment is created lazily on first append, so an idle restart does not
+// accumulate empty segment files.
+func Open(storage Storage, opts Options) (*Log, error) {
+	segSize := opts.SegmentSize
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	l := &Log{
+		storage:    storage,
+		segSize:    segSize,
+		fsyncLat:   stats.NewHistogram(stats.DurationBounds()),
+		flushBytes: stats.NewHistogram(stats.ByteBounds()),
+	}
+	indexes, err := storage.List()
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(0)
+	if len(indexes) > 0 {
+		next = indexes[len(indexes)-1] + 1
+		// A predecessor killed mid-run may have left its final segment's
+		// tail in the page cache, never fsynced; make it durable before
+		// treating recovered records as such, or a later machine crash could
+		// erase records that post-restart commits were built on. Segments
+		// before the last were fsynced at rotation.
+		if err := storage.SyncSegment(indexes[len(indexes)-1]); err != nil {
+			return nil, err
+		}
+	}
+	// LSNs ascend across segments, so the last segment holding any valid
+	// record carries the maximum; scan backwards and stop at the first hit
+	// instead of reading the whole log.
+	for i := len(indexes) - 1; i >= 0; i-- {
+		buf, err := storage.ReadSegment(indexes[i])
+		if err != nil {
+			return nil, err
+		}
+		off := 0
+		for off < len(buf) {
+			rec, n, err := decodeRecord(buf, off)
+			if err != nil {
+				break // torn tail of a crashed append; valid prefix ends here
+			}
+			if rec.LSN > l.appended {
+				l.appended = rec.LSN
+			}
+			off = n
+		}
+		if l.appended > 0 {
+			break
+		}
+	}
+	l.durable = l.appended // everything recovered from storage is durable
+	l.nextIdx = next
+	return l, nil
+}
+
+// ensureActiveLocked lazily creates the active segment.
+func (l *Log) ensureActiveLocked() error {
+	if l.active != nil {
+		return nil
+	}
+	active, err := l.storage.Create(l.nextIdx)
+	if err != nil {
+		return err
+	}
+	l.active = active
+	l.activeIdx = l.nextIdx
+	l.nextIdx++
+	l.activeLen = 0
+	l.segments++
+	return nil
+}
+
+// Append appends one commit record, assigning its LSN. The record is durable
+// only after a subsequent Sync returns nil.
+func (l *Log) Append(rec Record) (uint64, error) {
+	lsns, err := l.AppendBatch([]Record{rec})
+	return lsns, err
+}
+
+// AppendBatch appends a batch of commit records with consecutive LSNs and
+// returns the last LSN assigned. One buffer is encoded and one write issued
+// for the whole batch.
+func (l *Log) AppendBatch(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.broken != nil {
+		return 0, fmt.Errorf("wal: log wedged after failed write: %w", l.broken)
+	}
+	if err := l.ensureActiveLocked(); err != nil {
+		return 0, err
+	}
+	// The appended watermark (and with it the durable fast path in Sync)
+	// advances only after the bytes hit the segment: rotation fsyncs the old
+	// segment and sets durable to the watermark, so counting this batch's
+	// LSNs early would let a rotation-triggering append's Sync be absorbed
+	// without its bytes ever being fsynced.
+	lsn := l.appended
+	var buf []byte
+	for i := range recs {
+		lsn++
+		recs[i].LSN = lsn
+		buf = appendFrame(buf, &recs[i])
+	}
+	if l.activeLen > 0 && l.activeLen+len(buf) > l.segSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		// The segment tail may now hold a torn partial frame — or worse,
+		// complete leading frames of a batch whose transactions are about to
+		// be aborted. Burn the failed LSNs (retractions must sort after any
+		// orphan frame carrying them), then best effort: seal this segment
+		// and retract the whole batch on a fresh one, so neither a later
+		// fsync nor the next Open's tail adoption can resurrect aborted
+		// transactions, and the log can keep serving. If the retraction
+		// fails too, wedge: every further append and sync fails until a
+		// restart cuts the tail.
+		l.appended = lsn
+		if rerr := l.retractBatchLocked(recs); rerr != nil {
+			l.broken = err
+		}
+		return 0, err
+	}
+	l.appended = lsn
+	l.activeLen += len(buf)
+	l.unsynced += len(buf)
+	l.appends += uint64(len(recs))
+	l.appendedBytes += uint64(len(buf))
+	return l.appended, nil
+}
+
+// rotateLocked seals the active segment (fsyncing its contents so a sealed
+// segment is always fully durable) and starts the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.fsyncLocked(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	l.active = nil
+	return l.ensureActiveLocked()
+}
+
+// retractBatchLocked is the failed-append salvage path: it seals the segment
+// whose write just failed — deliberately *without* fsyncing it, since its
+// tail (torn bytes, possibly complete leading frames of the failed batch)
+// need never become durable — and appends + fsyncs one abort record per
+// batch member on a fresh segment. The retraction is durable before
+// AppendBatch reports the failure, so in every crash or restart in which an
+// orphan frame survives, its abort record has survived too. If this salvage
+// itself fails the log wedges and this process never fsyncs the tail; only
+// OS write-back after a process kill can then leak an orphan frame (the
+// documented in-doubt window for unsalvageable log failures).
+func (l *Log) retractBatchLocked(recs []Record) error {
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	l.active = nil
+	if err := l.ensureActiveLocked(); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, r := range recs {
+		l.appended++
+		ab := Record{LSN: l.appended, TID: r.TID, Abort: true}
+		buf = appendFrame(buf, &ab)
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		return err
+	}
+	l.activeLen += len(buf)
+	l.unsynced += len(buf)
+	l.appends += uint64(len(recs))
+	l.appendedBytes += uint64(len(buf))
+	return l.fsyncLocked()
+}
+
+// Sync makes every appended record durable. A call whose records were already
+// covered by an earlier fsync returns immediately without touching storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if l.broken != nil {
+		return fmt.Errorf("wal: log wedged after failed write: %w", l.broken)
+	}
+	if l.durable >= l.appended {
+		l.absorbed++
+		return nil
+	}
+	return l.fsyncLocked()
+}
+
+// fsyncLocked issues one fsync covering everything appended so far. A
+// wedged log refuses: its tail may hold torn or retraction-less frames of
+// transactions already reported as failed, and fsyncing them (even from
+// Close) could make recovery resurrect those transactions.
+func (l *Log) fsyncLocked() error {
+	if l.broken != nil {
+		return fmt.Errorf("wal: log wedged after failed write: %w", l.broken)
+	}
+	if l.durable >= l.appended && l.unsynced == 0 {
+		return nil
+	}
+	start := time.Now()
+	err := l.active.Sync()
+	l.fsyncLat.ObserveDuration(time.Since(start))
+	if err != nil {
+		return err
+	}
+	l.fsyncs++
+	l.flushBytes.Observe(float64(l.unsynced))
+	l.unsynced = 0
+	l.durable = l.appended
+	return nil
+}
+
+// LastLSN returns the highest LSN assigned (appended), durable or not.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// DurableLSN returns the highest LSN covered by a successful fsync.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Empty reports whether the log holds no records at all.
+func (l *Log) Empty() bool { return l.LastLSN() == 0 }
+
+// Replay iterates every decodable committed record in LSN order. A torn or
+// corrupt frame ends that *segment's* valid prefix but not the whole
+// iteration: a crash leaves a torn tail in what was then the final segment,
+// and after a restart later segments hold newer acknowledged commits that
+// must still be replayed (within one process run everything before the
+// active segment was fsynced at rotation, so a torn frame can only ever be a
+// crash artifact of an earlier incarnation's tail).
+//
+// Replay runs two passes: the first collects abort records — retractions of
+// commit records whose multi-participant transaction failed after this log
+// received them — and the second streams every commit record that was not
+// retracted. Retraction is LSN-ordered: an abort record only retracts
+// records appended *before* it, so if a later incarnation reuses a retracted
+// TID (per-epoch sequence numbers restart), the newer acknowledged commit is
+// not silently dropped. It must be called before this Log instance appends
+// new records — in practice, immediately after Open during recovery. A
+// non-nil error from fn aborts the iteration and is returned.
+func (l *Log) Replay(fn func(Record) error) error {
+	indexes, err := l.storage.List()
+	if err != nil {
+		return err
+	}
+	var retracted map[uint64]uint64 // TID -> highest abort-record LSN
+	scan := func(visit func(Record) error) error {
+		for _, idx := range indexes {
+			buf, err := l.storage.ReadSegment(idx)
+			if err != nil {
+				return err
+			}
+			off := 0
+			for off < len(buf) {
+				rec, n, decErr := decodeRecord(buf, off)
+				if decErr != nil {
+					break // end of this segment's valid prefix
+				}
+				if err := visit(rec); err != nil {
+					return err
+				}
+				off = n
+			}
+		}
+		return nil
+	}
+	if err := scan(func(rec Record) error {
+		if rec.Abort {
+			if retracted == nil {
+				retracted = make(map[uint64]uint64)
+			}
+			if rec.LSN > retracted[rec.TID] {
+				retracted[rec.TID] = rec.LSN
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return scan(func(rec Record) error {
+		if rec.Abort || retracted[rec.TID] > rec.LSN {
+			return nil
+		}
+		return fn(rec)
+	})
+}
+
+// Close fsyncs and closes the active segment. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	err := l.fsyncLocked()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats is a snapshot of the log's activity counters and distributions.
+type Stats struct {
+	// Appends counts records appended; AppendedBytes the encoded bytes.
+	Appends       uint64
+	AppendedBytes uint64
+	// Fsyncs counts physical fsyncs issued; SyncsAbsorbed counts Sync calls
+	// satisfied by an earlier fsync (the group-fsync amortization win).
+	Fsyncs        uint64
+	SyncsAbsorbed uint64
+	// Segments counts segments created by this Log instance.
+	Segments uint64
+	// FsyncLatency is the distribution of fsync call latencies (nanoseconds);
+	// BytesPerFlush the distribution of bytes made durable per fsync.
+	FsyncLatency  stats.HistogramSnapshot
+	BytesPerFlush stats.HistogramSnapshot
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	s := Stats{
+		Appends:       l.appends,
+		AppendedBytes: l.appendedBytes,
+		Fsyncs:        l.fsyncs,
+		SyncsAbsorbed: l.absorbed,
+		Segments:      l.segments,
+	}
+	l.mu.Unlock()
+	s.FsyncLatency = l.fsyncLat.Snapshot()
+	s.BytesPerFlush = l.flushBytes.Snapshot()
+	return s
+}

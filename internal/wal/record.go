@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Write is one write of a commit record: a fully-qualified key (the engine
+// encodes reactor, relation and primary key into it), the full row image, and
+// whether the write is a deletion.
+type Write struct {
+	Key    string
+	Data   []byte
+	Delete bool
+}
+
+// Record is one transaction outcome in the log. LSN is assigned by the Log
+// at append time; TID is the commit timestamp the concurrency control domain
+// assigned at prepare. A record with Abort set retracts any earlier commit
+// record carrying the same TID: it is appended when a multi-participant
+// commit fails after this log already received the transaction's commit
+// record, so recovery must not replay it.
+type Record struct {
+	LSN    uint64
+	TID    uint64
+	Abort  bool
+	Writes []Write
+}
+
+// Frame layout: a 4-byte little-endian payload length, a 4-byte CRC32 (IEEE)
+// of the payload, then the payload itself. The payload is:
+//
+//	uvarint LSN | uvarint TID | 1 record flag byte (bit0 = abort) |
+//	uvarint #writes |
+//	  per write: 1 flag byte (bit0 = delete) | uvarint keyLen | key |
+//	             uvarint dataLen | data
+//
+// A record that does not frame-check (short frame or CRC mismatch) ends the
+// containing segment's replay prefix: it is the torn tail of a crashed
+// append.
+const frameHeaderSize = 8
+
+// maxPayload bounds a single record's encoded payload; a length field above
+// it is treated as corruption rather than attempting a huge allocation.
+const maxPayload = 1 << 30
+
+// ErrCorrupt reports a record that failed its CRC or structural checks in a
+// position where the log cannot simply stop (mid-segment with valid data
+// after it is indistinguishable from a torn tail, so decode errors surface as
+// end-of-log instead; ErrCorrupt is returned by decodeRecord for tests).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// appendFrame encodes rec as one CRC-framed record appended to buf.
+func appendFrame(buf []byte, rec *Record) []byte {
+	payloadStart := len(buf) + frameHeaderSize
+	// Reserve the header; the payload length and CRC are patched in below.
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = binary.AppendUvarint(buf, rec.LSN)
+	buf = binary.AppendUvarint(buf, rec.TID)
+	var recFlags byte
+	if rec.Abort {
+		recFlags |= 1
+	}
+	buf = append(buf, recFlags)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Writes)))
+	for _, w := range rec.Writes {
+		var flags byte
+		if w.Delete {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, uint64(len(w.Key)))
+		buf = append(buf, w.Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(w.Data)))
+		buf = append(buf, w.Data...)
+	}
+	payload := buf[payloadStart:]
+	binary.LittleEndian.PutUint32(buf[payloadStart-frameHeaderSize:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[payloadStart-4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// decodeRecord decodes one framed record starting at buf[off]. It returns the
+// record and the offset just past the frame. Any framing or structural
+// problem returns an error wrapping ErrCorrupt; replay treats it as the end
+// of the valid log prefix.
+func decodeRecord(buf []byte, off int) (Record, int, error) {
+	if off+frameHeaderSize > len(buf) {
+		return Record{}, 0, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+	}
+	payloadLen := binary.LittleEndian.Uint32(buf[off:])
+	sum := binary.LittleEndian.Uint32(buf[off+4:])
+	if payloadLen == 0 || payloadLen > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, payloadLen)
+	}
+	start := off + frameHeaderSize
+	end := start + int(payloadLen)
+	if end > len(buf) {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+	payload := buf[start:end]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+
+	var rec Record
+	p := payload
+	var err error
+	if rec.LSN, p, err = readUvarint(p); err != nil {
+		return Record{}, 0, err
+	}
+	if rec.TID, p, err = readUvarint(p); err != nil {
+		return Record{}, 0, err
+	}
+	if len(p) == 0 {
+		return Record{}, 0, fmt.Errorf("%w: truncated record flags", ErrCorrupt)
+	}
+	rec.Abort = p[0]&1 != 0
+	p = p[1:]
+	var n uint64
+	if n, p, err = readUvarint(p); err != nil {
+		return Record{}, 0, err
+	}
+	if n > uint64(len(p)) { // each write needs at least its flag byte
+		return Record{}, 0, fmt.Errorf("%w: write count %d exceeds payload", ErrCorrupt, n)
+	}
+	rec.Writes = make([]Write, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(p) == 0 {
+			return Record{}, 0, fmt.Errorf("%w: truncated write flags", ErrCorrupt)
+		}
+		flags := p[0]
+		p = p[1:]
+		var w Write
+		var keyLen, dataLen uint64
+		if keyLen, p, err = readUvarint(p); err != nil {
+			return Record{}, 0, err
+		}
+		if keyLen > uint64(len(p)) {
+			return Record{}, 0, fmt.Errorf("%w: truncated key", ErrCorrupt)
+		}
+		w.Key = string(p[:keyLen])
+		p = p[keyLen:]
+		if dataLen, p, err = readUvarint(p); err != nil {
+			return Record{}, 0, err
+		}
+		if dataLen > uint64(len(p)) {
+			return Record{}, 0, fmt.Errorf("%w: truncated data", ErrCorrupt)
+		}
+		if dataLen > 0 {
+			w.Data = append([]byte(nil), p[:dataLen]...)
+		}
+		p = p[dataLen:]
+		w.Delete = flags&1 != 0
+		rec.Writes = append(rec.Writes, w)
+	}
+	return rec, end, nil
+}
+
+func readUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, p[n:], nil
+}

@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Storage persists log segments. It outlives any single Log instance: a new
+// Log opened on the same Storage sees the segments its predecessors wrote,
+// which is what makes recovery after a restart (or a simulated crash)
+// possible.
+type Storage interface {
+	// Sub returns a namespaced child storage (one per container).
+	Sub(name string) Storage
+	// List returns the indexes of existing segments in ascending order.
+	List() ([]uint64, error)
+	// ReadSegment returns the full durable contents of a segment.
+	ReadSegment(index uint64) ([]byte, error)
+	// SyncSegment fsyncs an existing segment that is not currently open for
+	// writing. Open uses it to make a predecessor's tail durable before
+	// treating recovered records as such.
+	SyncSegment(index uint64) error
+	// Create creates the segment with the given index and returns its writer.
+	Create(index uint64) (SegmentFile, error)
+}
+
+// SegmentFile is the writable handle of one open segment.
+type SegmentFile interface {
+	io.Writer
+	// Sync makes every byte written so far durable.
+	Sync() error
+	Close() error
+}
+
+// --- In-memory storage --------------------------------------------------------
+
+// MemStorage keeps segments in process memory with honest durability
+// semantics: bytes become "durable" only when Sync succeeds, and CrashCopy
+// discards everything after the last successful sync — exactly what a machine
+// crash does to an OS page cache. Tests use the fault hooks to gate or fail
+// fsyncs and to snapshot a post-crash view while the original database is
+// still wedged mid-flush.
+type MemStorage struct {
+	root   *memRoot
+	prefix string
+}
+
+type memRoot struct {
+	mu   sync.Mutex
+	segs map[string]*memSegment
+
+	// fault injection, shared by all Sub-storages
+	syncGate chan struct{} // non-nil: Sync blocks until the channel is closed
+	syncErr  error         // non-nil: Sync fails without marking bytes durable
+	writeErr error         // non-nil: Write fails after a partial append
+	writeOne bool          // writeErr clears after one failed Write
+	syncs    atomic.Int64  // Sync attempts started (including gated/failed)
+}
+
+type memSegment struct {
+	buf    []byte
+	synced int // prefix of buf that survived the last successful Sync
+}
+
+// NewMemStorage returns an empty in-memory storage.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{root: &memRoot{segs: make(map[string]*memSegment)}}
+}
+
+func (m *MemStorage) key(index uint64) string {
+	return fmt.Sprintf("%s/%016d", m.prefix, index)
+}
+
+// Sub implements Storage.
+func (m *MemStorage) Sub(name string) Storage {
+	return &MemStorage{root: m.root, prefix: m.prefix + "/" + name}
+}
+
+// List implements Storage.
+func (m *MemStorage) List() ([]uint64, error) {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	var out []uint64
+	for k := range m.root.segs {
+		var idx uint64
+		if n, err := fmt.Sscanf(k, m.prefix+"/%016d", &idx); n == 1 && err == nil {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ReadSegment implements Storage. It returns everything written, durable or
+// not: that is what a clean reopen of a real file would see. Crash semantics
+// come from CrashCopy, which drops the unsynced suffix first.
+func (m *MemStorage) ReadSegment(index uint64) ([]byte, error) {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	seg, ok := m.root.segs[m.key(index)]
+	if !ok {
+		return nil, fmt.Errorf("wal: no such segment %d", index)
+	}
+	return append([]byte(nil), seg.buf...), nil
+}
+
+// SyncSegment implements Storage: everything written so far becomes durable,
+// matching what fsyncing a real file adopted from the page cache would do.
+func (m *MemStorage) SyncSegment(index uint64) error {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	seg, ok := m.root.segs[m.key(index)]
+	if !ok {
+		return fmt.Errorf("wal: no such segment %d", index)
+	}
+	if err := m.root.syncErr; err != nil {
+		return err
+	}
+	seg.synced = len(seg.buf)
+	return nil
+}
+
+// Create implements Storage.
+func (m *MemStorage) Create(index uint64) (SegmentFile, error) {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	k := m.key(index)
+	if _, dup := m.root.segs[k]; dup {
+		return nil, fmt.Errorf("wal: segment %d already exists", index)
+	}
+	seg := &memSegment{}
+	m.root.segs[k] = seg
+	return &memSegmentFile{root: m.root, seg: seg}, nil
+}
+
+// GateSyncs installs a gate channel: every subsequent Sync (on any segment of
+// this storage tree) blocks until the channel is closed. It simulates a
+// committer stuck mid-fsync so a test can crash the system mid-batch.
+func (m *MemStorage) GateSyncs(gate chan struct{}) {
+	m.root.mu.Lock()
+	m.root.syncGate = gate
+	m.root.mu.Unlock()
+}
+
+// FailSyncs makes every subsequent Sync fail with err (nil restores normal
+// operation). Failed syncs leave their bytes non-durable.
+func (m *MemStorage) FailSyncs(err error) {
+	m.root.mu.Lock()
+	m.root.syncErr = err
+	m.root.mu.Unlock()
+}
+
+// FailWrites makes every subsequent segment Write fail with err after
+// appending only half of its bytes — the torn-frame shape a full disk
+// leaves behind. nil restores normal operation.
+func (m *MemStorage) FailWrites(err error) {
+	m.root.mu.Lock()
+	m.root.writeErr = err
+	m.root.writeOne = false
+	m.root.mu.Unlock()
+}
+
+// FailNextWrite fails exactly one subsequent segment Write (half-appended,
+// like FailWrites), then restores normal operation — a transient write
+// failure the log can salvage by retracting on a fresh segment.
+func (m *MemStorage) FailNextWrite(err error) {
+	m.root.mu.Lock()
+	m.root.writeErr = err
+	m.root.writeOne = true
+	m.root.mu.Unlock()
+}
+
+// SyncsStarted returns the number of Sync attempts begun, including gated and
+// failed ones; tests use it to detect a committer wedged in fsync.
+func (m *MemStorage) SyncsStarted() int64 { return m.root.syncs.Load() }
+
+// CrashCopy returns a new independent MemStorage holding only the durable
+// (synced) prefix of every segment — the storage state a machine crash would
+// leave behind. The original storage is not modified, so a database still
+// wedged on it can be released and shut down afterwards.
+func (m *MemStorage) CrashCopy() *MemStorage {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	root := &memRoot{segs: make(map[string]*memSegment, len(m.root.segs))}
+	for k, seg := range m.root.segs {
+		root.segs[k] = &memSegment{
+			buf:    append([]byte(nil), seg.buf[:seg.synced]...),
+			synced: seg.synced,
+		}
+	}
+	return &MemStorage{root: root, prefix: m.prefix}
+}
+
+type memSegmentFile struct {
+	root *memRoot
+	seg  *memSegment
+}
+
+func (f *memSegmentFile) Write(p []byte) (int, error) {
+	f.root.mu.Lock()
+	defer f.root.mu.Unlock()
+	if err := f.root.writeErr; err != nil {
+		if f.root.writeOne {
+			f.root.writeErr = nil
+			f.root.writeOne = false
+		}
+		n := len(p) / 2
+		f.seg.buf = append(f.seg.buf, p[:n]...)
+		return n, err
+	}
+	f.seg.buf = append(f.seg.buf, p...)
+	return len(p), nil
+}
+
+func (f *memSegmentFile) Sync() error {
+	f.root.syncs.Add(1)
+	f.root.mu.Lock()
+	gate := f.root.syncGate
+	f.root.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	f.root.mu.Lock()
+	defer f.root.mu.Unlock()
+	if err := f.root.syncErr; err != nil {
+		return err
+	}
+	f.seg.synced = len(f.seg.buf)
+	return nil
+}
+
+func (f *memSegmentFile) Close() error { return nil }
+
+// --- File-backed storage ------------------------------------------------------
+
+// FileStorage stores each segment as one file (%016d.wal) under a directory,
+// with real fsyncs. Directories are created lazily on first write.
+type FileStorage struct {
+	dir string
+}
+
+// NewFileStorage returns a file-backed storage rooted at dir. No IO happens
+// until a segment is created or listed.
+func NewFileStorage(dir string) *FileStorage { return &FileStorage{dir: dir} }
+
+func (s *FileStorage) segPath(index uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%016d.wal", index))
+}
+
+// Sub implements Storage.
+func (s *FileStorage) Sub(name string) Storage {
+	return &FileStorage{dir: filepath.Join(s.dir, name)}
+}
+
+// List implements Storage.
+func (s *FileStorage) List() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		var idx uint64
+		if n, scanErr := fmt.Sscanf(e.Name(), "%016d.wal", &idx); n == 1 && scanErr == nil {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ReadSegment implements Storage.
+func (s *FileStorage) ReadSegment(index uint64) ([]byte, error) {
+	return os.ReadFile(s.segPath(index))
+}
+
+// SyncSegment implements Storage.
+func (s *FileStorage) SyncSegment(index uint64) error {
+	f, err := os.OpenFile(s.segPath(index), os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Create implements Storage. The parent directory is fsynced after the
+// segment file is created so the directory entry — and with it every commit
+// the segment will hold — survives a crash, not just the file's own data.
+func (s *FileStorage) Create(index uint64) (SegmentFile, error) {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.segPath(index), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so freshly created entries are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -84,10 +84,16 @@ type (
 	AdmissionPolicy = engine.AdmissionPolicy
 	// GroupCommitConfig configures container-level batched group commit.
 	GroupCommitConfig = engine.GroupCommitConfig
+	// DurabilityConfig selects and parameterizes the durability path.
+	DurabilityConfig = engine.DurabilityConfig
+	// DurabilityMode selects how commits become durable before acknowledgement.
+	DurabilityMode = engine.DurabilityMode
 	// QueueStats is a snapshot of one executor's request-queue activity.
 	QueueStats = engine.QueueStats
 	// GroupCommitStats is a snapshot of one container's group-commit activity.
 	GroupCommitStats = engine.GroupCommitStats
+	// WALStats is a snapshot of one container's write-ahead log activity.
+	WALStats = engine.WALStats
 )
 
 // Column types.
@@ -112,6 +118,12 @@ const (
 	// AdmissionFail rejects requests with ErrOverloaded while the target
 	// queue is full.
 	AdmissionFail = engine.AdmissionFail
+	// DurabilityModeled charges the modeled log-write cost instead of doing
+	// real IO (the default; an ablation — nothing is recoverable).
+	DurabilityModeled = engine.DurabilityModeled
+	// DurabilityWAL makes every acknowledged commit durable on a real
+	// per-container write-ahead log; Database.Recover replays it.
+	DurabilityWAL = engine.DurabilityWAL
 )
 
 // Errors.
