@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-wal
+.PHONY: all fmt fmt-check vet build test race crash fuzz bench bench-wal bench-2pc
 
 all: fmt-check vet build test
 
@@ -25,6 +25,16 @@ test:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/occ/... ./internal/wal/...
 
+# Crash-injection matrix: kill the database at every WAL append/fsync
+# boundary of a multi-container commit, recover, assert all-or-nothing.
+crash:
+	$(GO) test -run Crash -count=2 ./internal/engine/... ./internal/wal/...
+
+# Fuzz smoke for WAL record decoding (corrupt frames must be ErrCorrupt,
+# never a panic or a silent mis-decode).
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/wal
+
 bench:
 	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
 
@@ -32,3 +42,8 @@ bench:
 # quick configuration.
 bench-wal:
 	$(GO) run ./cmd/reactdb-bench -experiment durability
+
+# Smoke-run the 2PC durability sweep (eager vs group-committed participant
+# logging) in its quick configuration.
+bench-2pc:
+	$(GO) run ./cmd/reactdb-bench -experiment twopc

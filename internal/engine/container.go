@@ -123,35 +123,81 @@ func (c *Container) appendCommitRecord(txn *occ.Txn) (bool, error) {
 	return true, nil
 }
 
-// retractCommitRecord appends an abort record for the transaction's TID and
-// fsyncs it, best-effort. It is called when a multi-participant commit fails
-// after this container's log already received the transaction's commit
-// record: without the retraction a later fsync of this (healthy) log would
-// make the aborted transaction durable and recovery would resurrect it. If
-// this append fails too, the log wedges, which keeps the un-retracted record
-// from ever being fsynced by this process.
-func (c *Container) retractCommitRecord(txn *occ.Txn) {
+// forceRecord makes rec durable in the container's log before the returned
+// channel delivers nil: through the group committer when one is running —
+// amortizing the fsync with the container's commit batches — or with a
+// direct append+fsync otherwise (the eager ablation). A nil rec is a pure
+// durability barrier: nothing is appended, and the acknowledgment means
+// everything appended to this log before the call is durable (read-only 2PC
+// participants use it so their antecedents are durable before the decision).
+// A nil channel with a nil error means the container has no WAL and there is
+// nothing to force.
+func (c *Container) forceRecord(rec *wal.Record) (<-chan error, error) {
+	if c.wal == nil {
+		return nil, nil
+	}
+	if gc := c.committer; gc != nil {
+		ch, ok := gc.submitRecord(rec)
+		if !ok {
+			// The committer stopped (shutdown racing the tail of an in-flight
+			// commit); the caller aborts rather than blocking forever.
+			return nil, errDatabaseClosed
+		}
+		return ch, nil
+	}
+	done := make(chan error, 1)
+	if rec != nil {
+		if _, err := c.wal.Append(*rec); err != nil {
+			return nil, err
+		}
+	}
+	done <- c.wal.Sync()
+	return done, nil
+}
+
+// retractRecord appends an abort record for tid and fsyncs it, best-effort.
+// It is called when a multi-participant commit fails after this container's
+// log may already have received one of the transaction's records (a prepare
+// record, under the decision protocol): presumed abort already guarantees
+// recovery will not commit it, but the durable tombstone resolves the
+// in-doubt record immediately instead of leaving it for the next recovery's
+// presumed-abort pass. If this append fails the log wedges, which keeps any
+// un-retracted record from ever being fsynced by this process.
+func (c *Container) retractRecord(tid uint64) {
 	if c.wal == nil {
 		return
 	}
-	tid, err := txn.AssignTID() // returns the TID the commit record carries
-	if err != nil {
-		return
-	}
-	if _, err := c.wal.Append(wal.Record{TID: tid, Abort: true}); err == nil {
+	if _, err := c.wal.Append(wal.Record{TID: tid, Kind: wal.KindAbort}); err == nil {
 		_ = c.wal.Sync()
 	}
 }
 
 // recover replays the container's WAL into its catalogs and concurrency
-// control domain, returning the number of transactions replayed. See
-// Database.Recover.
-func (c *Container) recover() (int, error) {
+// control domain, returning the number of transactions replayed. decided
+// holds the global ids for which a durable (unretracted) decision record
+// exists in any container's log; prepare records outside it are resolved by
+// presumed abort — skipped, counted as recovered aborts, and tombstoned with
+// a durable abort record so no later incarnation can resurrect them even if
+// global ids were ever reused. See Database.Recover.
+func (c *Container) recover(decided map[uint64]bool) (int, error) {
 	if c.wal == nil {
 		return 0, nil
 	}
 	n := 0
+	var presumedAborted []uint64
 	err := c.wal.Replay(func(rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindDecision:
+			// Decisions were collected in the scan pass; their effects are
+			// the prepare records they decide, replayed on each participant.
+			return nil
+		case wal.KindPrepare:
+			if !decided[rec.GlobalID] {
+				presumedAborted = append(presumedAborted, rec.TID)
+				c.domain.ObserveRecoveredAbort(rec.TID)
+				return nil
+			}
+		}
 		for _, w := range rec.Writes {
 			reactor, relation, key, ok := splitWALKey(w.Key)
 			if !ok {
@@ -172,7 +218,22 @@ func (c *Container) recover() (int, error) {
 		n++
 		return nil
 	})
-	return n, err
+	if err != nil {
+		return n, err
+	}
+	// Tombstone the presumed aborts after replay finished (the log must not
+	// grow mid-Replay), then make the tombstones durable with one fsync.
+	for _, tid := range presumedAborted {
+		if _, err := c.wal.Append(wal.Record{TID: tid, Kind: wal.KindAbort}); err != nil {
+			return n, fmt.Errorf("engine: recovery: tombstoning presumed abort in container %d: %w", c.id, err)
+		}
+	}
+	if len(presumedAborted) > 0 {
+		if err := c.wal.Sync(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }
 
 // splitWALKey decomposes the engine's fully-qualified write key

@@ -24,14 +24,55 @@ import (
 // Transactions that were definitively aborted (a participant's log append
 // failed) are retracted with abort records and never resurface.
 //
-// It returns the number of transactions replayed.
+// Multi-container transactions are resolved by presumed abort: a first scan
+// collects every durable decision record (any container's log can be a
+// coordinator log), then each container's replay applies prepare records
+// whose global id was decided and tombstones the rest with durable abort
+// records — a prepared-but-undecided transaction is never half-applied,
+// regardless of which participant logs its prepare records reached. The
+// decision record is appended only after every participant's prepare record
+// is durable, so a durable decision implies every participant can replay its
+// share: recovery can never surface a multi-container transaction on a
+// strict subset of its participants. Finally the root transaction id
+// sequence is advanced past every global id seen in the logs, so ids never
+// repeat across incarnations (a reused id could match a stale prepare record
+// against a fresh decision).
+//
+// It returns the number of transactions replayed, counting a multi-container
+// transaction once per participant whose log contributed writes.
 func (db *Database) Recover() (int, error) {
+	// Scan pass: collect surviving decision records and the highest global
+	// transaction id across all logs.
+	decided := make(map[uint64]bool)
+	var maxGid uint64
+	for _, c := range db.containers {
+		if c.wal == nil {
+			continue
+		}
+		if err := c.wal.Replay(func(rec wal.Record) error {
+			if rec.GlobalID > maxGid {
+				maxGid = rec.GlobalID
+			}
+			if rec.Kind == wal.KindDecision {
+				decided[rec.GlobalID] = true
+			}
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	}
 	total := 0
 	for _, c := range db.containers {
-		n, err := c.recover()
+		n, err := c.recover(decided)
 		total += n
 		if err != nil {
 			return total, err
+		}
+	}
+	for {
+		cur := db.nextTxnID.Load()
+		if cur >= maxGid || db.nextTxnID.CompareAndSwap(cur, maxGid) {
+			break
 		}
 	}
 	return total, nil

@@ -33,6 +33,21 @@ func kvType() *core.Type {
 	t.AddProcedure("del", func(ctx core.Context, args core.Args) (any, error) {
 		return nil, ctx.Delete("store", args.Int64(0))
 	})
+	// putRemote reads a local marker and writes only the destination reactor
+	// — a multi-container transaction whose coordinator participant is
+	// read-only when the reactors are placed apart.
+	t.AddProcedure("putRemote", func(ctx core.Context, args core.Args) (any, error) {
+		dst, k, v := args.String(0), args.Int64(1), args.Int64(2)
+		if _, err := ctx.Get("store", int64(1)); err != nil {
+			return nil, err
+		}
+		fut, err := ctx.Call(dst, "put", k, v)
+		if err != nil {
+			return nil, err
+		}
+		_, err = fut.Get()
+		return nil, err
+	})
 	// copyTo writes a local marker and mirrors (k, v) onto another reactor —
 	// a multi-container transaction when the two reactors are placed apart.
 	t.AddProcedure("copyTo", func(ctx core.Context, args core.Args) (any, error) {

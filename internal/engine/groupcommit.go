@@ -11,7 +11,9 @@ import (
 )
 
 // groupCommitter batches validated (prepared) single-container transactions
-// and commits them together. The motivation is the classic one: the durable
+// — plus the pre-built prepare/decision records and durability barriers of
+// two-phase commits touching this container — and commits them together. The
+// motivation is the classic one: the durable
 // log write — a real WAL append + fsync under DurabilityWAL, the modeled
 // Costs.LogWrite ablation otherwise — is paid once per batch instead of once
 // per transaction, so under concurrent load commit cost amortizes across the
@@ -40,10 +42,20 @@ type groupCommitter struct {
 	done    chan struct{}
 
 	batchSize *stats.Histogram
+	// records counts pre-built records (2PC prepares and decisions) flushed
+	// through this committer — the amortized participant logging the ROADMAP
+	// asked for, observable next to the batch-size histogram.
+	records uint64
 }
 
+// gcEntry is one unit of work accumulated for the next flush: a prepared
+// single-container transaction (txn), a pre-built WAL record to append with
+// the batch (rec: a 2PC prepare or decision record), or — with both nil — a
+// pure durability barrier, acknowledged once everything appended before it is
+// durable (read-only 2PC participants use it to force their antecedents).
 type gcEntry struct {
 	txn  *occ.Txn
+	rec  *wal.Record
 	done chan error
 }
 
@@ -75,13 +87,28 @@ func newGroupCommitter(c *Container) *groupCommitter {
 // in which an entry appended concurrently with stop, after the loop's final
 // drain, would never be flushed and its waiter would block forever.
 func (g *groupCommitter) submit(txn *occ.Txn) (<-chan error, bool) {
-	done := make(chan error, 1)
+	return g.enqueue(gcEntry{txn: txn})
+}
+
+// submitRecord hands a pre-built WAL record — a two-phase-commit prepare or
+// decision record — to the committer: it is appended with the next batch and
+// acknowledged once the batch fsync covers it, so 2PC log writes amortize
+// with the container's single-container commits. A nil rec is a pure
+// durability barrier (nothing is appended; the acknowledgment means
+// everything appended before submission is durable). The same stopped
+// semantics as submit apply.
+func (g *groupCommitter) submitRecord(rec *wal.Record) (<-chan error, bool) {
+	return g.enqueue(gcEntry{rec: rec})
+}
+
+func (g *groupCommitter) enqueue(e gcEntry) (<-chan error, bool) {
+	e.done = make(chan error, 1)
 	g.mu.Lock()
 	if g.stopped {
 		g.mu.Unlock()
 		return nil, false
 	}
-	g.batch = append(g.batch, gcEntry{txn: txn, done: done})
+	g.batch = append(g.batch, e)
 	n := len(g.batch)
 	gen := g.gen
 	g.mu.Unlock()
@@ -90,7 +117,7 @@ func (g *groupCommitter) submit(txn *occ.Txn) (<-chan error, bool) {
 	} else if n == 1 {
 		time.AfterFunc(g.window, func() { g.requestFlush(gen) })
 	}
-	return done, true
+	return e.done, true
 }
 
 // requestFlush records that the batch of generation gen is due to flush and
@@ -175,56 +202,81 @@ func (g *groupCommitter) flush(force bool) {
 	}
 	g.batchSize.Observe(float64(len(batch)))
 
-	txns := make([]*occ.Txn, len(batch))
-	for i, e := range batch {
-		txns[i] = e.txn
-	}
+	txns := make([]*occ.Txn, 0, len(batch))
+	txnSlot := make([]int, len(batch)) // entry index -> index into errs, -1 for none
+	var recordEntries uint64
 	// Append the batch's commit records *before* the write phase makes the
-	// writes visible (see walRecordPrepared): one buffer, one write. If the
-	// append itself fails nothing was installed yet, so the whole batch can
-	// abort cleanly.
+	// writes visible (see walRecordPrepared): one buffer, one write. Pre-built
+	// 2PC records ride in the same buffer; their transactions stay prepared —
+	// the coordinator owns their write phase. If the append itself fails
+	// nothing was installed yet, so the whole batch can abort cleanly.
 	w := g.container.wal
-	if w != nil {
-		recs := make([]wal.Record, 0, len(batch))
-		for _, t := range txns {
-			// AssignTID fails only for transactions that are not prepared;
-			// CommitPreparedBatch reports ErrTxnClosed for those slots.
-			if rec, err := walRecordPrepared(t); err == nil && len(rec.Writes) > 0 {
-				recs = append(recs, rec)
+	recs := make([]wal.Record, 0, len(batch))
+	for i, e := range batch {
+		txnSlot[i] = -1
+		switch {
+		case e.txn != nil:
+			txnSlot[i] = len(txns)
+			txns = append(txns, e.txn)
+			if w != nil {
+				// AssignTID fails only for transactions that are not prepared;
+				// CommitPreparedBatch reports ErrTxnClosed for those slots.
+				if rec, err := walRecordPrepared(e.txn); err == nil && len(rec.Writes) > 0 {
+					recs = append(recs, rec)
+				}
 			}
-		}
-		if len(recs) > 0 {
-			if _, err := w.AppendBatch(recs); err != nil {
-				for _, t := range txns {
-					_ = t.AbortPrepared()
-				}
-				for _, e := range batch {
-					e.done <- err
-				}
-				for i := range batch {
-					batch[i] = gcEntry{}
-				}
-				return
+		case e.rec != nil:
+			recordEntries++
+			if w != nil {
+				recs = append(recs, *e.rec)
 			}
 		}
 	}
-	errs := g.container.domain.CommitPreparedBatch(txns)
+	if w != nil && len(recs) > 0 {
+		if _, err := w.AppendBatch(recs); err != nil {
+			// Abort the batch's own transactions; 2PC record owners learn the
+			// failure through their channel and abort their participants
+			// themselves (the log has already retracted or wedged the batch's
+			// frames, see wal.Log.AppendBatch).
+			for _, t := range txns {
+				_ = t.AbortPrepared()
+			}
+			for _, e := range batch {
+				e.done <- err
+			}
+			for i := range batch {
+				batch[i] = gcEntry{}
+			}
+			return
+		}
+	}
+	var errs []error
+	if len(txns) > 0 {
+		errs = g.container.domain.CommitPreparedBatch(txns)
+	}
 	var logErr error
 	if w != nil {
-		// Sync even for an all-read-only batch: antecedent records its
-		// members read are already appended, and an already-durable log
-		// absorbs the call.
+		// Sync even for an all-read-only or barrier-only batch: antecedent
+		// records its members read are already appended, and an
+		// already-durable log absorbs the call.
 		logErr = w.Sync()
 	} else if g.logWrite > 0 {
 		vclock.Work(g.logWrite)
 	}
+	if recordEntries > 0 {
+		g.mu.Lock()
+		g.records += recordEntries
+		g.mu.Unlock()
+	}
 	for i, e := range batch {
-		err := errs[i]
-		if err == nil && logErr != nil {
-			// The write phase installed in memory but the fsync failed: the
-			// commit must not be acknowledged. Survivors of a crash at this
-			// point are exactly the fsynced prefix of the log.
-			err = logErr
+		// Record and barrier entries are acknowledged by the fsync outcome
+		// alone; transactions additionally carry their write-phase error. A
+		// transaction whose write phase installed in memory but whose fsync
+		// failed must not be acknowledged: survivors of a crash at this point
+		// are exactly the fsynced prefix of the log.
+		err := logErr
+		if s := txnSlot[i]; s >= 0 && errs[s] != nil {
+			err = errs[s]
 		}
 		e.done <- err
 	}
@@ -267,6 +319,10 @@ type GroupCommitStats struct {
 	Batches uint64
 	Txns    uint64
 	Largest uint64
+	// Records counts pre-built 2PC records (participant prepares and
+	// coordinator decisions) flushed through the committer, i.e. two-phase
+	// commit log writes that amortized with the container's batches.
+	Records uint64
 	// BatchSize is the distribution of flushed batch sizes.
 	BatchSize stats.HistogramSnapshot
 }
@@ -280,6 +336,9 @@ func (db *Database) GroupCommitStats() []GroupCommitStats {
 		s.Batches, s.Txns, s.Largest = c.domain.GroupCommitStats()
 		if c.committer != nil {
 			s.BatchSize = c.committer.batchSize.Snapshot()
+			c.committer.mu.Lock()
+			s.Records = c.committer.records
+			c.committer.mu.Unlock()
 		}
 		out = append(out, s)
 	}

@@ -2,12 +2,14 @@ package engine
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
 	"reactdb/internal/core"
 	"reactdb/internal/occ"
 	"reactdb/internal/vclock"
+	"reactdb/internal/wal"
 )
 
 // ErrConflict is returned by Execute when the transaction failed
@@ -194,7 +196,42 @@ func (r *rootTxn) commit(session *coreSession) error {
 		return nil
 	}
 
-	// Two-phase commit. Phase one: prepare (lock + validate) every participant.
+	return r.commitTwoPhase(containers, session)
+}
+
+// commitTwoPhase runs the atomic commit protocol for a multi-container
+// transaction over the participants' write-ahead logs (presumed abort):
+//
+//  1. Vote: OCC-prepare (lock + validate) every participant.
+//  2. Force a prepare record — the participant's staged write set, tagged
+//     with the root's global id — into every participant's log, through each
+//     container's group committer when one is running. Read-only
+//     participants force a durability barrier instead, so every antecedent
+//     they read is durable before the transaction can commit.
+//  3. Force one decision record carrying the full participant set to the
+//     coordinator's log (the lowest-numbered participant). This is the commit
+//     point: recovery commits a prepared transaction iff its decision record
+//     is durable, and presumes abort otherwise.
+//  4. Install every participant's writes and release its locks.
+//
+// Any failure before the decision is durable aborts every participant: no
+// write was installed yet, and durable prepare records are retracted
+// best-effort (presumed abort covers them regardless). After step 3 the
+// transaction is committed and step 4 must run on every participant —
+// returning early would leave the remaining prepared participants holding
+// their OCC locks forever.
+func (r *rootTxn) commitTwoPhase(containers []*Container, session *coreSession) error {
+	// Prepare participants in ascending container order, not touch order:
+	// two transactions touching the same containers in opposite orders would
+	// otherwise each hold one container's record latches while spinning on
+	// the other's — a cross-container deadlock Prepare's per-container lock
+	// sorting cannot see. A deterministic global order makes the latch
+	// acquisition graph cycle-free; it also fixes the coordinator (the
+	// lowest-numbered participant) independently of touch order.
+	containers = append([]*Container(nil), containers...)
+	sort.Slice(containers, func(i, j int) bool { return containers[i].id < containers[j].id })
+
+	// Phase one: prepare (lock + validate) every participant — the vote.
 	prepared := make([]*occ.Txn, 0, len(containers))
 	for _, c := range containers {
 		txn := r.txns[c]
@@ -211,61 +248,162 @@ func (r *rootTxn) commit(session *coreSession) error {
 		}
 		prepared = append(prepared, txn)
 	}
-	// Append every participant's commit record before *any* participant's
-	// write phase runs: a failed append can still abort the whole
-	// transaction atomically (nothing is installed yet), and log order keeps
-	// respecting read dependencies (walRecordPrepared). Records already
-	// appended to healthy sibling logs are retracted with abort records so a
-	// later fsync + recovery cannot resurrect the aborted transaction.
-	appendedRec := make([]bool, len(prepared))
-	for i, txn := range prepared {
-		appended, err := containers[i].appendCommitRecord(txn)
-		if err != nil {
-			for j := 0; j < i; j++ {
-				if appendedRec[j] {
-					containers[j].retractCommitRecord(prepared[j])
-				}
-			}
-			for _, p := range prepared {
-				_ = p.AbortPrepared()
-			}
-			return err
-		}
-		appendedRec[i] = appended
-	}
 
-	// Phase two: commit every participant. Each participant container owns
-	// its own log, so the durable write is charged per participant (routing
-	// prepared participants through each container's group committer is a
-	// ROADMAP item). Once phase two begins every participant must run its
-	// write phase — returning early on a durability error would leave the
-	// remaining prepared participants holding their OCC locks forever — so
-	// the first error is remembered and reported after the loop completes.
-	var firstErr error
+	// Build every participant's prepare record before appending anywhere: an
+	// AssignTID failure here can still abort with no record written. Entries
+	// stay nil for read-only participants and for containers without a WAL.
+	recs := make([]*wal.Record, len(prepared))
+	hasWrites := false
 	for i, txn := range prepared {
-		c := containers[i]
-		if _, err := txn.CommitPrepared(); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+		if containers[i].wal == nil {
 			continue
 		}
-		if c.wal != nil {
-			// Sync even when this transaction appended nothing here (it may
-			// be a read-only participant): records of the transactions it
-			// read are already in this log — appended before their writes
-			// became visible — so the fsync makes every antecedent durable
-			// before this commit is acknowledged. Already-durable logs
-			// absorb the call without touching the disk.
-			if err := c.wal.Sync(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+		rec, err := walRecordPrepared(txn)
+		if err != nil {
+			r.abortPrepared(prepared)
+			return err
 		}
-		if lw := r.db.cfg.Costs.LogWrite; lw > 0 && c.wal == nil {
+		if len(rec.Writes) == 0 {
+			continue
+		}
+		rec.Kind = wal.KindPrepare
+		rec.GlobalID = r.id
+		rec.Coordinator = uint64(containers[0].id)
+		recs[i] = &rec
+		hasWrites = true
+	}
+
+	// The executor core is released for the rest of the protocol whenever a
+	// log force can make us wait: the waits are log latency, not CPU work —
+	// and, crucially, the write phase of phase four must run *before* the
+	// core is re-acquired. A request running on this executor may be
+	// spinning on one of our prepared record latches while holding the core;
+	// re-acquiring first would deadlock the two (the single-container group
+	// committer avoids the same cycle by running its write phase on the
+	// committer goroutine).
+	useWAL := false
+	for _, c := range containers {
+		if c.wal != nil {
+			useWAL = true
+		}
+	}
+	yield := useWAL && session != nil && !r.db.cfg.DisableCooperativeMultitasking
+	if yield {
+		session.release()
+		defer session.acquire()
+	}
+
+	// Phase two: force prepare records (durability barriers for read-only
+	// participants) into every participant's log, concurrently.
+	waits := make([]<-chan error, 0, len(prepared))
+	var forceErr error
+	for i := range prepared {
+		ch, err := containers[i].forceRecord(recs[i])
+		if err != nil && forceErr == nil {
+			forceErr = err
+		}
+		if ch != nil {
+			waits = append(waits, ch)
+		}
+	}
+	if err := awaitAll(waits); err != nil && forceErr == nil {
+		forceErr = err
+	}
+	if forceErr != nil {
+		r.retractPrepares(containers, recs)
+		r.abortPrepared(prepared)
+		return forceErr
+	}
+
+	// Phase three: the commit point. One decision record, carrying the full
+	// participant set, forced to the coordinator's log. Its TID is the
+	// coordinator participant's TID so a retraction (failed append salvage)
+	// stays precise. A fully read-only transaction has nothing to decide:
+	// the barriers above already made its antecedents durable.
+	if hasWrites && containers[0].wal != nil {
+		decTID, err := prepared[0].AssignTID()
+		if err != nil {
+			r.retractPrepares(containers, recs)
+			r.abortPrepared(prepared)
+			return err
+		}
+		parts := make([]uint64, len(containers))
+		for i, c := range containers {
+			parts[i] = uint64(c.id)
+		}
+		dec := &wal.Record{Kind: wal.KindDecision, TID: decTID, GlobalID: r.id, Participants: parts}
+		ch, err := containers[0].forceRecord(dec)
+		if err == nil {
+			err = awaitAll([]<-chan error{ch})
+		}
+		if err != nil {
+			// Retract the decision record first: it may sit unfsynced in the
+			// coordinator's log, and a later commit's fsync would make it
+			// durable — recovery would then commit the prepares of this
+			// failed transaction wherever their own tombstones didn't land.
+			// A write coordinator's prepare retraction below shares the
+			// decision's TID and covers it; a read-only coordinator has no
+			// prepare record, so the decision needs its own tombstone.
+			if recs[0] == nil {
+				containers[0].retractRecord(decTID)
+			}
+			r.retractPrepares(containers, recs)
+			r.abortPrepared(prepared)
+			return err
+		}
+	}
+
+	// Phase four: the decision is durable — install every participant's
+	// writes and release its locks. Every participant must run its write
+	// phase even if an earlier one reports an error; the first error is
+	// remembered and reported after the loop completes.
+	var firstErr error
+	for i, txn := range prepared {
+		if _, err := txn.CommitPrepared(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if lw := r.db.cfg.Costs.LogWrite; lw > 0 && containers[i].wal == nil {
 			vclock.Spin(lw)
 		}
 	}
 	return firstErr
+}
+
+// awaitAll waits for every outcome channel of an in-flight log force and
+// returns the first error delivered. The caller has already released its
+// executor core (see commitTwoPhase): the waits are group-commit window
+// latency, not CPU work.
+func awaitAll(waits []<-chan error) error {
+	var firstErr error
+	for _, ch := range waits {
+		if err := <-ch; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// abortPrepared releases every participant's OCC locks without installing any
+// write. No exit path of the commit protocol may skip a prepared participant:
+// a leaked prepared transaction holds its record locks forever.
+func (r *rootTxn) abortPrepared(prepared []*occ.Txn) {
+	for _, p := range prepared {
+		_ = p.AbortPrepared()
+	}
+}
+
+// retractPrepares appends best-effort abort tombstones for every prepare
+// record the failed commit may have put into a participant log. Presumed
+// abort already keeps recovery from committing the transaction (its decision
+// record does not exist); the tombstones resolve the in-doubt records
+// eagerly. A tombstone for a record whose append never succeeded is a no-op:
+// abort records only retract earlier LSNs carrying the same TID.
+func (r *rootTxn) retractPrepares(containers []*Container, recs []*wal.Record) {
+	for i, rec := range recs {
+		if rec != nil {
+			containers[i].retractRecord(rec.TID)
+		}
+	}
 }
 
 // groupCommit validates the transaction on its executor core, then hands it

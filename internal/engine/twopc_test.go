@@ -1,0 +1,357 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reactdb/internal/rel"
+	"reactdb/internal/wal"
+)
+
+// execWithWatchdog runs one Execute and fails the test if it does not
+// complete within the deadline — the symptom of a 2PC abort path that leaked
+// a prepared participant's OCC locks (Record.Lock spins forever on a leaked
+// latch). The returned error is the Execute outcome.
+func execWithWatchdog(t *testing.T, db *Database, reactor, proc string, args ...any) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Execute(reactor, proc, args...)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s.%s hung: a failed 2PC left OCC locks held", reactor, proc)
+		return nil
+	}
+}
+
+// twoContainerCfg places kv0 on container 0 and kv1 on container 1 over the
+// given storage, with group commit off so the 2PC record forcing uses the
+// eager append+fsync path (deterministic write counts for fault injection).
+func twoContainerCfg(storage wal.Storage) Config {
+	return Config{
+		Containers:            2,
+		ExecutorsPerContainer: 1,
+		Durability:            DurabilityConfig{Mode: DurabilityWAL, Storage: storage},
+		Placement: func(reactor string) int {
+			if reactor == "kv0" {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// TestTwoPCPrepareAppendFailureReleasesLocks is the abort-path regression
+// test: participant 1's prepare-record append fails mid-protocol, after
+// participant 0 already holds its OCC locks and its prepare record is in its
+// log. Every participant must be released — a follow-up transaction on the
+// very keys the failed 2PC locked must complete — and the failed transaction
+// must be absent everywhere, both live and after recovery.
+func TestTwoPCPrepareAppendFailureReleasesLocks(t *testing.T) {
+	mem := wal.NewMemStorage()
+	var armed atomic.Bool
+	storage := &failingSubStorage{
+		Storage:  wal.Storage(mem),
+		failName: "container-1",
+		armed:    &armed,
+		errVal:   errors.New("injected log device failure"),
+	}
+	def := kvDef("kv0", "kv1")
+	db := MustOpen(def, twoContainerCfg(storage))
+
+	armed.Store(true)
+	if err := execWithWatchdog(t, db, "kv0", "copyTo", "kv1", int64(2), int64(20)); err == nil {
+		t.Fatal("copyTo succeeded despite the injected prepare append failure")
+	}
+	armed.Store(false)
+
+	// The same keys must be writable immediately: leaked prepare locks would
+	// hang these forever. Container 1's log wedged on the failed append
+	// (fail-stop), so its write completes with an error; container 0's
+	// succeeds outright.
+	if err := execWithWatchdog(t, db, "kv0", "put", int64(2), int64(200)); err != nil {
+		t.Fatalf("put on kv0 after failed 2PC: %v", err)
+	}
+	if err := execWithWatchdog(t, db, "kv1", "put", int64(2), int64(201)); err == nil {
+		t.Fatal("put on kv1 succeeded although its log wedged fail-stop")
+	}
+	db.Close()
+
+	// Recovery sees container 0's durable (retracted, undecided) prepare
+	// record and no decision: presumed abort, nothing resurrected.
+	db2 := MustOpen(def, twoContainerCfg(mem))
+	t.Cleanup(db2.Close)
+	if _, err := db2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if v, present := readV(t, db2, "kv0", 2); !present || v != 200 {
+		t.Fatalf("kv0[2] = (%d, %v), want the follow-up put's 200", v, present)
+	}
+	if v, present := readV(t, db2, "kv1", 2); present {
+		t.Fatalf("aborted 2PC write resurrected on kv1 with %d", v)
+	}
+}
+
+// failNthWriteStorage fails exactly the Nth segment write issued within one
+// named sub-storage, counting across segments — the shape of a log device
+// failing at a chosen protocol step while every other container stays
+// healthy.
+type failNthWriteStorage struct {
+	wal.Storage
+	name     string
+	failName string
+	writes   *atomic.Int64
+	failOn   int64
+	errVal   error
+}
+
+func (s *failNthWriteStorage) Sub(name string) wal.Storage {
+	return &failNthWriteStorage{
+		Storage:  s.Storage.Sub(name),
+		name:     name,
+		failName: s.failName,
+		writes:   s.writes,
+		failOn:   s.failOn,
+		errVal:   s.errVal,
+	}
+}
+
+func (s *failNthWriteStorage) Create(index uint64) (wal.SegmentFile, error) {
+	f, err := s.Storage.Create(index)
+	if err != nil {
+		return nil, err
+	}
+	return &failNthSegmentFile{SegmentFile: f, owner: s}, nil
+}
+
+type failNthSegmentFile struct {
+	wal.SegmentFile
+	owner *failNthWriteStorage
+}
+
+func (f *failNthSegmentFile) Write(p []byte) (int, error) {
+	if f.owner.name == f.owner.failName && f.owner.writes.Add(1) == f.owner.failOn {
+		return 0, f.owner.errVal
+	}
+	return f.SegmentFile.Write(p)
+}
+
+// TestTwoPCDecisionFailurePresumedAbort fails the coordinator's decision
+// append after every participant's prepare record is already durable: the
+// hardest abort case. The client gets an error, every lock is released, and
+// recovery — finding durable prepares on both participants but no decision —
+// presumes abort on both, never a subset.
+func TestTwoPCDecisionFailurePresumedAbort(t *testing.T) {
+	mem := wal.NewMemStorage()
+	var writes atomic.Int64
+	// On container 0 (the coordinator: kv0 is the root), write 1 is the
+	// prepare record and write 2 the decision record.
+	storage := &failNthWriteStorage{
+		Storage:  wal.Storage(mem),
+		failName: "container-0",
+		writes:   &writes,
+		failOn:   2,
+		errVal:   errors.New("injected decision append failure"),
+	}
+	def := kvDef("kv0", "kv1")
+	db := MustOpen(def, twoContainerCfg(storage))
+
+	if err := execWithWatchdog(t, db, "kv0", "copyTo", "kv1", int64(2), int64(20)); err == nil {
+		t.Fatal("copyTo succeeded despite the injected decision append failure")
+	}
+	// No participant may stay locked; kv1's log is healthy and must accept
+	// the same key immediately, and the coordinator's log — which salvaged
+	// the failed batch by retracting it on a fresh segment — keeps serving.
+	if err := execWithWatchdog(t, db, "kv1", "put", int64(2), int64(201)); err != nil {
+		t.Fatalf("put on kv1 after failed decision: %v", err)
+	}
+	if err := execWithWatchdog(t, db, "kv0", "put", int64(9), int64(90)); err != nil {
+		t.Fatalf("put on kv0 after salvaged decision failure: %v", err)
+	}
+	db.Close()
+
+	db2 := MustOpen(def, twoContainerCfg(mem))
+	t.Cleanup(db2.Close)
+	if _, err := db2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if v, present := readV(t, db2, "kv0", 2); present {
+		t.Fatalf("undecided 2PC write resurrected on kv0 with %d", v)
+	}
+	if v, present := readV(t, db2, "kv1", 2); !present || v != 201 {
+		t.Fatalf("kv1[2] = (%d, %v), want the follow-up put's 201", v, present)
+	}
+	// The recovered database must run fresh multi-container commits over the
+	// same keys (global ids reseeded, tombstones in place).
+	if err := execWithWatchdog(t, db2, "kv0", "copyTo", "kv1", int64(2), int64(22)); err != nil {
+		t.Fatalf("post-recovery copyTo: %v", err)
+	}
+	if v, present := readV(t, db2, "kv1", 2); !present || v != 22 {
+		t.Fatalf("post-recovery copyTo invisible on kv1: (%d, %v)", v, present)
+	}
+}
+
+// TestTwoPCRecoveryCommitsDecidedTransaction checks the commit side of
+// presumed abort end to end: an acknowledged multi-container transaction
+// leaves durable prepare records on both participants and a decision record
+// carrying the full participant set on the coordinator's log, and a machine
+// crash immediately after the ack recovers it on every participant.
+func TestTwoPCRecoveryCommitsDecidedTransaction(t *testing.T) {
+	mem := wal.NewMemStorage()
+	cfg := twoContainerCfg(mem)
+	cfg.GroupCommit = GroupCommitConfig{Enabled: true, MaxBatch: 4, Window: 200 * time.Microsecond}
+	def := kvDef("kv0", "kv1")
+	db := MustOpen(def, cfg)
+	if _, err := db.Execute("kv0", "copyTo", "kv1", int64(2), int64(20)); err != nil {
+		t.Fatalf("copyTo: %v", err)
+	}
+	// Machine crash right after the ack: only fsynced bytes survive; the
+	// wedged instance is abandoned without Close.
+	crashed := mem.CrashCopy()
+	defer db.Close()
+
+	// The surviving coordinator log must hold the protocol's records.
+	log, err := wal.Open(crashed.Sub("container-0"), wal.Options{})
+	if err != nil {
+		t.Fatalf("open coordinator log: %v", err)
+	}
+	var prepares, decisions int
+	var participants []uint64
+	if err := log.Replay(func(rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindPrepare:
+			prepares++
+		case wal.KindDecision:
+			decisions++
+			participants = rec.Participants
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("replay coordinator log: %v", err)
+	}
+	if prepares != 1 || decisions != 1 {
+		t.Fatalf("coordinator log holds %d prepare and %d decision records, want 1 and 1", prepares, decisions)
+	}
+	if len(participants) != 2 || participants[0] != 0 || participants[1] != 1 {
+		t.Fatalf("decision participants = %v, want [0 1]", participants)
+	}
+
+	cfg2 := twoContainerCfg(crashed)
+	cfg2.GroupCommit = cfg.GroupCommit
+	db2 := MustOpen(def, cfg2)
+	t.Cleanup(db2.Close)
+	if _, err := db2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if v, present := readV(t, db2, "kv0", 2); !present || v != 20 {
+		t.Fatalf("acknowledged 2PC write lost on kv0: (%d, %v)", v, present)
+	}
+	if v, present := readV(t, db2, "kv1", 2); !present || v != 20 {
+		t.Fatalf("acknowledged 2PC write lost on kv1: (%d, %v)", v, present)
+	}
+}
+
+// failNthSyncStorage fails chosen fsync ordinals per named sub-storage
+// (counting only syncs that reach the storage — absorbed Sync calls issue no
+// IO). It models a log device whose fsync fails transiently at a chosen
+// protocol step.
+type failNthSyncStorage struct {
+	wal.Storage
+	name   string
+	spec   map[string]map[int64]bool // sub name -> failing sync ordinals
+	counts *sync.Map                 // sub name -> *atomic.Int64
+	errVal error
+}
+
+func (s *failNthSyncStorage) Sub(name string) wal.Storage {
+	return &failNthSyncStorage{
+		Storage: s.Storage.Sub(name),
+		name:    name,
+		spec:    s.spec,
+		counts:  s.counts,
+		errVal:  s.errVal,
+	}
+}
+
+func (s *failNthSyncStorage) Create(index uint64) (wal.SegmentFile, error) {
+	f, err := s.Storage.Create(index)
+	if err != nil {
+		return nil, err
+	}
+	return &failNthSyncFile{SegmentFile: f, owner: s}, nil
+}
+
+type failNthSyncFile struct {
+	wal.SegmentFile
+	owner *failNthSyncStorage
+}
+
+func (f *failNthSyncFile) Sync() error {
+	o := f.owner
+	if fails := o.spec[o.name]; fails != nil {
+		c, _ := o.counts.LoadOrStore(o.name, &atomic.Int64{})
+		if fails[c.(*atomic.Int64).Add(1)] {
+			return o.errVal
+		}
+	}
+	return f.SegmentFile.Sync()
+}
+
+// TestTwoPCReadOnlyCoordinatorDecisionFsyncFailure covers the nastiest abort
+// corner: the coordinator participant is read-only (no prepare record of its
+// own), the decision record's fsync fails, and the remote participant's
+// retraction fsync fails too. The orphan decision must still be tombstoned
+// on the coordinator's log — otherwise a later commit's fsync makes it
+// durable, and recovery (finding the remote prepare durable and its
+// tombstone lost) would resurrect the failed transaction's remote write.
+func TestTwoPCReadOnlyCoordinatorDecisionFsyncFailure(t *testing.T) {
+	mem := wal.NewMemStorage()
+	storage := &failNthSyncStorage{
+		Storage: wal.Storage(mem),
+		spec: map[string]map[int64]bool{
+			// container-0 (coordinator): sync 1 is the decision force (the
+			// phase-two barrier is absorbed by the empty log without IO).
+			"container-0": {1: true},
+			// container-1: sync 1 covers the prepare record (must succeed so
+			// the prepare is durable); sync 2 is its retraction tombstone.
+			"container-1": {2: true},
+		},
+		counts: &sync.Map{},
+		errVal: errors.New("injected fsync failure"),
+	}
+	def := kvDef("kv0", "kv1")
+	db := MustOpen(def, twoContainerCfg(storage))
+	db.MustLoad("kv0", "store", rel.Row{int64(1), int64(1)}) // local read marker, not logged
+
+	if err := execWithWatchdog(t, db, "kv0", "putRemote", "kv1", int64(2), int64(20)); err == nil {
+		t.Fatal("putRemote succeeded despite the injected decision fsync failure")
+	}
+	// A later acknowledged commit on the coordinator fsyncs its log — with
+	// it, the orphan decision bytes and (the fix) their tombstone.
+	if err := execWithWatchdog(t, db, "kv0", "put", int64(3), int64(30)); err != nil {
+		t.Fatalf("put after failed decision: %v", err)
+	}
+	// Machine crash: only fsynced bytes survive. Container 1 keeps its
+	// durable prepare but lost its tombstone (that fsync failed).
+	crashed := mem.CrashCopy()
+	db.Close()
+
+	db2 := MustOpen(def, twoContainerCfg(crashed))
+	t.Cleanup(db2.Close)
+	if _, err := db2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if v, present := readV(t, db2, "kv1", 2); present {
+		t.Fatalf("failed transaction's remote write resurrected on kv1 with %d (orphan decision became durable)", v)
+	}
+	if v, present := readV(t, db2, "kv0", 3); !present || v != 30 {
+		t.Fatalf("acknowledged kv0[3] = (%d, %v), want 30", v, present)
+	}
+}

@@ -157,6 +157,7 @@ func Registry() map[string]Runner {
 		"affinity":   Affinity,
 		"overhead":   Overhead,
 		"durability": Durability,
+		"twopc":      TwoPC,
 	}
 }
 

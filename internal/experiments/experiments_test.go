@@ -20,7 +20,7 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 	want := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"affinity", "overhead", "durability",
+		"affinity", "overhead", "durability", "twopc",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -166,5 +166,34 @@ func TestOverheadQuickRun(t *testing.T) {
 	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("expected 3 rows, got %d", len(tbl.Rows))
+	}
+}
+
+// TestTwoPCSweepRoutesRecordsThroughGroupCommitter runs the 2PC durability
+// sweep in its tiny configuration and checks the acceptance criterion of the
+// atomic-commit work: under group commit, participant prepare records and
+// coordinator decision records flush through the containers' group
+// committers (a positive Records count), while the eager baseline bypasses
+// them entirely.
+func TestTwoPCSweepRoutesRecordsThroughGroupCommitter(t *testing.T) {
+	tbl, err := TwoPC(tinyOptions())
+	if err != nil {
+		t.Fatalf("TwoPC: %v", err)
+	}
+	if len(tbl.Rows) != len(twoPCConfigs(tinyOptions())) {
+		t.Fatalf("sweep produced %d rows, want %d", len(tbl.Rows), len(twoPCConfigs(tinyOptions())))
+	}
+	for _, row := range tbl.Rows {
+		name, recs := row[0], row[4]
+		if name == "eager" {
+			if recs != "-" {
+				t.Fatalf("eager config reports %s 2PC records via group commit, want '-'", recs)
+			}
+			continue
+		}
+		var n float64
+		if _, err := fmtSscan(recs, &n); err != nil || n <= 0 {
+			t.Fatalf("config %s flushed %s 2PC records through the group committer, want > 0", name, recs)
+		}
 	}
 }

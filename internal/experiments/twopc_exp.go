@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"reactdb/internal/bench"
+	"reactdb/internal/engine"
+	"reactdb/internal/randutil"
+	"reactdb/internal/workload/smallbank"
+)
+
+// twoPCConfig is one point of the 2PC durability sweep.
+type twoPCConfig struct {
+	name     string
+	group    bool
+	window   time.Duration
+	maxBatch int
+}
+
+// twoPCConfigs enumerates the sweep: eager per-record append+fsync on every
+// participant log versus prepare/decision records routed through each
+// container's group committer, across window × batch combinations.
+func twoPCConfigs(opts Options) []twoPCConfig {
+	windows := []time.Duration{200 * time.Microsecond, 1 * time.Millisecond}
+	batches := []int{8, 32}
+	if opts.Full {
+		windows = []time.Duration{100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond}
+		batches = []int{4, 16, 64}
+	}
+	cfgs := []twoPCConfig{{name: "eager", group: false}}
+	for _, w := range windows {
+		for _, b := range batches {
+			cfgs = append(cfgs, twoPCConfig{
+				name:     fmt.Sprintf("gc w=%v b=%d", w, b),
+				group:    true,
+				window:   w,
+				maxBatch: b,
+			})
+		}
+	}
+	return cfgs
+}
+
+// TwoPC is the atomic-commit durability sweep: cross-container smallbank
+// transfers (every transaction is a two-phase commit spanning both
+// containers, forcing one prepare record per participant plus one
+// coordinator decision record) under eager per-record fsync versus
+// group-committed participant logging. It reports throughput next to the
+// WALs' fsync amortization and the number of 2PC records that flushed
+// through the group committers.
+func TwoPC(opts Options) (*Table, error) {
+	customers := 64
+	workers := 8
+	if opts.Full {
+		customers = 256
+		workers = 16
+	}
+
+	table := &Table{
+		ID:    "twopc",
+		Title: "2PC durability sweep: eager vs group-committed participant logging (2 containers)",
+		Header: []string{"config", "throughput [txn/s]", "abort%", "txns/fsync",
+			"2pc recs via gc", "fsync p99 [ms]"},
+		Notes: []string{
+			"every transaction is a cross-container transfer: 2 prepare records + 1 decision record per commit",
+			"eager appends+fsyncs each record on its own; gc routes records through each container's group committer",
+			"txns/fsync aggregates appends/fsyncs over both containers' WALs; '2pc recs via gc' sums GroupCommitStats.Records",
+		},
+	}
+
+	for _, tc := range twoPCConfigs(opts) {
+		row, err := runTwoPCPoint(opts, tc, customers, workers)
+		if err != nil {
+			return nil, fmt.Errorf("twopc point %s: %w", tc.name, err)
+		}
+		table.AddRow(row...)
+	}
+	return table, nil
+}
+
+func runTwoPCPoint(opts Options, tc twoPCConfig, customers, workers int) ([]string, error) {
+	const containers = 2
+	cfg := engine.Config{
+		Containers:            containers,
+		ExecutorsPerContainer: 2,
+		Router:                engine.RouterAffinity,
+		Costs:                 opts.commCosts(),
+		// Even customers on container 0, odd on container 1, so every
+		// even→odd transfer is a genuine multi-container transaction.
+		Placement: func(reactor string) int {
+			var id int
+			fmt.Sscanf(reactor, "cust-%d", &id)
+			return id % containers
+		},
+	}
+	if tc.group {
+		cfg.GroupCommit = engine.GroupCommitConfig{Enabled: true, Window: tc.window, MaxBatch: tc.maxBatch}
+	}
+	dir, err := os.MkdirTemp("", "reactdb-twopc-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Durability = engine.DurabilityConfig{Mode: engine.DurabilityWAL, Dir: dir}
+
+	db, err := engine.Open(smallbank.NewDefinition(customers), cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := smallbank.Load(db, customers, 1e9, 1e9); err != nil {
+		return nil, err
+	}
+
+	benchOpts := bench.Options{
+		Workers:       workers,
+		Epochs:        opts.epochs(),
+		EpochDuration: opts.epochDuration(),
+		Warmup:        50 * time.Millisecond,
+	}
+	result, err := bench.Run(db, benchOpts, func(worker int) bench.Generator {
+		rng := randutil.New(int64(worker) + 1)
+		return func() bench.Request {
+			// Each worker owns a stripe of even source customers (distinct
+			// write keys, so prepares batch freely); the destination is a
+			// random odd customer on the other container.
+			src := 2 * (worker + workers*randutil.UniformInt(rng, 0, customers/(2*workers)-1))
+			dst := 2*randutil.UniformInt(rng, 0, customers/2-1) + 1
+			return bench.Request{
+				Reactor:   smallbank.ReactorName(src),
+				Procedure: smallbank.ProcTransfer,
+				Args:      []any{smallbank.ReactorName(src), smallbank.ReactorName(dst), 1.0, true},
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tp, _ := result.Throughput()
+	row := []string{tc.name, formatThroughput(tp), formatPercent(result.AbortRate())}
+	var appends, fsyncs uint64
+	fsyncP99 := "-"
+	for _, ws := range db.WALStats() {
+		if !ws.Enabled {
+			continue
+		}
+		appends += ws.Appends
+		fsyncs += ws.Fsyncs
+		if ws.Fsyncs > 0 {
+			fsyncP99 = fmt.Sprintf("%.3f", ws.FsyncLatency.Quantile(0.99)/1e6)
+		}
+	}
+	txnsPerFsync := "-"
+	if fsyncs > 0 {
+		txnsPerFsync = fmt.Sprintf("%.1f", float64(appends)/float64(fsyncs))
+	}
+	var gcRecords uint64
+	for _, gs := range db.GroupCommitStats() {
+		gcRecords += gs.Records
+	}
+	recsCell := "-"
+	if tc.group {
+		recsCell = fmt.Sprintf("%d", gcRecords)
+	}
+	row = append(row, txnsPerFsync, recsCell, fsyncP99)
+	return row, nil
+}

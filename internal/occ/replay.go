@@ -34,6 +34,18 @@ func (d *Domain) ApplyReplayedWrite(rec *kv.Record, guard ScanGuard, tid uint64,
 	}
 }
 
+// ObserveRecoveredAbort retracts a prepared-but-undecided transaction found
+// during WAL replay and resolved by presumed abort: nothing is applied (its
+// writes were staged in the log but never installed), the domain's abort
+// counter reflects the resolution, and the epoch advances past the
+// transaction's pre-assigned TID exactly as for replayed commits — so a TID
+// carried by a recovery tombstone can never be generated again and
+// accidentally retract a future record.
+func (d *Domain) ObserveRecoveredAbort(tid uint64) {
+	d.aborted.Add(1)
+	d.ObserveRecoveredTID(tid)
+}
+
 // ObserveRecoveredTID advances the domain's epoch past a replayed TID so that
 // every TID generated after recovery is strictly greater than every recovered
 // one, preserving Silo's monotonicity invariant across restarts.

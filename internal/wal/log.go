@@ -228,7 +228,7 @@ func (l *Log) retractBatchLocked(recs []Record) error {
 	var buf []byte
 	for _, r := range recs {
 		l.appended++
-		ab := Record{LSN: l.appended, TID: r.TID, Abort: true}
+		ab := Record{LSN: l.appended, TID: r.TID, Kind: KindAbort}
 		buf = appendFrame(buf, &ab)
 	}
 	if _, err := l.active.Write(buf); err != nil {
@@ -309,12 +309,14 @@ func (l *Log) Empty() bool { return l.LastLSN() == 0 }
 // crash artifact of an earlier incarnation's tail).
 //
 // Replay runs two passes: the first collects abort records — retractions of
-// commit records whose multi-participant transaction failed after this log
-// received them — and the second streams every commit record that was not
-// retracted. Retraction is LSN-ordered: an abort record only retracts
-// records appended *before* it, so if a later incarnation reuses a retracted
-// TID (per-epoch sequence numbers restart), the newer acknowledged commit is
-// not silently dropped. It must be called before this Log instance appends
+// commit, prepare or decision records whose transaction failed (or was
+// presumed aborted by an earlier recovery) after this log received them —
+// and the second streams every record that was not retracted, including
+// prepare and decision records: resolving undecided prepares against the
+// coordinator's decisions is the caller's job. Retraction is LSN-ordered: an
+// abort record only retracts records appended *before* it, so if a later
+// incarnation reuses a retracted TID (per-epoch sequence numbers restart),
+// the newer acknowledged commit is not silently dropped. It must be called before this Log instance appends
 // new records — in practice, immediately after Open during recovery. A
 // non-nil error from fn aborts the iteration and is returned.
 func (l *Log) Replay(fn func(Record) error) error {
@@ -344,7 +346,7 @@ func (l *Log) Replay(fn func(Record) error) error {
 		return nil
 	}
 	if err := scan(func(rec Record) error {
-		if rec.Abort {
+		if rec.Kind == KindAbort {
 			if retracted == nil {
 				retracted = make(map[uint64]uint64)
 			}
@@ -357,7 +359,7 @@ func (l *Log) Replay(fn func(Record) error) error {
 		return err
 	}
 	return scan(func(rec Record) error {
-		if rec.Abort || retracted[rec.TID] > rec.LSN {
+		if rec.Kind == KindAbort || retracted[rec.TID] > rec.LSN {
 			return nil
 		}
 		return fn(rec)

@@ -16,30 +16,71 @@ type Write struct {
 	Delete bool
 }
 
+// Kind distinguishes the record types of the atomic commit protocol.
+type Kind uint8
+
+const (
+	// KindCommit is a single-log commit record: the transaction's full write
+	// set, durable means committed.
+	KindCommit Kind = iota
+	// KindAbort retracts any earlier record in the same log carrying the same
+	// TID (commit, prepare or decision). It is appended when a transaction
+	// fails after this log already received one of its records, and by
+	// recovery as the durable tombstone of a presumed-abort resolution, so
+	// replay must never surface the retracted record. Retraction is
+	// LSN-ordered: an abort record only retracts records appended before it.
+	KindAbort
+	// KindPrepare is a two-phase-commit participant record: the participant's
+	// full write set, staged but undecided. Recovery applies it only if a
+	// decision record for its GlobalID is durable in some log (the
+	// coordinator's); otherwise the transaction is presumed aborted.
+	KindPrepare
+	// KindDecision is the coordinator's commit decision for a multi-container
+	// transaction: once it is durable the transaction is committed on every
+	// participant. It carries the full participant set (container ids) and is
+	// appended only after every participant's prepare record is durable.
+	KindDecision
+)
+
 // Record is one transaction outcome in the log. LSN is assigned by the Log
 // at append time; TID is the commit timestamp the concurrency control domain
-// assigned at prepare. A record with Abort set retracts any earlier commit
-// record carrying the same TID: it is appended when a multi-participant
-// commit fails after this log already received the transaction's commit
-// record, so recovery must not replay it.
+// assigned at prepare (for decision records, the coordinator participant's
+// TID, which makes retraction by TID precise). GlobalID ties the prepare and
+// decision records of one multi-container transaction together across logs.
 type Record struct {
-	LSN    uint64
-	TID    uint64
-	Abort  bool
-	Writes []Write
+	LSN  uint64
+	TID  uint64
+	Kind Kind
+	// GlobalID is the root transaction's database-wide id (prepare and
+	// decision records only). Recovery resolves a prepare record by looking
+	// for a decision record with the same GlobalID.
+	GlobalID uint64
+	// Coordinator is the container id of the log holding the transaction's
+	// decision record (prepare records only; diagnostic — recovery scans
+	// every log for decisions).
+	Coordinator uint64
+	// Participants lists the container ids of every 2PC participant
+	// (decision records only).
+	Participants []uint64
+	Writes       []Write
 }
 
 // Frame layout: a 4-byte little-endian payload length, a 4-byte CRC32 (IEEE)
 // of the payload, then the payload itself. The payload is:
 //
-//	uvarint LSN | uvarint TID | 1 record flag byte (bit0 = abort) |
+//	uvarint LSN | uvarint TID |
+//	1 record flag byte (bit0 = abort, bit1 = prepare, bit2 = decision;
+//	                    at most one set, commit otherwise) |
+//	prepare only:  uvarint GlobalID | uvarint Coordinator |
+//	decision only: uvarint GlobalID | uvarint #participants | participants |
 //	uvarint #writes |
 //	  per write: 1 flag byte (bit0 = delete) | uvarint keyLen | key |
 //	             uvarint dataLen | data
 //
-// A record that does not frame-check (short frame or CRC mismatch) ends the
-// containing segment's replay prefix: it is the torn tail of a crashed
-// append.
+// Decoding is strict: unknown flag bits, multiple kind bits, or trailing
+// payload bytes are corruption, never silently ignored. A record that does
+// not frame-check (short frame or CRC mismatch) ends the containing segment's
+// replay prefix: it is the torn tail of a crashed append.
 const frameHeaderSize = 8
 
 // maxPayload bounds a single record's encoded payload; a length field above
@@ -52,6 +93,14 @@ const maxPayload = 1 << 30
 // end-of-log instead; ErrCorrupt is returned by decodeRecord for tests).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// record flag bits.
+const (
+	flagAbort    = 1 << 0
+	flagPrepare  = 1 << 1
+	flagDecision = 1 << 2
+	flagKnown    = flagAbort | flagPrepare | flagDecision
+)
+
 // appendFrame encodes rec as one CRC-framed record appended to buf.
 func appendFrame(buf []byte, rec *Record) []byte {
 	payloadStart := len(buf) + frameHeaderSize
@@ -60,10 +109,26 @@ func appendFrame(buf []byte, rec *Record) []byte {
 	buf = binary.AppendUvarint(buf, rec.LSN)
 	buf = binary.AppendUvarint(buf, rec.TID)
 	var recFlags byte
-	if rec.Abort {
-		recFlags |= 1
+	switch rec.Kind {
+	case KindAbort:
+		recFlags |= flagAbort
+	case KindPrepare:
+		recFlags |= flagPrepare
+	case KindDecision:
+		recFlags |= flagDecision
 	}
 	buf = append(buf, recFlags)
+	switch rec.Kind {
+	case KindPrepare:
+		buf = binary.AppendUvarint(buf, rec.GlobalID)
+		buf = binary.AppendUvarint(buf, rec.Coordinator)
+	case KindDecision:
+		buf = binary.AppendUvarint(buf, rec.GlobalID)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Participants)))
+		for _, p := range rec.Participants {
+			buf = binary.AppendUvarint(buf, p)
+		}
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Writes)))
 	for _, w := range rec.Writes {
 		var flags byte
@@ -117,8 +182,53 @@ func decodeRecord(buf []byte, off int) (Record, int, error) {
 	if len(p) == 0 {
 		return Record{}, 0, fmt.Errorf("%w: truncated record flags", ErrCorrupt)
 	}
-	rec.Abort = p[0]&1 != 0
+	recFlags := p[0]
 	p = p[1:]
+	if recFlags&^byte(flagKnown) != 0 {
+		return Record{}, 0, fmt.Errorf("%w: unknown record flags %#x", ErrCorrupt, recFlags)
+	}
+	switch recFlags {
+	case 0:
+		rec.Kind = KindCommit
+	case flagAbort:
+		rec.Kind = KindAbort
+	case flagPrepare:
+		rec.Kind = KindPrepare
+	case flagDecision:
+		rec.Kind = KindDecision
+	default:
+		return Record{}, 0, fmt.Errorf("%w: conflicting record flags %#x", ErrCorrupt, recFlags)
+	}
+	switch rec.Kind {
+	case KindPrepare:
+		if rec.GlobalID, p, err = readUvarint(p); err != nil {
+			return Record{}, 0, err
+		}
+		if rec.Coordinator, p, err = readUvarint(p); err != nil {
+			return Record{}, 0, err
+		}
+	case KindDecision:
+		if rec.GlobalID, p, err = readUvarint(p); err != nil {
+			return Record{}, 0, err
+		}
+		var np uint64
+		if np, p, err = readUvarint(p); err != nil {
+			return Record{}, 0, err
+		}
+		if np > uint64(len(p)) { // each participant id needs at least one byte
+			return Record{}, 0, fmt.Errorf("%w: participant count %d exceeds payload", ErrCorrupt, np)
+		}
+		if np > 0 {
+			rec.Participants = make([]uint64, 0, np)
+			for i := uint64(0); i < np; i++ {
+				var id uint64
+				if id, p, err = readUvarint(p); err != nil {
+					return Record{}, 0, err
+				}
+				rec.Participants = append(rec.Participants, id)
+			}
+		}
+	}
 	var n uint64
 	if n, p, err = readUvarint(p); err != nil {
 		return Record{}, 0, err
@@ -126,13 +236,18 @@ func decodeRecord(buf []byte, off int) (Record, int, error) {
 	if n > uint64(len(p)) { // each write needs at least its flag byte
 		return Record{}, 0, fmt.Errorf("%w: write count %d exceeds payload", ErrCorrupt, n)
 	}
-	rec.Writes = make([]Write, 0, n)
+	if n > 0 {
+		rec.Writes = make([]Write, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		if len(p) == 0 {
 			return Record{}, 0, fmt.Errorf("%w: truncated write flags", ErrCorrupt)
 		}
 		flags := p[0]
 		p = p[1:]
+		if flags&^byte(1) != 0 {
+			return Record{}, 0, fmt.Errorf("%w: unknown write flags %#x", ErrCorrupt, flags)
+		}
 		var w Write
 		var keyLen, dataLen uint64
 		if keyLen, p, err = readUvarint(p); err != nil {
@@ -155,6 +270,9 @@ func decodeRecord(buf []byte, off int) (Record, int, error) {
 		p = p[dataLen:]
 		w.Delete = flags&1 != 0
 		rec.Writes = append(rec.Writes, w)
+	}
+	if len(p) != 0 {
+		return Record{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
 	}
 	return rec, end, nil
 }

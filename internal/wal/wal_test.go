@@ -1,8 +1,10 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -516,7 +518,7 @@ func TestAbortRecordRetractsCommitRecord(t *testing.T) {
 	if _, err := l.Append(testRecord(3, 1)); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	if _, err := l.Append(Record{TID: 2, Abort: true}); err != nil {
+	if _, err := l.Append(Record{TID: 2, Kind: KindAbort}); err != nil {
 		t.Fatalf("Append abort: %v", err)
 	}
 	if err := l.Sync(); err != nil {
@@ -548,7 +550,7 @@ func TestAbortRecordOnlyRetractsEarlierLSNs(t *testing.T) {
 	if _, err := l.Append(testRecord(reusedTID, 1)); err != nil { // LSN 1: the doomed commit
 		t.Fatalf("Append: %v", err)
 	}
-	if _, err := l.Append(Record{TID: reusedTID, Abort: true}); err != nil { // LSN 2: its retraction
+	if _, err := l.Append(Record{TID: reusedTID, Kind: KindAbort}); err != nil { // LSN 2: its retraction
 		t.Fatalf("Append abort: %v", err)
 	}
 	if _, err := l.Append(testRecord(reusedTID, 2)); err != nil { // LSN 3: a NEW txn reusing the TID
@@ -575,4 +577,93 @@ func TestByteSlicesAreCopiedOnDecode(t *testing.T) {
 	if string(got.Writes[0].Data) != string(rec.Writes[0].Data) {
 		t.Fatal("decoded data aliases the source buffer")
 	}
+}
+
+// TestPrepareAndDecisionRecordsRoundTripThroughReplay appends the 2PC record
+// kinds and checks that Replay surfaces them with kinds, global ids and
+// participant sets intact — resolving them is the engine's job.
+func TestPrepareAndDecisionRecordsRoundTripThroughReplay(t *testing.T) {
+	st := NewMemStorage()
+	l, err := Open(st, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	prep := Record{TID: 5, Kind: KindPrepare, GlobalID: 99, Coordinator: 2,
+		Writes: []Write{{Key: "r\x00t\x00k", Data: []byte("v")}}}
+	if _, err := l.Append(prep); err != nil {
+		t.Fatalf("Append prepare: %v", err)
+	}
+	dec := Record{TID: 5, Kind: KindDecision, GlobalID: 99, Participants: []uint64{0, 2}}
+	if _, err := l.Append(dec); err != nil {
+		t.Fatalf("Append decision: %v", err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	got := collect(t, Open2(t, st))
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+	if got[0].Kind != KindPrepare || got[0].GlobalID != 99 || got[0].Coordinator != 2 ||
+		len(got[0].Writes) != 1 || got[0].Writes[0].Key != "r\x00t\x00k" {
+		t.Fatalf("prepare record mangled: %+v", got[0])
+	}
+	if got[1].Kind != KindDecision || got[1].GlobalID != 99 ||
+		len(got[1].Participants) != 2 || got[1].Participants[0] != 0 || got[1].Participants[1] != 2 {
+		t.Fatalf("decision record mangled: %+v", got[1])
+	}
+}
+
+// TestAbortRecordRetractsPrepareAndDecision: the retraction mechanism is
+// kind-agnostic — an abort record with a matching TID retracts an earlier
+// prepare record (failed 2PC, or a recovery tombstone) and an earlier
+// decision record (failed decision batch salvage) alike.
+func TestAbortRecordRetractsPrepareAndDecision(t *testing.T) {
+	st := NewMemStorage()
+	l, err := Open(st, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	recs := []Record{
+		{TID: 5, Kind: KindPrepare, GlobalID: 99, Writes: []Write{{Key: "r\x00t\x00k", Data: []byte("v")}}},
+		{TID: 6, Kind: KindDecision, GlobalID: 98, Participants: []uint64{0, 1}},
+		{TID: 5, Kind: KindAbort},
+		{TID: 6, Kind: KindAbort},
+	}
+	for i := range recs {
+		if _, err := l.Append(recs[i]); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := collect(t, Open2(t, st)); len(got) != 0 {
+		t.Fatalf("replayed %d records, want everything retracted: %+v", len(got), got)
+	}
+}
+
+// TestDecodeRejectsStructuralCorruption: strict decoding — unknown or
+// conflicting flag bits and trailing payload bytes are ErrCorrupt, never
+// silently ignored (a silent mis-decode would let a corrupted frame replay
+// as a different transaction).
+func TestDecodeRejectsStructuralCorruption(t *testing.T) {
+	base := Record{LSN: 1, TID: 2, Kind: KindPrepare, GlobalID: 3, Coordinator: 0,
+		Writes: []Write{{Key: "k", Data: []byte("v")}}}
+	frame := appendFrame(nil, &base)
+
+	mutate := func(name string, f func([]byte) []byte) {
+		buf := f(append([]byte(nil), frame...))
+		// Re-seal the CRC so only the structural check can reject it.
+		payload := buf[frameHeaderSize:]
+		binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+		if _, _, err := decodeRecord(buf, 0); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	flagOff := frameHeaderSize + 2 // uvarint LSN (1 byte) + uvarint TID (1 byte)
+	mutate("unknown flag bit", func(b []byte) []byte { b[flagOff] |= 0x80; return b })
+	mutate("conflicting kind bits", func(b []byte) []byte { b[flagOff] |= flagAbort; return b })
+	mutate("trailing bytes", func(b []byte) []byte { return append(b, 0xEE) })
 }
