@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race crash fuzz bench bench-wal bench-2pc
+.PHONY: all fmt fmt-check vet build test race crash crash-ckpt fuzz bench bench-wal bench-2pc bench-ckpt
 
 all: fmt-check vet build test
 
@@ -26,14 +26,25 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/occ/... ./internal/wal/...
 
 # Crash-injection matrix: kill the database at every WAL append/fsync
-# boundary of a multi-container commit, recover, assert all-or-nothing.
+# boundary of a multi-container commit (including the checkpoint-write,
+# truncation and checkpoint-prune boundaries of TestCrashMatrixCheckpoint),
+# recover, assert all-or-nothing.
 crash:
 	$(GO) test -run Crash -count=2 ./internal/engine/... ./internal/wal/...
 
-# Fuzz smoke for WAL record decoding (corrupt frames must be ErrCorrupt,
-# never a panic or a silent mis-decode).
+# Checkpoint crash matrix under the race detector, with the truncation-safety
+# property test riding along: torn checkpoint writes, crashes between
+# checkpoint and truncation, crashes mid-truncation — recovery must equal the
+# acknowledged state through a double restart.
+crash-ckpt:
+	$(GO) test -race -run 'CrashMatrixCheckpoint|TruncationSafety' -count=1 ./internal/engine/...
+
+# Fuzz smoke for WAL record and checkpoint decoding (corrupt frames must be
+# ErrCorrupt — forcing checkpoint fallback to full replay — never a panic or
+# a silent mis-decode).
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/wal
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/wal
 
 bench:
 	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
@@ -47,3 +58,8 @@ bench-wal:
 # logging) in its quick configuration.
 bench-2pc:
 	$(GO) run ./cmd/reactdb-bench -experiment twopc
+
+# Smoke-run the checkpoint sweep (log growth + recovery time vs checkpoint
+# interval) in its quick configuration.
+bench-ckpt:
+	$(GO) run ./cmd/reactdb-bench -experiment checkpoint

@@ -24,6 +24,19 @@ type Container struct {
 	committer *groupCommitter // nil unless group commit is enabled
 	wal       *wal.Log        // nil unless Durability.Mode == DurabilityWAL
 
+	// walStorage is the container's segment + checkpoint store (nil without a
+	// WAL); the checkpointer writes snapshot blobs to it and recovery loads
+	// the newest valid one from it.
+	walStorage wal.Storage
+
+	// ckptMu guards the checkpoint bookkeeping. Checkpoints themselves are
+	// serialized by Database.ckptMu; this inner mutex only makes the stats
+	// snapshot race-free.
+	ckptMu      sync.Mutex
+	ckptSeq     uint64 // newest checkpoint sequence written or found on open
+	replayFloor uint64 // LSN at or below which Recover skipped log records
+	ckptStats   checkpointCounters
+
 	// catalogs holds the relational state of every reactor mapped to this
 	// container, keyed by reactor name. The map is built at Open time and
 	// never mutated afterwards, so it is safe for concurrent reads.
@@ -44,12 +57,25 @@ func newContainer(db *Database, id int) (*Container, error) {
 		lastExecutor: make(map[string]int),
 	}
 	if db.cfg.Durability.Mode == DurabilityWAL {
-		log, err := wal.Open(db.cfg.Durability.Storage.Sub(fmt.Sprintf("container-%d", id)),
-			wal.Options{SegmentSize: db.cfg.Durability.SegmentSize})
+		storage := db.cfg.Durability.Storage.Sub(fmt.Sprintf("container-%d", id))
+		log, err := wal.Open(storage, wal.Options{SegmentSize: db.cfg.Durability.SegmentSize})
 		if err != nil {
 			return nil, fmt.Errorf("engine: container %d: open wal: %w", id, err)
 		}
 		c.wal = log
+		c.walStorage = storage
+		// Seed the checkpoint sequence past anything already on storage so a
+		// fresh incarnation never overwrites a predecessor's checkpoint, even
+		// when Recover is skipped. A listing failure must fail Open: silently
+		// restarting at sequence 0 would let a later truncation strand a
+		// stale higher-sequence checkpoint that recovery then prefers.
+		seqs, err := storage.ListCheckpoints()
+		if err != nil {
+			return nil, fmt.Errorf("engine: container %d: list checkpoints: %w", id, err)
+		}
+		if len(seqs) > 0 {
+			c.ckptSeq = seqs[len(seqs)-1]
+		}
 	}
 	for i := 0; i < db.cfg.ExecutorsPerContainer; i++ {
 		c.executors = append(c.executors, newExecutor(c, i))
@@ -179,6 +205,12 @@ func (c *Container) retractRecord(tid uint64) {
 // presumed abort — skipped, counted as recovered aborts, and tombstoned with
 // a durable abort record so no later incarnation can resurrect them even if
 // global ids were ever reused. See Database.Recover.
+//
+// When a checkpoint was installed first (Database.Recover's fast path),
+// c.replayFloor holds its low-water mark and every record at or below it is
+// skipped: its effects are already in the snapshot, and its segments may
+// already be gone. The filter is by LSN, not by segment, so recovery is
+// correct whether truncation ran to completion, partially, or not at all.
 func (c *Container) recover(decided map[uint64]bool) (int, error) {
 	if c.wal == nil {
 		return 0, nil
@@ -186,6 +218,11 @@ func (c *Container) recover(decided map[uint64]bool) (int, error) {
 	n := 0
 	var presumedAborted []uint64
 	err := c.wal.Replay(func(rec wal.Record) error {
+		if rec.LSN <= c.replayFloor {
+			// Captured by the checkpoint: committed effects are in the
+			// snapshot, prepares were resolved before the quiesce point.
+			return nil
+		}
 		switch rec.Kind {
 		case wal.KindDecision:
 			// Decisions were collected in the scan pass; their effects are

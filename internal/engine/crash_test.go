@@ -74,6 +74,38 @@ func (s *crashStorage) Create(index uint64) (wal.SegmentFile, error) {
 	return &crashSegmentFile{inner: f, ctr: s.ctr}, nil
 }
 
+func (s *crashStorage) DeleteSegment(index uint64) error {
+	if !s.ctr.allow() {
+		return errInjectedCrash
+	}
+	return s.inner.DeleteSegment(index)
+}
+
+func (s *crashStorage) ListCheckpoints() ([]uint64, error) { return s.inner.ListCheckpoints() }
+
+func (s *crashStorage) ReadCheckpoint(seq uint64) ([]byte, error) {
+	return s.inner.ReadCheckpoint(seq)
+}
+
+// WriteCheckpoint past the crash point leaves a half-written blob behind —
+// the torn checkpoint file a machine death mid-write produces — so the
+// matrix exercises recovery's corrupt-checkpoint fallback, not just its
+// happy path.
+func (s *crashStorage) WriteCheckpoint(seq uint64, data []byte) error {
+	if !s.ctr.allow() {
+		_ = s.inner.WriteCheckpoint(seq, data[:len(data)/2])
+		return errInjectedCrash
+	}
+	return s.inner.WriteCheckpoint(seq, data)
+}
+
+func (s *crashStorage) DeleteCheckpoint(seq uint64) error {
+	if !s.ctr.allow() {
+		return errInjectedCrash
+	}
+	return s.inner.DeleteCheckpoint(seq)
+}
+
 type crashSegmentFile struct {
 	inner wal.SegmentFile
 	ctr   *crashCounter
@@ -249,6 +281,173 @@ func TestCrashMatrixMultiContainerAtomicity(t *testing.T) {
 				}
 				if v, present := readV(t, db3, "kv1", 5); !present || v != 50 {
 					t.Fatalf("%s: post-recovery commit lost on kv1: (%d, %v)", label, v, present)
+				}
+				db3.Close()
+			}
+		})
+	}
+}
+
+// ckptCrashCfg is crashCfg with a tiny segment size so checkpoints have
+// sealed segments to truncate, making the matrix enumerate the truncation IO
+// boundaries (DeleteSegment, checkpoint prune) as well.
+func ckptCrashCfg(storage wal.Storage, grouped bool) Config {
+	cfg := crashCfg(storage, grouped)
+	cfg.Durability.SegmentSize = 192
+	return cfg
+}
+
+// ckptScriptAcks records which ops of the checkpoint crash script were
+// acknowledged. Checkpoints change no observable state, so their own acks
+// (ck1, ck2) carry no invariant — they only mark whether truncation may have
+// run.
+type ckptScriptAcks struct {
+	put0, put1, copy01, put3, copy10, put5 bool
+	ck1, ck2                               bool
+	fill                                   [8]bool // filler puts (see runCkptScript)
+}
+
+// runCkptScript is the crash script with checkpoint boundaries folded in:
+// a checkpoint after the first 2PC (so its records are truncation
+// candidates) and another after the second, with single- and multi-container
+// commits on both sides.
+func runCkptScript(db *Database) ckptScriptAcks {
+	var a ckptScriptAcks
+	exec := func(reactor, proc string, args ...any) bool {
+		_, err := db.Execute(reactor, proc, args...)
+		return err == nil
+	}
+	a.put0 = exec("kv0", "put", int64(1), int64(10))
+	a.put1 = exec("kv1", "put", int64(1), int64(11))
+	a.copy01 = exec("kv0", "copyTo", "kv1", int64(2), int64(20)) // 2PC, coordinator c0
+	// Filler traffic seals the segments holding copy01's prepare and
+	// decision records, so ck1's truncation genuinely deletes them — the
+	// matrix then covers mixed-round recoveries (one container checkpointed,
+	// the other not) with the decision segment at stake.
+	for i := range a.fill {
+		r := "kv0"
+		if i%2 == 1 {
+			r = "kv1"
+		}
+		a.fill[i] = exec(r, "put", int64(100+i), int64(1000+i))
+	}
+	a.ck1 = db.Checkpoint() == nil
+	a.put3 = exec("kv0", "put", int64(3), int64(30))
+	a.copy10 = exec("kv1", "copyTo", "kv0", int64(4), int64(40)) // 2PC, coordinator c1
+	a.ck2 = db.Checkpoint() == nil
+	a.put5 = exec("kv1", "put", int64(5), int64(51))
+	return a
+}
+
+// assertCkptCrashInvariants is assertCrashInvariants extended with the
+// checkpoint script's trailing op. The checks double as the
+// no-resurrection guarantee: a transaction whose records were truncated must
+// be exactly as present (decided, acknowledged) or absent (aborted) as its
+// ack dictates — recovery reading the checkpoint instead of the deleted
+// records must not change the answer.
+func assertCkptCrashInvariants(t *testing.T, db *Database, a ckptScriptAcks, label string) {
+	t.Helper()
+	assertCrashInvariants(t, db, crashScriptAcks{
+		put0: a.put0, put1: a.put1, copy01: a.copy01, put3: a.put3, copy10: a.copy10,
+	}, label)
+	single := func(acked bool, reactor string, k, want int64) {
+		v, present := readV(t, db, reactor, k)
+		if acked && (!present || v != want) {
+			t.Fatalf("%s: acknowledged %s[%d] = (%d, %v), want %d", label, reactor, k, v, present, want)
+		}
+		if present && v != want {
+			t.Fatalf("%s: %s[%d] recovered with wrong value %d, want %d", label, reactor, k, v, want)
+		}
+	}
+	for i, acked := range a.fill {
+		r := "kv0"
+		if i%2 == 1 {
+			r = "kv1"
+		}
+		single(acked, r, int64(100+i), int64(1000+i))
+	}
+	single(a.put5, "kv1", 5, 51)
+}
+
+// TestCrashMatrixCheckpoint is the checkpoint-aware crash matrix: the
+// scripted workload takes two checkpoints between its commits, and the
+// matrix kills the machine at every storage IO boundary — which now includes
+// crash mid-checkpoint-write (the crash wrapper leaves a torn blob behind,
+// forcing recovery's corrupt-checkpoint fallback), crash after the
+// checkpoint is durable but before truncation, and crash between individual
+// segment deletions. Recovery must always reconstruct exactly the
+// acknowledged state; a second incarnation then commits a fresh
+// cross-container transaction and takes its own checkpoint, and a third
+// restart re-verifies everything — checkpoints taken on recovered state must
+// themselves recover.
+func TestCrashMatrixCheckpoint(t *testing.T) {
+	for _, grouped := range []bool{false, true} {
+		mode := "eager"
+		if grouped {
+			mode = "grouped"
+		}
+		t.Run(mode, func(t *testing.T) {
+			def := kvDef("kv0", "kv1")
+
+			// Calibration: count the boundaries of a crash-free run.
+			calCtr := &crashCounter{crashAt: -1}
+			calMem := wal.NewMemStorage()
+			db := MustOpen(def, ckptCrashCfg(&crashStorage{inner: calMem, ctr: calCtr}, grouped))
+			acks := runCkptScript(db)
+			if !(acks.put0 && acks.put1 && acks.copy01 && acks.ck1 && acks.put3 && acks.copy10 && acks.ck2 && acks.put5) {
+				t.Fatalf("crash-free run did not acknowledge every op: %+v", acks)
+			}
+			var truncated uint64
+			for _, cs := range db.CheckpointStats() {
+				truncated += cs.SegmentsDeleted
+			}
+			if truncated == 0 {
+				t.Fatal("crash-free checkpoints truncated no segments; matrix would not cover deletion boundaries")
+			}
+			db.Close()
+			total := calCtr.ops.Load()
+			if total < 12 {
+				t.Fatalf("calibration run produced only %d IO boundaries", total)
+			}
+
+			for crashAt := int64(0); crashAt <= total; crashAt++ {
+				mem := wal.NewMemStorage()
+				ctr := &crashCounter{crashAt: crashAt}
+				db := MustOpen(def, ckptCrashCfg(&crashStorage{inner: mem, ctr: ctr}, grouped))
+				acks := runCkptScript(db)
+				db.Close()
+
+				// The machine dies: only fsynced bytes survive.
+				crashed := mem.CrashCopy()
+				label := fmt.Sprintf("%s crashAt=%d", mode, crashAt)
+				db2 := MustOpen(def, ckptCrashCfg(crashed, grouped))
+				if _, err := db2.Recover(); err != nil {
+					t.Fatalf("%s: Recover: %v", label, err)
+				}
+				assertCkptCrashInvariants(t, db2, acks, label)
+
+				// Second incarnation: serve a fresh multi-container commit and
+				// checkpoint the recovered state.
+				if _, err := db2.Execute("kv0", "copyTo", "kv1", int64(6), int64(60)); err != nil {
+					t.Fatalf("%s: post-recovery copyTo: %v", label, err)
+				}
+				if err := db2.Checkpoint(); err != nil {
+					t.Fatalf("%s: post-recovery Checkpoint: %v", label, err)
+				}
+				db2.Close()
+
+				// Third incarnation: recovery from the post-recovery
+				// checkpoint must preserve the original invariant and the new
+				// commit.
+				db3 := MustOpen(def, ckptCrashCfg(crashed, grouped))
+				if _, err := db3.Recover(); err != nil {
+					t.Fatalf("%s: second Recover: %v", label, err)
+				}
+				assertCkptCrashInvariants(t, db3, acks, label+" (restart 2)")
+				for _, r := range []string{"kv0", "kv1"} {
+					if v, present := readV(t, db3, r, 6); !present || v != 60 {
+						t.Fatalf("%s: post-recovery commit lost on %s: (%d, %v)", label, r, v, present)
+					}
 				}
 				db3.Close()
 			}

@@ -27,6 +27,19 @@ type Database struct {
 	// dispatch) always find live queues.
 	inflight sync.WaitGroup
 
+	// commitGate is the checkpointer's quiesce point: every root
+	// transaction's commit protocol (WAL appends through in-memory installs,
+	// including aborts' retractions) runs under the read lock, and
+	// Checkpoint takes the write lock momentarily to observe an LSN at which
+	// nothing is between "appended" and "installed". See checkpoint.go.
+	commitGate sync.RWMutex
+
+	// ckptMu serializes whole-database checkpoints (background timer vs
+	// on-demand Checkpoint calls).
+	ckptMu   sync.Mutex
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
+
 	epochStop chan struct{}
 	epochWG   sync.WaitGroup
 	closed    atomic.Bool
@@ -47,6 +60,7 @@ func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
 		cfg:       cfg,
 		placement: make(map[string]*Container),
 		epochStop: make(chan struct{}),
+		ckptStop:  make(chan struct{}),
 	}
 	for i := 0; i < cfg.Containers; i++ {
 		c, err := newContainer(db, i)
@@ -75,6 +89,10 @@ func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
 		db.epochWG.Add(1)
 		go db.epochLoop()
 	}
+	if cfg.Durability.CheckpointInterval > 0 {
+		db.ckptWG.Add(1)
+		go db.checkpointLoop()
+	}
 	return db, nil
 }
 
@@ -92,6 +110,10 @@ func MustOpen(def *core.DatabaseDef, cfg Config) *Database {
 // Execute must not be called after Close.
 func (db *Database) Close() {
 	if db.closed.CompareAndSwap(false, true) {
+		// Stop the background checkpointer before tearing containers down: a
+		// checkpoint racing shutdown would truncate against a closing log.
+		close(db.ckptStop)
+		db.ckptWG.Wait()
 		db.inflight.Wait()
 		for _, c := range db.containers {
 			c.shutdown()
@@ -246,11 +268,17 @@ func (db *Database) runTask(t *task, session *coreSession) {
 
 	if t.isRoot {
 		commitStart := time.Now()
+		// The commit gate (held shared) delimits the whole commit protocol —
+		// first WAL append through last install, including abort-path
+		// retractions — as one atomic span from the checkpointer's point of
+		// view; see checkpoint.go for the quiesce argument.
+		db.acquireCommitGate(session)
 		if err != nil {
 			t.root.abortAll()
 		} else {
 			err = t.root.commit(session)
 		}
+		db.commitGate.RUnlock()
 		t.root.profMu.Lock()
 		t.root.profile.Commit = time.Since(commitStart)
 		t.root.profMu.Unlock()

@@ -38,13 +38,49 @@ import (
 // repeat across incarnations (a reused id could match a stale prepare record
 // against a fresh decision).
 //
+// Recovery has a checkpoint fast path: when a container's storage holds a
+// valid checkpoint (see Database.Checkpoint), its snapshot is installed first
+// and only log records above the checkpoint's low-water mark are replayed —
+// O(suffix) instead of O(history), which is what lets checkpointing truncate
+// old segments at all. A torn or corrupt checkpoint (crash mid-write, bit
+// rot) is never loaded partially: recovery falls back to the next older
+// checkpoint, and finally to full replay of whatever segments remain.
+//
 // It returns the number of transactions replayed, counting a multi-container
-// transaction once per participant whose log contributed writes.
+// transaction once per participant whose log contributed writes; transactions
+// restored via a checkpoint snapshot are not counted (see CheckpointStats
+// for RestoredRows).
 func (db *Database) Recover() (int, error) {
-	// Scan pass: collect surviving decision records and the highest global
-	// transaction id across all logs.
-	decided := make(map[uint64]bool)
+	// Checkpoint pass: install each container's newest valid checkpoint and
+	// set its replay floor.
 	var maxGid uint64
+	for _, c := range db.containers {
+		if c.wal == nil {
+			continue
+		}
+		cp, skipped, err := wal.LatestCheckpoint(c.walStorage)
+		if err != nil {
+			return 0, err
+		}
+		c.ckptMu.Lock()
+		c.ckptStats.corruptSkipped = skipped
+		c.ckptMu.Unlock()
+		if cp == nil {
+			continue
+		}
+		if err := c.installCheckpoint(cp); err != nil {
+			return 0, err
+		}
+		if cp.MaxGlobalID > maxGid {
+			maxGid = cp.MaxGlobalID
+		}
+	}
+	// Scan pass: collect surviving decision records and the highest global
+	// transaction id across all logs. Checkpoints contribute their global-id
+	// watermark above, covering decisions that truncation already deleted
+	// (those decisions' transactions are fully captured by the snapshots, so
+	// no surviving prepare record can need them).
+	decided := make(map[uint64]bool)
 	for _, c := range db.containers {
 		if c.wal == nil {
 			continue

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"reactdb/internal/bench"
+	"reactdb/internal/engine"
+	"reactdb/internal/randutil"
+	"reactdb/internal/workload/smallbank"
+)
+
+// checkpointConfig is one point of the checkpoint sweep.
+type checkpointConfig struct {
+	name     string
+	interval time.Duration // 0 disables the background checkpointer
+}
+
+// checkpointConfigs enumerates the sweep: no checkpointing (the log grows
+// without bound and recovery replays all of history) against background
+// checkpoint intervals from aggressive to relaxed.
+func checkpointConfigs(opts Options) []checkpointConfig {
+	intervals := []time.Duration{20 * time.Millisecond, 100 * time.Millisecond}
+	if opts.Full {
+		intervals = []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 250 * time.Millisecond}
+	}
+	cfgs := []checkpointConfig{{name: "off"}}
+	for _, iv := range intervals {
+		cfgs = append(cfgs, checkpointConfig{name: fmt.Sprintf("every %v", iv), interval: iv})
+	}
+	return cfgs
+}
+
+// Checkpoint is the checkpointing sweep: single-container smallbank deposits
+// under the WAL with group commit, with the background checkpointer off
+// versus running at several intervals. For each point it reports steady-state
+// throughput (the checkpointer's quiesce and snapshot cost shows up here),
+// the checkpoints taken and segments truncated, the log size left on disk at
+// shutdown, and — after a cold reopen of the same directory — the wall-clock
+// recovery time and the number of transactions replay had to re-apply.
+// Checkpointing should leave both the on-disk log and the replayed suffix
+// bounded (O(suffix)) where the no-checkpoint baseline grows with history.
+func Checkpoint(opts Options) (*Table, error) {
+	customers := 64
+	workers := 8
+	if opts.Full {
+		customers = 512
+		workers = 16
+	}
+
+	table := &Table{
+		ID:    "checkpoint",
+		Title: "Checkpoint sweep: log growth and recovery time vs checkpoint interval (single container)",
+		Header: []string{"config", "throughput [txn/s]", "abort%", "ckpts",
+			"segs deleted", "log KiB @close", "recover [ms]", "replayed txns"},
+		Notes: []string{
+			"WAL + group commit, 64 KiB segments; the background checkpointer snapshots catalogs and truncates segments below the low-water mark",
+			"log KiB @close sums surviving segment files; recover reopens the directory cold and times Database.Recover",
+			"'off' replays all of history; checkpointed runs replay only the suffix appended after the last checkpoint",
+		},
+	}
+
+	for _, cc := range checkpointConfigs(opts) {
+		row, err := runCheckpointPoint(opts, cc, customers, workers)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint point %s: %w", cc.name, err)
+		}
+		table.AddRow(row...)
+	}
+	return table, nil
+}
+
+func runCheckpointPoint(opts Options, cc checkpointConfig, customers, workers int) ([]string, error) {
+	cfg := engine.NewSharedEverythingWithAffinity(2)
+	cfg.Costs = opts.commCosts()
+	cfg.GroupCommit = engine.GroupCommitConfig{Enabled: true, Window: 200 * time.Microsecond, MaxBatch: 32}
+	dir, err := os.MkdirTemp("", "reactdb-checkpoint-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Durability = engine.DurabilityConfig{
+		Mode:               engine.DurabilityWAL,
+		Dir:                dir,
+		SegmentSize:        64 << 10,
+		CheckpointInterval: cc.interval,
+	}
+
+	db, err := engine.Open(smallbank.NewDefinition(customers), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := smallbank.Load(db, customers, 1e9, 1e9); err != nil {
+		db.Close()
+		return nil, err
+	}
+
+	benchOpts := bench.Options{
+		Workers:       workers,
+		Epochs:        opts.epochs(),
+		EpochDuration: opts.epochDuration(),
+		Warmup:        50 * time.Millisecond,
+	}
+	result, err := bench.Run(db, benchOpts, func(worker int) bench.Generator {
+		rng := randutil.New(int64(worker) + 1)
+		return func() bench.Request {
+			// Distinct-key updates: each worker owns a stripe of customers.
+			id := worker + workers*randutil.UniformInt(rng, 0, customers/workers-1)
+			return bench.Request{
+				Reactor:   smallbank.ReactorName(id),
+				Procedure: smallbank.ProcDepositChecking,
+				Args:      []any{1.0},
+			}
+		}
+	})
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+
+	var ckpts, segsDeleted uint64
+	for _, cs := range db.CheckpointStats() {
+		ckpts += cs.Checkpoints
+		segsDeleted += cs.SegmentsDeleted
+	}
+	db.Close()
+
+	logBytes, err := dirSize(dir, ".wal")
+	if err != nil {
+		return nil, err
+	}
+
+	// Cold restart: recovery time is the figure of merit. Loaders must rerun
+	// first only for the no-checkpoint baseline (a checkpoint captures the
+	// loaded base data); rerun them everywhere for apples-to-apples timing.
+	cfg2 := cfg
+	cfg2.Durability.CheckpointInterval = 0
+	db2, err := engine.Open(smallbank.NewDefinition(customers), cfg2)
+	if err != nil {
+		return nil, err
+	}
+	defer db2.Close()
+	if err := smallbank.Load(db2, customers, 1e9, 1e9); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	replayed, err := db2.Recover()
+	if err != nil {
+		return nil, err
+	}
+	recoverMS := float64(time.Since(start)) / 1e6
+
+	tp, _ := result.Throughput()
+	return []string{
+		cc.name,
+		formatThroughput(tp),
+		formatPercent(result.AbortRate()),
+		fmt.Sprintf("%d", ckpts),
+		fmt.Sprintf("%d", segsDeleted),
+		fmt.Sprintf("%.0f", float64(logBytes)/1024),
+		fmt.Sprintf("%.2f", recoverMS),
+		fmt.Sprintf("%d", replayed),
+	}, nil
+}
+
+// dirSize sums the sizes of files with the given extension under root.
+func dirSize(root, ext string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ext {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	return total, err
+}

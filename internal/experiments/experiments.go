@@ -158,6 +158,7 @@ func Registry() map[string]Runner {
 		"overhead":   Overhead,
 		"durability": Durability,
 		"twopc":      TwoPC,
+		"checkpoint": Checkpoint,
 	}
 }
 

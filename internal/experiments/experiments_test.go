@@ -20,7 +20,7 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 	want := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"affinity", "overhead", "durability", "twopc",
+		"affinity", "overhead", "durability", "twopc", "checkpoint",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -166,6 +166,48 @@ func TestOverheadQuickRun(t *testing.T) {
 	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("expected 3 rows, got %d", len(tbl.Rows))
+	}
+}
+
+// TestCheckpointSweepBoundsLogAndRecovery runs the checkpoint sweep in its
+// tiny configuration and checks the acceptance criterion of the
+// checkpointing work: a checkpointed run takes checkpoints, and both its
+// on-disk log and its replayed suffix come out smaller than the
+// no-checkpoint baseline's full history.
+func TestCheckpointSweepBoundsLogAndRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := Checkpoint(tinyOptions())
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if len(tbl.Rows) != len(checkpointConfigs(tinyOptions())) {
+		t.Fatalf("sweep produced %d rows, want %d", len(tbl.Rows), len(checkpointConfigs(tinyOptions())))
+	}
+	parse := func(cell, what string) float64 {
+		var v float64
+		if _, err := fmtSscan(cell, &v); err != nil {
+			t.Fatalf("parse %s %q: %v", what, cell, err)
+		}
+		return v
+	}
+	baseline := tbl.Rows[0]
+	if baseline[0] != "off" || parse(baseline[3], "ckpts") != 0 {
+		t.Fatalf("first row should be the no-checkpoint baseline, got %v", baseline)
+	}
+	baseReplayed := parse(baseline[7], "replayed")
+	if baseReplayed == 0 {
+		t.Fatal("baseline replayed nothing; the workload wrote no log")
+	}
+	for _, row := range tbl.Rows[1:] {
+		if parse(row[3], "ckpts") == 0 {
+			t.Fatalf("config %s took no checkpoints", row[0])
+		}
+		if replayed := parse(row[7], "replayed"); replayed >= baseReplayed {
+			t.Fatalf("config %s replayed %v transactions, want fewer than the baseline's %v",
+				row[0], replayed, baseReplayed)
+		}
 	}
 }
 

@@ -34,6 +34,43 @@ func (d *Domain) ApplyReplayedWrite(rec *kv.Record, guard ScanGuard, tid uint64,
 	}
 }
 
+// InstallCheckpointRow installs one checkpoint-captured row into a record:
+// the recovery fast path's counterpart to ApplyReplayedWrite. Checkpoints
+// capture loader-populated base rows too, which carry TID 0 — a version the
+// replay hook's strict newer-than check would refuse to install — so an
+// absent (freshly indexed) record accepts any TID, including 0. A present
+// record keeps the newer version, making the hook idempotent against rows the
+// log suffix already re-applied. deleted installs a checkpoint tombstone: the
+// row was removed by a transaction the checkpoint absorbed (its delete record
+// may be truncated), so the record must end up absent even if a re-run loader
+// repopulated it before Recover.
+func (d *Domain) InstallCheckpointRow(rec *kv.Record, guard ScanGuard, tid uint64, data []byte, deleted bool) {
+	rec.Lock()
+	if !rec.Absent() && tid <= rec.TID() && tid > 0 {
+		rec.Unlock()
+		return
+	}
+	structural := rec.Absent() || deleted
+	if !deleted {
+		rec.SetData(data)
+	}
+	rec.UnlockWithTID(tid, deleted)
+	if structural && guard != nil {
+		guard.LockStructure()
+		guard.BumpVersion()
+		guard.UnlockStructure()
+	}
+}
+
+// TIDWatermark returns a TID strictly greater than every TID this domain has
+// issued so far: the next epoch's floor. The checkpointer stamps it into the
+// checkpoint (Checkpoint.MaxTID) so recovery can advance the domain past all
+// captured history — including versions the snapshot itself forgets, such as
+// the TIDs of deleted rows — via ObserveRecoveredTID.
+func (d *Domain) TIDWatermark() uint64 {
+	return (d.epoch.Load() + 1) << epochBits
+}
+
 // ObserveRecoveredAbort retracts a prepared-but-undecided transaction found
 // during WAL replay and resolved by presumed abort: nothing is applied (its
 // writes were staged in the log but never installed), the domain's abort

@@ -75,3 +75,68 @@ func FuzzDecodeRecord(f *testing.F) {
 		}
 	})
 }
+
+// seedCheckpoints returns encoded checkpoint blobs covering the shapes the
+// checkpointer produces.
+func seedCheckpoints() [][]byte {
+	checkpoints := []Checkpoint{
+		{Seq: 1},
+		{Seq: 2, LowLSN: 17, MaxTID: 1 << 41, MaxGlobalID: 9},
+		{Seq: 3, LowLSN: 41, MaxTID: 1 << 42, MaxGlobalID: 12, Rows: []CheckpointRow{
+			{Key: "r\x00t\x00k1", TID: 7, Data: []byte("hello")},
+			{Key: "r\x00t\x00k2", TID: 9, Data: []byte{0, 1, 2, 255}},
+			{Key: "r\x00t\x00k3", TID: 11},                // empty payload
+			{Key: "r\x00t\x00k4", TID: 13, Deleted: true}, // deletion tombstone
+		}},
+	}
+	var blobs [][]byte
+	for i := range checkpoints {
+		blobs = append(blobs, EncodeCheckpoint(&checkpoints[i]))
+	}
+	return blobs
+}
+
+// FuzzDecodeCheckpoint checks DecodeCheckpoint's contract on arbitrary input:
+// a corrupt blob — torn write, bit rot, truncated file — is rejected with an
+// error wrapping ErrCorrupt and no partial checkpoint is ever returned, so
+// recovery always falls back to an older checkpoint or full replay; a blob
+// that decodes must survive an encode/decode round trip. It must never
+// panic, never over-read, and never allocate from an implausible length.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	for _, blob := range seedCheckpoints() {
+		f.Add(blob)
+		// Corrupted variants: torn tail, bit-flipped payload, bit-flipped CRC,
+		// trailing garbage after the frame.
+		f.Add(blob[:len(blob)-1])
+		flipped := append([]byte(nil), blob...)
+		flipped[len(flipped)-1] ^= 0x40
+		f.Add(flipped)
+		badCRC := append([]byte(nil), blob...)
+		badCRC[4] ^= 0xff
+		f.Add(badCRC)
+		f.Add(append(append([]byte(nil), blob...), 0x00))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint, definitely longer than a frame header"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			if cp != nil {
+				t.Fatal("decode returned partial checkpoint alongside an error")
+			}
+			return
+		}
+		re := EncodeCheckpoint(cp)
+		cp2, err := DecodeCheckpoint(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded checkpoint failed: %v", err)
+		}
+		if !reflect.DeepEqual(cp, cp2) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", cp2, cp)
+		}
+	})
+}

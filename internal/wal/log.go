@@ -43,13 +43,15 @@ type Log struct {
 	broken    error // set on a failed segment write: the tail may be torn
 
 	// stats (guarded by mu except the histograms, which are internally atomic)
-	appends       uint64
-	appendedBytes uint64
-	fsyncs        uint64
-	absorbed      uint64
-	segments      uint64
-	fsyncLat      *stats.Histogram
-	flushBytes    *stats.Histogram
+	appends         uint64
+	appendedBytes   uint64
+	fsyncs          uint64
+	absorbed        uint64
+	segments        uint64
+	truncations     uint64
+	segmentsDeleted uint64
+	fsyncLat        *stats.Histogram
+	flushBytes      *stats.Histogram
 }
 
 // Open opens a log on the given storage: it scans existing segments to find
@@ -366,6 +368,101 @@ func (l *Log) Replay(fn func(Record) error) error {
 	})
 }
 
+// TruncateBelow deletes sealed segments every decodable record of which has
+// LSN <= lsn, in ascending order, and reports how many were deleted. It is
+// the checkpointer's space-reclamation step and must only be called once a
+// checkpoint covering lsn is durable: after it, records at or below lsn may
+// be gone from the log forever.
+//
+// Safety rails: the active segment is never deleted (it is still being
+// written), and neither is the newest segment holding any decodable record —
+// even when everything in it is below the mark — so a reopened log always
+// rediscovers its LSN watermark from storage and never reissues an LSN that a
+// checkpoint already classified as captured. Deletion scans segments in
+// order and stops at the first one carrying a record above the mark; LSNs
+// ascend across segments, so everything beyond it is above the mark too. A
+// segment that fails to delete stops the scan and returns the error: the
+// next checkpoint simply retries, and recovery is correct with any subset of
+// the deletions applied (replay skips below-mark records by LSN, not by
+// segment).
+func (l *Log) TruncateBelow(lsn uint64) (int, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.broken != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: log wedged after failed write: %w", l.broken)
+	}
+	hasActive, activeIdx := l.active != nil, l.activeIdx
+	l.mu.Unlock()
+
+	indexes, err := l.storage.List()
+	if err != nil {
+		return 0, err
+	}
+	if len(indexes) == 0 {
+		return 0, nil
+	}
+	// keep is the lowest index that must survive regardless of LSNs.
+	keep := indexes[len(indexes)-1]
+	if hasActive && activeIdx < keep {
+		keep = activeIdx
+	} else if !hasActive {
+		// No active segment (nothing appended since Open): keep the newest
+		// segment with a decodable record, which carries the LSN watermark.
+		for i := len(indexes) - 1; i >= 0; i-- {
+			buf, err := l.storage.ReadSegment(indexes[i])
+			if err != nil {
+				return 0, err
+			}
+			if _, _, decErr := decodeRecord(buf, 0); decErr == nil {
+				keep = indexes[i]
+				break
+			}
+		}
+	}
+
+	deleted := 0
+	for _, idx := range indexes {
+		if idx >= keep {
+			break
+		}
+		buf, err := l.storage.ReadSegment(idx)
+		if err != nil {
+			return deleted, err
+		}
+		above := false
+		off := 0
+		for off < len(buf) {
+			rec, n, decErr := decodeRecord(buf, off)
+			if decErr != nil {
+				break // torn tail of a crashed predecessor; its frames never committed
+			}
+			if rec.LSN > lsn {
+				above = true
+				break
+			}
+			off = n
+		}
+		if above {
+			break
+		}
+		if err := l.storage.DeleteSegment(idx); err != nil {
+			return deleted, err
+		}
+		deleted++
+	}
+	if deleted > 0 {
+		l.mu.Lock()
+		l.truncations++
+		l.segmentsDeleted += uint64(deleted)
+		l.mu.Unlock()
+	}
+	return deleted, nil
+}
+
 // Close fsyncs and closes the active segment. Further appends fail.
 func (l *Log) Close() error {
 	l.mu.Lock()
@@ -395,6 +492,10 @@ type Stats struct {
 	SyncsAbsorbed uint64
 	// Segments counts segments created by this Log instance.
 	Segments uint64
+	// Truncations counts TruncateBelow calls that deleted at least one
+	// segment; SegmentsDeleted counts the segments they reclaimed.
+	Truncations     uint64
+	SegmentsDeleted uint64
 	// FsyncLatency is the distribution of fsync call latencies (nanoseconds);
 	// BytesPerFlush the distribution of bytes made durable per fsync.
 	FsyncLatency  stats.HistogramSnapshot
@@ -405,11 +506,13 @@ type Stats struct {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	s := Stats{
-		Appends:       l.appends,
-		AppendedBytes: l.appendedBytes,
-		Fsyncs:        l.fsyncs,
-		SyncsAbsorbed: l.absorbed,
-		Segments:      l.segments,
+		Appends:         l.appends,
+		AppendedBytes:   l.appendedBytes,
+		Fsyncs:          l.fsyncs,
+		SyncsAbsorbed:   l.absorbed,
+		Segments:        l.segments,
+		Truncations:     l.truncations,
+		SegmentsDeleted: l.segmentsDeleted,
 	}
 	l.mu.Unlock()
 	s.FsyncLatency = l.fsyncLat.Snapshot()

@@ -277,6 +277,24 @@ func decodeRecord(buf []byte, off int) (Record, int, error) {
 	return rec, end, nil
 }
 
+// DecodeAll decodes the valid record prefix of one segment's raw contents,
+// returning the records and the offset at which decoding stopped (equal to
+// len(buf) when the whole segment decoded). Crash audits and experiments use
+// it to inspect segments without opening a Log.
+func DecodeAll(buf []byte) ([]Record, int) {
+	var recs []Record
+	off := 0
+	for off < len(buf) {
+		rec, n, err := decodeRecord(buf, off)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off = n
+	}
+	return recs, off
+}
+
 func readUvarint(p []byte) (uint64, []byte, error) {
 	v, n := binary.Uvarint(p)
 	if n <= 0 {

@@ -27,6 +27,25 @@ type Storage interface {
 	SyncSegment(index uint64) error
 	// Create creates the segment with the given index and returns its writer.
 	Create(index uint64) (SegmentFile, error)
+	// DeleteSegment durably removes a sealed segment. Log truncation calls it
+	// for segments wholly below a checkpoint's low-water mark; it must never
+	// be called on the segment currently open for writing.
+	DeleteSegment(index uint64) error
+	// ListCheckpoints returns the sequence numbers of stored checkpoint blobs
+	// in ascending order. Checkpoints are sidecar files next to the segments;
+	// they share the storage's lifetime and crash semantics.
+	ListCheckpoints() ([]uint64, error)
+	// ReadCheckpoint returns the durable contents of the checkpoint blob with
+	// the given sequence number (possibly torn if a writer crashed mid-write;
+	// DecodeCheckpoint's CRC catches that).
+	ReadCheckpoint(seq uint64) ([]byte, error)
+	// WriteCheckpoint durably stores a checkpoint blob under seq, overwriting
+	// any previous blob with the same sequence number. On return the bytes
+	// must survive a machine crash.
+	WriteCheckpoint(seq uint64, data []byte) error
+	// DeleteCheckpoint durably removes the checkpoint blob with the given
+	// sequence number.
+	DeleteCheckpoint(seq uint64) error
 }
 
 // SegmentFile is the writable handle of one open segment.
@@ -74,6 +93,13 @@ func NewMemStorage() *MemStorage {
 
 func (m *MemStorage) key(index uint64) string {
 	return fmt.Sprintf("%s/%016d", m.prefix, index)
+}
+
+// ckptKey namespaces checkpoint blobs away from segment keys: the "ckpt/"
+// component never parses as a segment index, so List and ListCheckpoints
+// cannot confuse the two.
+func (m *MemStorage) ckptKey(seq uint64) string {
+	return fmt.Sprintf("%s/ckpt/%016d", m.prefix, seq)
 }
 
 // Sub implements Storage.
@@ -136,6 +162,72 @@ func (m *MemStorage) Create(index uint64) (SegmentFile, error) {
 	seg := &memSegment{}
 	m.root.segs[k] = seg
 	return &memSegmentFile{root: m.root, seg: seg}, nil
+}
+
+// DeleteSegment implements Storage.
+func (m *MemStorage) DeleteSegment(index uint64) error {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	k := m.key(index)
+	if _, ok := m.root.segs[k]; !ok {
+		return fmt.Errorf("wal: no such segment %d", index)
+	}
+	delete(m.root.segs, k)
+	return nil
+}
+
+// ListCheckpoints implements Storage.
+func (m *MemStorage) ListCheckpoints() ([]uint64, error) {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	var out []uint64
+	for k := range m.root.segs {
+		var seq uint64
+		if n, err := fmt.Sscanf(k, m.prefix+"/ckpt/%016d", &seq); n == 1 && err == nil {
+			out = append(out, seq)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ReadCheckpoint implements Storage. Like ReadSegment it returns everything
+// written; a crash drops the unsynced suffix via CrashCopy, which is how a
+// torn checkpoint write surfaces to recovery.
+func (m *MemStorage) ReadCheckpoint(seq uint64) ([]byte, error) {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	blob, ok := m.root.segs[m.ckptKey(seq)]
+	if !ok {
+		return nil, fmt.Errorf("wal: no such checkpoint %d", seq)
+	}
+	return append([]byte(nil), blob.buf...), nil
+}
+
+// WriteCheckpoint implements Storage: the blob is written and fsynced in one
+// step (a failed sync fails the write). Checkpoint blobs live in the same
+// keyspace as segments so CrashCopy preserves their durable prefixes too.
+func (m *MemStorage) WriteCheckpoint(seq uint64, data []byte) error {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	if err := m.root.syncErr; err != nil {
+		return err
+	}
+	buf := append([]byte(nil), data...)
+	m.root.segs[m.ckptKey(seq)] = &memSegment{buf: buf, synced: len(buf)}
+	return nil
+}
+
+// DeleteCheckpoint implements Storage.
+func (m *MemStorage) DeleteCheckpoint(seq uint64) error {
+	m.root.mu.Lock()
+	defer m.root.mu.Unlock()
+	k := m.ckptKey(seq)
+	if _, ok := m.root.segs[k]; !ok {
+		return fmt.Errorf("wal: no such checkpoint %d", seq)
+	}
+	delete(m.root.segs, k)
+	return nil
 }
 
 // GateSyncs installs a gate channel: every subsequent Sync (on any segment of
@@ -308,6 +400,77 @@ func (s *FileStorage) Create(index uint64) (SegmentFile, error) {
 		return nil, err
 	}
 	return f, nil
+}
+
+// DeleteSegment implements Storage. The directory is fsynced afterwards so
+// the removal — and with it the truncation's space reclamation — is durable.
+func (s *FileStorage) DeleteSegment(index uint64) error {
+	if err := os.Remove(s.segPath(index)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+func (s *FileStorage) ckptPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%016d.ckpt", seq))
+}
+
+// ListCheckpoints implements Storage.
+func (s *FileStorage) ListCheckpoints() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		var seq uint64
+		if n, scanErr := fmt.Sscanf(e.Name(), "%016d.ckpt", &seq); n == 1 && scanErr == nil {
+			out = append(out, seq)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ReadCheckpoint implements Storage.
+func (s *FileStorage) ReadCheckpoint(seq uint64) ([]byte, error) {
+	return os.ReadFile(s.ckptPath(seq))
+}
+
+// WriteCheckpoint implements Storage: write, fsync the file, fsync the
+// directory. A crash mid-write leaves a torn file whose CRC fails decoding,
+// which recovery treats as "no such checkpoint".
+func (s *FileStorage) WriteCheckpoint(seq uint64, data []byte) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.ckptPath(seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// DeleteCheckpoint implements Storage.
+func (s *FileStorage) DeleteCheckpoint(seq uint64) error {
+	if err := os.Remove(s.ckptPath(seq)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
 }
 
 // syncDir fsyncs a directory so freshly created entries are durable.

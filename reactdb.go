@@ -94,6 +94,8 @@ type (
 	GroupCommitStats = engine.GroupCommitStats
 	// WALStats is a snapshot of one container's write-ahead log activity.
 	WALStats = engine.WALStats
+	// CheckpointStats is a snapshot of one container's checkpoint activity.
+	CheckpointStats = engine.CheckpointStats
 )
 
 // Column types.
