@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race crash crash-ckpt fuzz bench bench-wal bench-2pc bench-ckpt
+.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt fuzz bench bench-wal bench-2pc bench-ckpt bench-sched
 
 all: fmt-check vet build test
 
@@ -24,6 +24,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/engine/... ./internal/occ/... ./internal/wal/...
+
+# Steal/admission stress under the race detector, run twice: the steal
+# correctness stress (affine tasks never stolen, serializable histories under
+# stealing), the admission-token leak regressions (abort, overload, panic,
+# yield) and the adaptive-depth controller tests.
+race-sched:
+	$(GO) test -race -count=2 -run 'Steal|Admission|Adaptive' ./internal/engine/
 
 # Crash-injection matrix: kill the database at every WAL append/fsync
 # boundary of a multi-container commit (including the checkpoint-write,
@@ -63,3 +70,8 @@ bench-2pc:
 # interval) in its quick configuration.
 bench-ckpt:
 	$(GO) run ./cmd/reactdb-bench -experiment checkpoint
+
+# Run the scheduler sweep (load skew x work stealing x static/adaptive depth)
+# and record the machine-readable results in the bench history.
+bench-sched:
+	$(GO) run ./cmd/reactdb-bench -experiment scheduler -json BENCH_sched.json

@@ -21,6 +21,7 @@ import (
 	"reactdb/internal/core"
 	"reactdb/internal/costmodel"
 	"reactdb/internal/engine"
+	"reactdb/internal/experiments"
 	"reactdb/internal/randutil"
 	"reactdb/internal/workload/exchange"
 	"reactdb/internal/workload/smallbank"
@@ -508,6 +509,68 @@ func BenchmarkSchedulerQueuedVsDirect(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSchedulerSkewedSteal measures the work-stealing scheduler against
+// the steal-off baseline under Zipf-skewed and uniform read-only load
+// (smallbank balance checks with a modeled per-transaction processing cost).
+// Under skew the Zipf head routes to a single executor and ns/op with
+// stealing enabled must be at least 1.3x better (the acceptance bar, pinned
+// by TestStealImprovesSkewedThroughput); under uniform load stealing must be
+// within the +-5% noise band of the baseline. Steals/op and the stolen task
+// counts are reported as metrics.
+func BenchmarkSchedulerSkewedSteal(b *testing.B) {
+	const executors, customers = 4, 64
+	loads := []struct {
+		name      string
+		theta     float64
+		clustered bool
+	}{
+		{"zipf", 1.2, true},
+		{"uniform", 0, false},
+	}
+	for _, load := range loads {
+		for _, steal := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/steal=%v", load.name, steal), func(b *testing.B) {
+				cfg := reactdb.SharedEverythingWithAffinity(executors)
+				cfg.Steal = reactdb.StealConfig{Enabled: steal}
+				cfg.QueueDepth = 128
+				cfg.Costs = reactdb.Costs{Processing: 50 * time.Microsecond, AffinityMiss: 10 * time.Microsecond}
+				db, err := engine.Open(smallbank.NewDefinition(customers), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := smallbank.Load(db, customers, 1e9, 1e9); err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(db.Close)
+				ranked := experiments.RankedCustomers(customers, executors, load.clustered)
+				zipf := randutil.NewZipfian(customers, load.theta)
+				if gomaxprocs := runtime.GOMAXPROCS(0); gomaxprocs < 16 {
+					b.SetParallelism((16 + gomaxprocs - 1) / gomaxprocs)
+				}
+				var clientSeq atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := randutil.New(clientSeq.Add(1))
+					for pb.Next() {
+						mustExecute(b, db, ranked[zipf.Next(rng)], smallbank.ProcBalance)
+					}
+				})
+				var steals, stolen int64
+				for _, qs := range db.QueueStats() {
+					steals += qs.Steals
+					stolen += qs.Stolen
+				}
+				if b.N > 0 {
+					b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+				}
+				if !steal && steals+stolen != 0 {
+					b.Fatalf("stealing disabled but %d steals / %d stolen recorded", steals, stolen)
+				}
+			})
+		}
 	}
 }
 

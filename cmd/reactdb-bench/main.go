@@ -6,10 +6,12 @@
 //
 //	reactdb-bench -list
 //	reactdb-bench -experiment fig5
+//	reactdb-bench -experiment scheduler -json BENCH_sched.json
 //	reactdb-bench -all [-full]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +20,23 @@ import (
 	"reactdb/internal/experiments"
 )
 
+// jsonReport is the envelope written by -json: the experiment's
+// machine-readable payload plus enough provenance to compare runs.
+type jsonReport struct {
+	Experiment  string `json:"experiment"`
+	Title       string `json:"title"`
+	Full        bool   `json:"full"`
+	GeneratedAt string `json:"generated_at"`
+	Payload     any    `json:"payload"`
+}
+
 func main() {
 	var (
 		list       = flag.Bool("list", false, "list available experiment ids and exit")
 		experiment = flag.String("experiment", "", "run a single experiment (e.g. fig5, tab1)")
 		all        = flag.Bool("all", false, "run every experiment")
 		full       = flag.Bool("full", false, "use the full (paper-sized) sweeps instead of the quick ones")
+		jsonPath   = flag.String("json", "", "write the experiment's machine-readable payload to this file (single -experiment runs only)")
 	)
 	flag.Parse()
 
@@ -49,6 +62,27 @@ func main() {
 		}
 		table.Fprint(os.Stdout)
 		fmt.Printf("  (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *jsonPath != "" {
+			if table.Machine == nil {
+				return fmt.Errorf("experiment %s has no machine-readable payload for -json", id)
+			}
+			report := jsonReport{
+				Experiment:  table.ID,
+				Title:       table.Title,
+				Full:        *full,
+				GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+				Payload:     table.Machine,
+			}
+			buf, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				return fmt.Errorf("marshal %s payload: %w", id, err)
+			}
+			buf = append(buf, '\n')
+			if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+			fmt.Printf("  wrote %s\n\n", *jsonPath)
+		}
 		return nil
 	}
 
@@ -59,6 +93,10 @@ func main() {
 			os.Exit(1)
 		}
 	case *all:
+		if *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "-json requires a single -experiment run")
+			os.Exit(2)
+		}
 		for _, id := range experiments.IDs() {
 			if err := runOne(id); err != nil {
 				fmt.Fprintln(os.Stderr, err)

@@ -42,7 +42,11 @@ type Database struct {
 
 	epochStop chan struct{}
 	epochWG   sync.WaitGroup
-	closed    atomic.Bool
+
+	adaptStop chan struct{}
+	adaptWG   sync.WaitGroup
+
+	closed atomic.Bool
 }
 
 // Open deploys the reactor database described by def according to cfg. The
@@ -61,6 +65,7 @@ func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
 		placement: make(map[string]*Container),
 		epochStop: make(chan struct{}),
 		ckptStop:  make(chan struct{}),
+		adaptStop: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Containers; i++ {
 		c, err := newContainer(db, i)
@@ -93,6 +98,10 @@ func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
 		db.ckptWG.Add(1)
 		go db.checkpointLoop()
 	}
+	if cfg.AdaptiveDepth.Enabled {
+		db.adaptWG.Add(1)
+		go db.adaptLoop()
+	}
 	return db, nil
 }
 
@@ -114,6 +123,10 @@ func (db *Database) Close() {
 		// checkpoint racing shutdown would truncate against a closing log.
 		close(db.ckptStop)
 		db.ckptWG.Wait()
+		// Stop the depth controller before draining: a controller tick racing
+		// executor shutdown would rotate histograms of a dying run loop.
+		close(db.adaptStop)
+		db.adaptWG.Wait()
 		db.inflight.Wait()
 		for _, c := range db.containers {
 			c.shutdown()
@@ -134,6 +147,55 @@ func (db *Database) epochLoop() {
 		case <-ticker.C:
 			for _, c := range db.containers {
 				c.domain.AdvanceEpoch()
+			}
+		}
+	}
+}
+
+// adaptLoop is the adaptive admission controller (Config.AdaptiveDepth):
+// every interval it reads each executor's queue-wait p99 over the window just
+// ended and moves that executor's in-flight token limit — multiplicative
+// decrease when the tail exceeds the target (overload: admitting less is the
+// only way admitted work waits less), gentle additive increase once the tail
+// falls below half the target (headroom: reclaim throughput). Executors whose
+// window saw no completed queue wait are left alone; an idle executor has no
+// evidence to act on.
+func (db *Database) adaptLoop() {
+	defer db.adaptWG.Done()
+	a := db.cfg.AdaptiveDepth
+	ticker := time.NewTicker(a.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.adaptStop:
+			return
+		case <-ticker.C:
+			for _, c := range db.containers {
+				for _, e := range c.executors {
+					if e.gate == nil {
+						continue
+					}
+					win := e.waitWindow.Rotate()
+					if win.Count == 0 {
+						continue
+					}
+					p99 := time.Duration(win.Quantile(0.99))
+					_, limit, _ := e.gate.snapshot()
+					switch {
+					case p99 > a.TargetP99 && limit > a.Floor:
+						next := limit / 2
+						if next < a.Floor {
+							next = a.Floor
+						}
+						e.gate.setLimit(next)
+					case p99 < a.TargetP99/2 && limit < a.Ceiling:
+						next := limit + 1 + limit/8
+						if next > a.Ceiling {
+							next = a.Ceiling
+						}
+						e.gate.setLimit(next)
+					}
+				}
 			}
 		}
 	}
@@ -202,6 +264,7 @@ func (db *Database) ExecuteProfiled(reactor, procedure string, args ...any) (any
 		executor: container.router.Route(reactor),
 		future:   fut,
 		isRoot:   true,
+		affine:   db.cfg.pinnedAffinity(),
 	}
 	db.inflight.Add(1)
 	if err := db.dispatch(t); err != nil {
@@ -243,6 +306,11 @@ func (db *Database) dispatch(t *task) error {
 // child sub-transactions and, for root transactions, runs the commit
 // protocol. The task's future is resolved with the result.
 func (db *Database) runTask(t *task, session *coreSession) {
+	// The admission token is surrendered on every exit from this function —
+	// commit, abort, unknown-reactor failure, or a panic that escapes the
+	// procedure-level recover in invoke — so a crashed request can never
+	// strand a slot of its executor's effective depth.
+	defer t.releaseToken()
 	t.executor.chargeEntry(t.reactor)
 
 	ctx := &execContext{
@@ -317,6 +385,21 @@ func (db *Database) Load(reactor, relation string, row rel.Row) error {
 		return fmt.Errorf("%w: %s.%s", core.ErrUnknownRelation, reactor, relation)
 	}
 	return tbl.LoadRow(row)
+}
+
+// FinishLoad makes a completed bulk load durable by forcing an initial
+// checkpoint. Loader writes go through Table.LoadRow at TID 0 and bypass the
+// WAL, so before the first checkpoint they exist only in memory: a crash
+// after load but before any checkpoint used to require re-running the loader
+// before Recover. Calling FinishLoad once after the last Load closes that
+// gap — the checkpoint captures every loaded base row, and any subsequent
+// restart recovers from it plus the log suffix with no loader involved.
+// Under durability modes without a WAL it is a no-op.
+func (db *Database) FinishLoad() error {
+	if db.cfg.Durability.Mode != DurabilityWAL {
+		return nil
+	}
+	return db.Checkpoint()
 }
 
 // MustLoad is Load that panics on error.

@@ -10,51 +10,80 @@ import (
 
 // Executor is a transaction executor: the unit of compute inside a container
 // (paper §3.1). Each executor owns one virtual core and, under the queued
-// dispatch mode, a bounded request queue drained by a run-loop goroutine:
-// requests admitted to the queue are started in FIFO order, one core-holder
-// at a time, and a request that blocks on a remote sub-transaction releases
-// the core so queued work can proceed (cooperative multitasking, §3.2.3).
+// dispatch mode, a request queue drained by a run-loop goroutine plus an
+// admission gate of in-flight tokens: root transactions admitted to the gate
+// are started in FIFO order, one core-holder at a time, and a request that
+// blocks on a remote sub-transaction releases the core so queued work can
+// proceed (cooperative multitasking, §3.2.3) while keeping its token. When
+// work stealing is enabled (Config.Steal) an executor whose queue runs empty
+// — or pathologically shallow next to a sibling's — takes non-affine root
+// tasks from the deepest sibling queue of its container.
 type Executor struct {
 	container *Container
 	id        int
 	core      *vclock.Core
 
-	// request-queue scheduler (nil queue under DispatchDirect)
+	// request-queue scheduler (nil queue/gate under DispatchDirect)
 	queue    *requestQueue
+	gate     *admissionGate
 	loopDone chan struct{}
+	parked   atomic.Bool // run loop is waiting on queue.wake (steal wake target)
 
 	// instrumentation
-	busy      atomic.Int64 // accumulated nanoseconds the core was held
-	processed atomic.Int64 // number of (sub-)transaction requests processed
-	started   time.Time
-	enqueued  atomic.Int64
-	rejected  atomic.Int64
-	waitHist  *stats.Histogram // scheduling delay: enqueue -> core acquired
-	depthHist *stats.Histogram // queue depth observed at enqueue
+	busy       atomic.Int64 // accumulated nanoseconds the core was held
+	processed  atomic.Int64 // number of (sub-)transaction requests processed
+	started    time.Time
+	enqueued   atomic.Int64
+	rejected   atomic.Int64
+	steals     atomic.Int64             // tasks taken from sibling queues
+	stolen     atomic.Int64             // tasks siblings took from this queue
+	misses     atomic.Int64             // affinity misses charged at chargeEntry
+	waitHist   *stats.Histogram         // scheduling delay: enqueue -> core acquired
+	waitWindow *stats.WindowedHistogram // same delay, windowed for the depth controller
+	depthHist  *stats.Histogram         // queue depth observed at enqueue
 }
 
 func newExecutor(c *Container, id int) *Executor {
 	e := &Executor{
-		container: c,
-		id:        id,
-		core:      vclock.NewCore(),
-		started:   time.Now(),
-		waitHist:  stats.NewHistogram(stats.DurationBounds()),
-		depthHist: stats.NewHistogram(stats.DepthBounds()),
+		container:  c,
+		id:         id,
+		core:       vclock.NewCore(),
+		started:    time.Now(),
+		waitHist:   stats.NewHistogram(stats.DurationBounds()),
+		waitWindow: stats.NewWindowedHistogram(stats.DurationBounds()),
+		depthHist:  stats.NewHistogram(stats.DepthBounds()),
 	}
 	if c.db.cfg.Dispatch == DispatchQueued {
-		e.queue = newRequestQueue(c.db.cfg.QueueDepth)
+		depth := c.db.cfg.QueueDepth
+		if a := c.db.cfg.AdaptiveDepth; a.Enabled {
+			// Start wide open; the controller shrinks toward the floor only
+			// when measured queue-wait says the backlog is hurting.
+			depth = a.Ceiling
+		}
+		e.queue = newRequestQueue(depth)
+		e.gate = newAdmissionGate(depth)
 		e.loopDone = make(chan struct{})
-		go e.runLoop()
 	}
 	return e
 }
 
-// shutdown closes the request queue and waits for the run loop to drain.
+// start spawns the run loop. It is separate from construction because a
+// stealing run loop scans its container's executor slice and sibling queues:
+// every executor of the container must exist before any loop runs.
+func (e *Executor) start() {
+	if e.queue != nil {
+		go e.runLoop()
+	}
+}
+
+// shutdown closes the admission gate and request queue, then waits for the
+// run loop to drain. Gate first: a root blocked at admission must fail with
+// errDatabaseClosed rather than win a token from a closing executor.
 func (e *Executor) shutdown() {
 	if e.queue == nil {
 		return
 	}
+	e.gate.close()
 	e.queue.close()
 	<-e.loopDone
 }
@@ -86,13 +115,17 @@ func (e *Executor) Utilization() float64 {
 
 // ResetStats restarts the utilization measurement window and clears the
 // scheduler instrumentation (queue-wait and queue-depth histograms, admission
-// counters).
+// and steal counters). The admission gate's effective depth is left where the
+// controller put it.
 func (e *Executor) ResetStats() {
 	e.busy.Store(0)
 	e.processed.Store(0)
 	e.started = time.Now()
 	e.enqueued.Store(0)
 	e.rejected.Store(0)
+	e.steals.Store(0)
+	e.stolen.Store(0)
+	e.misses.Store(0)
 	e.waitHist.Reset()
 	e.depthHist.Reset()
 }
@@ -114,13 +147,18 @@ func (e *Executor) release(acquiredAt time.Time) {
 // processing a (sub-)transaction for a reactor: the fixed processing cost and
 // the affinity-miss penalty charged when the reactor was last processed by a
 // different executor of the same container (its working set has to move to
-// this executor's cache, the effect affinity routing avoids). The caller must
-// hold the core.
+// this executor's cache, the effect affinity routing avoids). A stolen task
+// pays this penalty through the same model — lastExecutor points at the
+// victim — which is what keeps the steal-on/steal-off ablation honest.
+// The caller must hold the core.
 func (e *Executor) chargeEntry(reactor string) {
 	costs := e.container.db.cfg.Costs
 	miss := e.container.noteExecutorFor(reactor, e.id)
-	if miss && costs.AffinityMiss > 0 {
-		vclock.Spin(costs.AffinityMiss)
+	if miss {
+		e.misses.Add(1)
+		if costs.AffinityMiss > 0 {
+			vclock.Spin(costs.AffinityMiss)
+		}
 	}
 	if costs.Processing > 0 {
 		vclock.Spin(costs.Processing)

@@ -63,9 +63,30 @@ type task struct {
 	future   *core.Future
 	isRoot   bool
 
+	// affine marks a root task pinned by an application placement contract
+	// (affinity router with an explicit Config.Affinity function): work
+	// stealing never moves it off its routed executor.
+	affine bool
+
+	// gate is the admission gate that issued this root task's in-flight
+	// token, set at submit; the token is released exactly once through
+	// releaseToken when the transaction completes, aborts, or panics — even
+	// when the task was stolen and ran on a different executor, the token
+	// goes back to the executor that issued it.
+	gate *admissionGate
+
 	// enqueuedAt is stamped when the task joins an executor's request queue;
 	// the run loop measures scheduling delay from it.
 	enqueuedAt time.Time
+}
+
+// releaseToken returns the task's admission token, if it holds one, exactly
+// once.
+func (t *task) releaseToken() {
+	if t.gate != nil {
+		t.gate.release()
+		t.gate = nil
+	}
 }
 
 // rootTxn is the runtime state of a root transaction: its active set (§2.2.4

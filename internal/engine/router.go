@@ -6,6 +6,12 @@ import "sync/atomic"
 // (sub-)transaction for a reactor (paper §3.1: "transaction routers decide the
 // transaction executor that should run a transaction or sub-transaction
 // according to a given policy, e.g., round-robin or affinity-based").
+//
+// Routing is a placement decision, not necessarily a pin: with work stealing
+// enabled (Config.Steal) a routed root task may still migrate to an idle
+// sibling before it starts, unless the deployment pins it through an explicit
+// Config.Affinity function under the affinity router (Config.pinnedAffinity;
+// the task is stamped affine at dispatch and stealTail skips it).
 type Router interface {
 	// Route returns the executor that should process a request for reactor.
 	Route(reactor string) *Executor

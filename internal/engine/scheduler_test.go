@@ -412,4 +412,33 @@ func TestSchedulerConfigValidation(t *testing.T) {
 	if gc.GroupCommit.MaxBatch != 32 || gc.GroupCommit.Window != 200*time.Microsecond {
 		t.Fatalf("group-commit defaults not applied: %+v", gc.GroupCommit)
 	}
+
+	st := Config{Steal: StealConfig{Enabled: true}}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if st.Steal.Ratio != 2 || st.Steal.MinVictimDepth != 2 {
+		t.Fatalf("steal defaults not applied: %+v", st.Steal)
+	}
+	bad = Config{Dispatch: DispatchDirect, Steal: StealConfig{Enabled: true}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate should reject stealing under direct dispatch")
+	}
+
+	ad := Config{AdaptiveDepth: AdaptiveDepthConfig{Enabled: true}}
+	if err := ad.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ad.AdaptiveDepth.TargetP99 != 2*time.Millisecond || ad.AdaptiveDepth.Floor != 2 ||
+		ad.AdaptiveDepth.Ceiling != 256 || ad.AdaptiveDepth.Interval != 5*time.Millisecond {
+		t.Fatalf("adaptive-depth defaults not applied: %+v", ad.AdaptiveDepth)
+	}
+	bad = Config{Dispatch: DispatchDirect, AdaptiveDepth: AdaptiveDepthConfig{Enabled: true}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate should reject adaptive depth under direct dispatch")
+	}
+	bad = Config{AdaptiveDepth: AdaptiveDepthConfig{Enabled: true, Floor: 16, Ceiling: 8}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate should reject Floor > Ceiling")
+	}
 }

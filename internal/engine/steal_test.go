@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stealConfig is the baseline deployment for the steal tests: one container,
+// several executors, hash-defaulted affinity (non-affine tasks, stealable),
+// stealing on.
+func stealConfig(executors int) Config {
+	cfg := NewSharedEverythingWithAffinity(executors)
+	cfg.Steal = StealConfig{Enabled: true}
+	return cfg
+}
+
+// namesOnExecutor returns the declared account names whose hash affinity maps
+// to the given executor index.
+func namesOnExecutor(total, executors, exec int) []string {
+	var out []string
+	for _, n := range accountNames(total) {
+		if hashString(n)%executors == exec {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// totalSteals sums the steal counter across all executors.
+func totalSteals(db *Database) int64 {
+	var n int64
+	for _, qs := range db.QueueStats() {
+		n += qs.Steals
+	}
+	return n
+}
+
+func TestStealRebalancesSkewedQueues(t *testing.T) {
+	cfg := stealConfig(2)
+	cfg.QueueDepth = 128
+	cfg.Costs.Processing = 200 * time.Microsecond
+	db := openAccounts(t, 64, 100, cfg)
+
+	// Every request targets a reactor whose hash affinity routes it to
+	// executor 0; executor 1 starts idle and only stealing can occupy it.
+	hot := namesOnExecutor(64, 2, 0)
+	if len(hot) < 8 {
+		t.Fatalf("need >= 8 accounts hashing to executor 0, got %d", len(hot))
+	}
+	hot = hot[:8]
+	var wg sync.WaitGroup
+	for i, name := range hot {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if _, err := db.Execute(name, "credit", 1.0); err != nil {
+					t.Errorf("credit %s: %v", name, err)
+					return
+				}
+			}
+		}(i, name)
+	}
+	wg.Wait()
+
+	if got := totalSteals(db); got == 0 {
+		t.Fatal("expected the idle sibling to steal from the skewed queue, saw 0 steals")
+	}
+	qs := db.QueueStats()
+	if qs[1].Steals == 0 {
+		t.Fatalf("executor 1 should be the thief: %+v", qs)
+	}
+	// Serializability: per-account balances reflect exactly the committed
+	// credits regardless of which executor ran them.
+	for _, name := range hot {
+		if got := balanceOf(t, db, name); got != 110 {
+			t.Fatalf("balance of %s = %v, want 110", name, got)
+		}
+	}
+}
+
+func TestStealDisabledLeavesSiblingsIdle(t *testing.T) {
+	cfg := NewSharedEverythingWithAffinity(2)
+	cfg.QueueDepth = 128
+	db := openAccounts(t, 64, 100, cfg)
+
+	hot := namesOnExecutor(64, 2, 0)[:4]
+	var wg sync.WaitGroup
+	for _, name := range hot {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if _, err := db.Execute(name, "credit", 1.0); err != nil {
+					t.Errorf("credit: %v", err)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	if got := totalSteals(db); got != 0 {
+		t.Fatalf("steals = %d with stealing disabled", got)
+	}
+	if processed := db.Containers()[0].Executors()[1].Processed(); processed != 0 {
+		t.Fatalf("executor 1 processed %d requests without stealing enabled", processed)
+	}
+}
+
+// TestAffinePinnedTasksNeverStolen pins every account to executor 0 through
+// an explicit Affinity function — an application placement contract — and
+// proves stealing never moves the work even though a sibling idles next to a
+// deep queue.
+func TestAffinePinnedTasksNeverStolen(t *testing.T) {
+	cfg := stealConfig(2)
+	cfg.QueueDepth = 128
+	cfg.Affinity = func(string) int { return 0 }
+	cfg.Costs.Processing = 100 * time.Microsecond
+	db := openAccounts(t, 16, 100, cfg)
+
+	var wg sync.WaitGroup
+	for _, name := range accountNames(16) {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := db.Execute(name, "credit", 1.0); err != nil {
+					t.Errorf("credit: %v", err)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+
+	if got := totalSteals(db); got != 0 {
+		t.Fatalf("stole %d pinned tasks; explicit affinity must never be broken", got)
+	}
+	execs := db.Containers()[0].Executors()
+	if execs[1].Processed() != 0 {
+		t.Fatalf("executor 1 processed %d requests despite every reactor being pinned to executor 0", execs[1].Processed())
+	}
+	for _, name := range accountNames(16) {
+		if got := balanceOf(t, db, name); got != 105 {
+			t.Fatalf("balance of %s = %v, want 105", name, got)
+		}
+	}
+}
+
+// TestStealImprovesSkewedThroughput pins the headline property of work
+// stealing: when every request routes to one executor of a four-executor
+// container, the idle siblings' steals must lift committed throughput by at
+// least the 1.3x acceptance bar, affinity-miss charges included.
+func TestStealImprovesSkewedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison skipped in -short mode")
+	}
+	const executors = 4
+	costs := struct{ processing, miss time.Duration }{100 * time.Microsecond, 20 * time.Microsecond}
+
+	run := func(steal bool) int64 {
+		cfg := NewSharedEverythingWithAffinity(executors)
+		cfg.Steal = StealConfig{Enabled: steal}
+		cfg.QueueDepth = 128
+		cfg.Costs.Processing = costs.processing
+		cfg.Costs.AffinityMiss = costs.miss
+		db := openAccounts(t, 64, 1e9, cfg)
+		hot := namesOnExecutor(64, executors, 0)
+		if len(hot) < 8 {
+			t.Fatalf("need >= 8 accounts on executor 0, got %d", len(hot))
+		}
+		// Each mode gets the best of three measurement windows so one noisy
+		// window on an oversubscribed CI host cannot fail the comparison.
+		var best int64
+		for round := 0; round < 3; round++ {
+			var committed atomic.Int64
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for c := 0; c < 8; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					name := hot[c%len(hot)]
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if _, err := db.Execute(name, "get_balance"); err == nil {
+							committed.Add(1)
+						}
+					}
+				}(c)
+			}
+			time.Sleep(150 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			if committed.Load() > best {
+				best = committed.Load()
+			}
+		}
+		return best
+	}
+
+	without := run(false)
+	with := run(true)
+	t.Logf("skewed load: %d committed without stealing, %d with", without, with)
+	if float64(with) < 1.3*float64(without) {
+		t.Fatalf("stealing should lift skewed throughput >= 1.3x: %d vs %d", with, without)
+	}
+}
+
+// TestStealStressSerializable is the steal-correctness stress test: many
+// clients, skewed targets, contended hot keys and stealing enabled, run under
+// -race in CI (make race-sched). The observable history must stay
+// serializable: every account's final balance equals its initial balance plus
+// exactly the credits that were acknowledged as committed.
+func TestStealStressSerializable(t *testing.T) {
+	const accounts = 32
+	cfg := stealConfig(4)
+	cfg.QueueDepth = 64
+	db := openAccounts(t, accounts, 1000, cfg)
+
+	const clients = 8
+	perClient := 150
+	if testing.Short() {
+		perClient = 40
+	}
+	committed := make([]atomic.Int64, accounts)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			names := accountNames(accounts)
+			for i := 0; i < perClient; i++ {
+				// Mostly a client-owned stripe (no conflicts), with every
+				// fourth credit aimed at a shared hot account so validation
+				// aborts interleave with steals.
+				id := c + clients*(i%(accounts/clients))
+				if i%4 == 0 {
+					id = 0
+				}
+				_, err := db.Execute(names[id], "credit", 1.0)
+				switch {
+				case err == nil:
+					committed[id].Add(1)
+				case errors.Is(err, ErrConflict):
+				default:
+					t.Errorf("credit: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	for i, name := range accountNames(accounts) {
+		want := 1000 + float64(committed[i].Load())
+		if got := balanceOf(t, db, name); got != want {
+			t.Fatalf("balance of %s = %v, want %v: history not serializable", name, got, want)
+		}
+	}
+	// Every admitted root returned its token.
+	for _, qs := range db.QueueStats() {
+		if qs.InFlight != 0 {
+			t.Fatalf("executor %d leaked %d admission tokens", qs.Executor, qs.InFlight)
+		}
+	}
+}

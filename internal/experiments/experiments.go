@@ -84,6 +84,10 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Machine, when non-nil, is a machine-readable payload of the same
+	// results; reactdb-bench -json serializes it so sweeps can be recorded in
+	// the bench history (e.g. BENCH_sched.json).
+	Machine any
 }
 
 // AddRow appends a row of cells.
@@ -159,6 +163,7 @@ func Registry() map[string]Runner {
 		"durability": Durability,
 		"twopc":      TwoPC,
 		"checkpoint": Checkpoint,
+		"scheduler":  Scheduler,
 	}
 }
 

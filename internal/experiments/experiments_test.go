@@ -20,7 +20,7 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 	want := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"affinity", "overhead", "durability", "twopc", "checkpoint",
+		"affinity", "overhead", "durability", "twopc", "checkpoint", "scheduler",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -70,6 +70,62 @@ func TestDurabilitySweepReportsFsyncAmortization(t *testing.T) {
 				t.Fatalf("%s reports WAL stats %q without a WAL", name, txnsPerFsync)
 			}
 		}
+	}
+}
+
+// TestSchedulerSweepShowsStealAndDepthEffects runs the scheduler sweep in
+// its tiny configuration and checks the acceptance shapes: the skewed
+// steal-on point steals and out-throughputs the skewed steal-off point, and
+// under the highest client pressure the adaptive-depth point holds a lower
+// queue-wait p99 than the static bound while actually shrinking its depth.
+func TestSchedulerSweepShowsStealAndDepthEffects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := Scheduler(tinyOptions())
+	if err != nil {
+		t.Fatalf("Scheduler: %v", err)
+	}
+	pts := schedulerPoints(tinyOptions())
+	if len(tbl.Rows) != len(pts) {
+		t.Fatalf("sweep produced %d rows, want %d", len(tbl.Rows), len(pts))
+	}
+	payload, ok := tbl.Machine.(*SchedulerBench)
+	if !ok || len(payload.Rows) != len(pts) {
+		t.Fatalf("machine payload missing or wrong shape: %#v", tbl.Machine)
+	}
+	find := func(load string, steal, adaptive bool, workers int) *SchedulerBenchRow {
+		for i := range payload.Rows {
+			r := &payload.Rows[i]
+			if r.Load == load && r.Steal == steal && r.AdaptiveDepth == adaptive && r.Workers == workers {
+				return r
+			}
+		}
+		t.Fatalf("row %s/steal=%v/adaptive=%v/w=%d missing", load, steal, adaptive, workers)
+		return nil
+	}
+	stealW := pts[0].workers
+	zipfOff := find("zipf", false, false, stealW)
+	zipfOn := find("zipf", true, false, stealW)
+	if zipfOn.Steals == 0 {
+		t.Fatal("skewed steal-on point recorded no steals")
+	}
+	if zipfOff.Steals != 0 {
+		t.Fatalf("steal-off point recorded %d steals", zipfOff.Steals)
+	}
+	if zipfOn.ThroughputTxnS <= zipfOff.ThroughputTxnS {
+		t.Fatalf("stealing should lift skewed throughput: %v vs %v",
+			zipfOn.ThroughputTxnS, zipfOff.ThroughputTxnS)
+	}
+	overloadW := pts[len(pts)-1].workers
+	static := find("zipf", true, false, overloadW)
+	adaptive := find("zipf", true, true, overloadW)
+	if adaptive.MinEffectiveDepth >= 256 {
+		t.Fatalf("adaptive depth never shrank: %+v", adaptive)
+	}
+	if adaptive.QueueWaitP99Ms >= static.QueueWaitP99Ms {
+		t.Fatalf("adaptive p99 %.3fms should undercut static p99 %.3fms under overload",
+			adaptive.QueueWaitP99Ms, static.QueueWaitP99Ms)
 	}
 }
 

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"reactdb/internal/bench"
+	"reactdb/internal/engine"
+	"reactdb/internal/randutil"
+	"reactdb/internal/stats"
+	"reactdb/internal/workload/smallbank"
+)
+
+// schedulerPoint is one configuration of the scheduler sweep.
+type schedulerPoint struct {
+	load     string // "uniform" | "zipf"
+	steal    bool
+	adaptive bool
+	workers  int
+}
+
+func (p schedulerPoint) name() string {
+	depth := "static"
+	if p.adaptive {
+		depth = "adaptive"
+	}
+	steal := "off"
+	if p.steal {
+		steal = "on"
+	}
+	return fmt.Sprintf("%s steal=%s depth=%s w=%d", p.load, steal, depth, p.workers)
+}
+
+// SchedulerBenchRow is the machine-readable record of one sweep point,
+// written to BENCH_sched.json by `make bench-sched` so the perf trajectory of
+// the scheduler is tracked across PRs.
+type SchedulerBenchRow struct {
+	Load              string  `json:"load"`
+	Steal             bool    `json:"steal"`
+	AdaptiveDepth     bool    `json:"adaptive_depth"`
+	Workers           int     `json:"workers"`
+	ThroughputTxnS    float64 `json:"throughput_txn_s"`
+	QueueWaitP50Ms    float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms    float64 `json:"queue_wait_p99_ms"`
+	TargetP99Ms       float64 `json:"target_p99_ms,omitempty"`
+	Steals            int64   `json:"steals"`
+	StealsPerTxn      float64 `json:"steals_per_txn"`
+	AffinityMissRate  float64 `json:"affinity_miss_rate"`
+	Rejected          int     `json:"rejected"`
+	MinEffectiveDepth int     `json:"min_effective_depth"`
+}
+
+// SchedulerBench is the payload attached to the scheduler experiment's table
+// for -json export.
+type SchedulerBench struct {
+	Experiment string              `json:"experiment"`
+	Executors  int                 `json:"executors"`
+	Customers  int                 `json:"customers"`
+	ZipfTheta  float64             `json:"zipf_theta"`
+	Rows       []SchedulerBenchRow `json:"rows"`
+}
+
+const (
+	schedExecutors  = 4
+	schedCustomers  = 64
+	schedZipfTheta  = 1.2
+	schedTargetP99  = 400 * time.Microsecond
+	schedAdaptFloor = 2
+)
+
+// schedulerPoints enumerates the sweep: the steal ablation (skewed vs uniform
+// Zipf load, stealing off vs on, static depth) at a moderate worker count,
+// then the admission ablation (static vs adaptive depth under rising client
+// pressure on the skewed load, stealing on) whose queue-wait p99 contrast is
+// the acceptance evidence for the adaptive controller.
+func schedulerPoints(opts Options) []schedulerPoint {
+	stealWorkers := 16
+	overload := []int{8, 32}
+	if opts.Full {
+		stealWorkers = 32
+		overload = []int{8, 32, 64}
+	}
+	var pts []schedulerPoint
+	for _, load := range []string{"uniform", "zipf"} {
+		for _, steal := range []bool{false, true} {
+			pts = append(pts, schedulerPoint{load: load, steal: steal, workers: stealWorkers})
+		}
+	}
+	for _, w := range overload {
+		for _, adaptive := range []bool{false, true} {
+			pts = append(pts, schedulerPoint{load: "zipf", steal: true, adaptive: adaptive, workers: w})
+		}
+	}
+	return pts
+}
+
+// RankedCustomers orders the smallbank reactor names by Zipf rank for a
+// container with the given number of hash-affinity executors: clustered puts
+// every name whose hash affinity is executor 0 first (then executor 1's, and
+// so on), so the Zipf head lands on a single executor — the skew stealing
+// repairs; balanced cycles ranks across the executors so uniform load stays
+// uniform per executor. The scheduler sweep and BenchmarkSchedulerSkewedSteal
+// share it so both measure the same skew construction.
+func RankedCustomers(customers, executors int, clustered bool) []string {
+	buckets := make([][]string, executors)
+	for i := 0; i < customers; i++ {
+		name := smallbank.ReactorName(i)
+		e := engine.DefaultAffinity(name, executors)
+		buckets[e] = append(buckets[e], name)
+	}
+	ranked := make([]string, 0, customers)
+	if clustered {
+		for _, b := range buckets {
+			ranked = append(ranked, b...)
+		}
+		return ranked
+	}
+	for len(ranked) < customers {
+		for e := 0; e < executors; e++ {
+			if len(buckets[e]) > 0 {
+				ranked = append(ranked, buckets[e][0])
+				buckets[e] = buckets[e][1:]
+			}
+		}
+	}
+	return ranked
+}
+
+// Scheduler is the scheduler sweep: read-only smallbank balance checks with a
+// modeled per-transaction processing cost on one container with four
+// executors, swept over load skew × work stealing × static/adaptive depth.
+// The table prints the series; the Machine payload carries the same rows for
+// BENCH_sched.json.
+func Scheduler(opts Options) (*Table, error) {
+	table := &Table{
+		ID:    "scheduler",
+		Title: "Scheduler sweep: work stealing and adaptive admission (1 container x 4 executors)",
+		Header: []string{"config", "throughput [txn/s]", "wait p50 [ms]", "wait p99 [ms]",
+			"steals", "steals/txn", "miss rate", "rejected", "eff.depth"},
+		Notes: []string{
+			"zipf routes the Zipf head to one executor (hash-clustered ranks); uniform spreads ranks across executors",
+			fmt.Sprintf("adaptive depth targets queue-wait p99 <= %v between floor %d and the static bound", schedTargetP99, schedAdaptFloor),
+			"tasks use the hash-defaulted affinity, so steals are allowed and each migration is charged Costs.AffinityMiss",
+		},
+	}
+	payload := &SchedulerBench{
+		Experiment: "scheduler",
+		Executors:  schedExecutors,
+		Customers:  schedCustomers,
+		ZipfTheta:  schedZipfTheta,
+	}
+	for _, pt := range schedulerPoints(opts) {
+		row, rec, err := runSchedulerPoint(opts, pt)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler point %s: %w", pt.name(), err)
+		}
+		table.AddRow(row...)
+		payload.Rows = append(payload.Rows, rec)
+	}
+	table.Machine = payload
+	return table, nil
+}
+
+func runSchedulerPoint(opts Options, pt schedulerPoint) ([]string, SchedulerBenchRow, error) {
+	cfg := engine.NewSharedEverythingWithAffinity(schedExecutors)
+	cfg.QueueDepth = 256
+	cfg.Steal = engine.StealConfig{Enabled: pt.steal}
+	if pt.adaptive {
+		cfg.AdaptiveDepth = engine.AdaptiveDepthConfig{
+			Enabled:   true,
+			TargetP99: schedTargetP99,
+			Floor:     schedAdaptFloor,
+			Interval:  2 * time.Millisecond,
+		}
+	}
+	cfg.Costs.Processing = 50 * time.Microsecond
+	cfg.Costs.AffinityMiss = 10 * time.Microsecond
+
+	db, err := engine.Open(smallbank.NewDefinition(schedCustomers), cfg)
+	if err != nil {
+		return nil, SchedulerBenchRow{}, err
+	}
+	defer db.Close()
+	if err := smallbank.Load(db, schedCustomers, 1e9, 1e9); err != nil {
+		return nil, SchedulerBenchRow{}, err
+	}
+
+	theta := 0.0
+	if pt.load == "zipf" {
+		theta = schedZipfTheta
+	}
+	ranked := RankedCustomers(schedCustomers, schedExecutors, pt.load == "zipf")
+	benchOpts := bench.Options{
+		Workers:       pt.workers,
+		Epochs:        opts.epochs(),
+		EpochDuration: opts.epochDuration(),
+		Warmup:        50 * time.Millisecond,
+	}
+	result, err := bench.Run(db, benchOpts, func(worker int) bench.Generator {
+		rng := randutil.New(int64(worker) + 1)
+		zipf := randutil.NewZipfian(schedCustomers, theta)
+		return func() bench.Request {
+			return bench.Request{
+				Reactor:   ranked[zipf.Next(rng)],
+				Procedure: smallbank.ProcBalance,
+			}
+		}
+	})
+	if err != nil {
+		return nil, SchedulerBenchRow{}, err
+	}
+
+	var (
+		steals, misses, enqueued int64
+		waits                    []stats.HistogramSnapshot
+		minDepth                 = cfg.QueueDepth
+	)
+	for _, qs := range db.QueueStats() {
+		steals += qs.Steals
+		misses += qs.AffinityMisses
+		enqueued += qs.Enqueued
+		waits = append(waits, qs.Wait)
+		if qs.MinEffectiveDepth < minDepth {
+			minDepth = qs.MinEffectiveDepth
+		}
+	}
+	wait := stats.MergeSnapshots(waits...)
+	p50 := wait.Quantile(0.50) / 1e6
+	p99 := wait.Quantile(0.99) / 1e6
+	tp, _ := result.Throughput()
+	committed := result.TotalCommitted()
+	stealsPerTxn := 0.0
+	missRate := 0.0
+	if committed > 0 {
+		stealsPerTxn = float64(steals) / float64(committed)
+	}
+	if enqueued > 0 {
+		missRate = float64(misses) / float64(enqueued)
+	}
+
+	rec := SchedulerBenchRow{
+		Load:              pt.load,
+		Steal:             pt.steal,
+		AdaptiveDepth:     pt.adaptive,
+		Workers:           pt.workers,
+		ThroughputTxnS:    tp,
+		QueueWaitP50Ms:    p50,
+		QueueWaitP99Ms:    p99,
+		Steals:            steals,
+		StealsPerTxn:      stealsPerTxn,
+		AffinityMissRate:  missRate,
+		Rejected:          result.TotalRejected(),
+		MinEffectiveDepth: minDepth,
+	}
+	if pt.adaptive {
+		rec.TargetP99Ms = float64(schedTargetP99) / 1e6
+	}
+	row := []string{
+		pt.name(),
+		formatThroughput(tp),
+		fmt.Sprintf("%.3f", p50),
+		fmt.Sprintf("%.3f", p99),
+		fmt.Sprintf("%d", steals),
+		fmt.Sprintf("%.3f", stealsPerTxn),
+		formatPercent(missRate),
+		fmt.Sprintf("%d", result.TotalRejected()),
+		fmt.Sprintf("%d", minDepth),
+	}
+	return row, rec, nil
+}

@@ -119,6 +119,29 @@ type HistogramSnapshot struct {
 	Sum    float64
 }
 
+// MergeSnapshots combines snapshots taken from histograms with identical
+// bucket bounds (e.g. the per-executor queue-wait histograms of one
+// deployment) into one distribution. Snapshots with mismatched bounds are
+// skipped; an empty input yields a zero snapshot.
+func MergeSnapshots(snaps ...HistogramSnapshot) HistogramSnapshot {
+	var out HistogramSnapshot
+	for _, s := range snaps {
+		if out.Bounds == nil {
+			out.Bounds = s.Bounds
+			out.Counts = make([]int64, len(s.Counts))
+		}
+		if len(s.Counts) != len(out.Counts) || len(s.Bounds) != len(out.Bounds) {
+			continue
+		}
+		for i, c := range s.Counts {
+			out.Counts[i] += c
+		}
+		out.Count += s.Count
+		out.Sum += s.Sum
+	}
+	return out
+}
+
 // Mean returns the mean observation in the snapshot.
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {
