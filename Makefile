@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt fuzz bench bench-wal bench-2pc bench-ckpt bench-sched
+.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-query
 
 all: fmt-check vet build test
 
@@ -75,3 +75,9 @@ bench-ckpt:
 # and record the machine-readable results in the bench history.
 bench-sched:
 	$(GO) run ./cmd/reactdb-bench -experiment scheduler -json BENCH_sched.json
+
+# Run the declarative-query sweep (join fan-out x secondary index x greedy vs
+# naive planning) and record the machine-readable results in the bench
+# history.
+bench-query:
+	$(GO) run ./cmd/reactdb-bench -experiment query -json BENCH_query.json

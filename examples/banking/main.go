@@ -60,4 +60,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("total balance after all transfers: %.2f (unchanged — money is conserved)\n", total)
+
+	// The same audit through the declarative query layer: one aggregate query
+	// per relation fanned out over every customer reactor, executed as a
+	// serializable read transaction instead of raw row reads.
+	qTotal, err := smallbank.TotalBalanceQuery(db, customers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total balance via declarative query:  %.2f (same money, one transaction)\n", qTotal)
 }

@@ -64,6 +64,27 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-34s %s\n", d.name, result.String())
+
+		// Analytics over the freshly-run mix through the declarative query
+		// layer: order-line revenue grouped by supplying warehouse, unioned
+		// across every warehouse reactor in one serializable read transaction.
+		warehouses := make([]string, params.Warehouses)
+		for w := range warehouses {
+			warehouses[w] = tpcc.ReactorName(w + 1)
+		}
+		res, err := db.Query(reactdb.NewQuery().
+			From("ol", tpcc.RelOrderLine, warehouses...).
+			GroupBy("ol.ol_supply_w").
+			Sum("ol.ol_amount", "revenue").
+			Count("lines").
+			OrderBy("ol.ol_supply_w", false))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			fmt.Printf("    supplier %-8s revenue %10.2f over %d order lines\n",
+				row.String(0), row.Float64(1), row.Int64(2))
+		}
 		db.Close()
 	}
 	fmt.Println("Identical TPC-C application code ran under both architectures; only the deployment configuration differed.")

@@ -53,6 +53,13 @@ type Context interface {
 	// SelectAll returns every row of the relation with the given key prefix.
 	SelectAll(relation string, prefixVals ...any) ([]rel.Row, error)
 
+	// Query executes a declarative read-only query (see rel.NewQuery) in the
+	// context of the current root transaction. Sources naming no reactors
+	// read the current reactor's relations; sources naming other reactors
+	// fan out as read sub-transactions over the same future machinery as
+	// Call, so the result is serializable with every other transaction.
+	Query(q *rel.Query) (*rel.Result, error)
+
 	// Call asynchronously invokes a procedure on another reactor — the
 	// paper's `procedure_name(args) on reactor reactor_name`. It returns a
 	// future for the sub-transaction's result. A call addressed to the

@@ -163,11 +163,19 @@ func TestTypeValidate(t *testing.T) {
 	if err := noProc.Validate(); err == nil {
 		t.Fatalf("type without procedures accepted")
 	}
+}
+
+// TestAddRelationRejectsDuplicate pins the declaration-time check: a second
+// relation with the same name panics in AddRelation itself, not at
+// DatabaseDef validation or first use.
+func TestAddRelationRejectsDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate relation name accepted at declaration time")
+		}
+	}()
 	dup := testType("dup")
 	dup.AddRelation(rel.MustSchema("t", []rel.Column{{Name: "k", Type: rel.Int64}}, "k"))
-	if err := dup.Validate(); err == nil {
-		t.Fatalf("duplicate relation name accepted")
-	}
 }
 
 func TestTypeProcedureLookup(t *testing.T) {

@@ -33,8 +33,16 @@ func NewType(name string) *Type {
 func (t *Type) Name() string { return t.name }
 
 // AddRelation declares a relation schema encapsulated by reactors of this
-// type. It returns the type for chaining.
+// type. It returns the type for chaining. A duplicate relation name panics at
+// declaration time — like MustSchema, relation declarations are static, and
+// deferring the error to DatabaseDef validation (or worse, first use) hides
+// the offending declaration site.
 func (t *Type) AddRelation(schema *rel.Schema) *Type {
+	for _, s := range t.schemas {
+		if s.Name() == schema.Name() {
+			panic(fmt.Sprintf("reactor: type %s declares relation %q twice", t.name, schema.Name()))
+		}
+	}
 	t.schemas = append(t.schemas, schema)
 	return t
 }

@@ -174,7 +174,14 @@ func (c *execContext) Update(relation string, row rel.Row) error {
 	} else if !present {
 		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
 	}
-	return c.txn.Write(rec, c.lockKey(relation, key), data)
+	// Updates of indexed tables carry the table as their guard so the commit
+	// install phase can move secondary-index entries under the structural
+	// latch; unindexed updates stay guard-free (no structural change).
+	var guard occ.ScanGuard
+	if tbl.HasIndexes() {
+		guard = tbl
+	}
+	return c.txn.Write(rec, c.lockKey(relation, key), data, guard)
 }
 
 // Delete implements core.Context.

@@ -160,9 +160,18 @@ func (db *Database) epochLoop() {
 // falls below half the target (headroom: reclaim throughput). Executors whose
 // window saw no completed queue wait are left alone; an idle executor has no
 // evidence to act on.
+//
+// The effective latency target coordinates with group commit: with batched
+// commit enabled, every acknowledged root waits up to the flush window, so
+// queue-wait tails of that order are inherent to the durability configuration
+// rather than evidence of overload. Shrinking depth cannot push latency below
+// the batching delay, so the AIMD loop floors its target at the group-commit
+// window (see adaptiveTarget) instead of collapsing to Floor and giving up
+// throughput for nothing.
 func (db *Database) adaptLoop() {
 	defer db.adaptWG.Done()
 	a := db.cfg.AdaptiveDepth
+	target := db.adaptiveTarget()
 	ticker := time.NewTicker(a.Interval)
 	defer ticker.Stop()
 	for {
@@ -182,13 +191,13 @@ func (db *Database) adaptLoop() {
 					p99 := time.Duration(win.Quantile(0.99))
 					_, limit, _ := e.gate.snapshot()
 					switch {
-					case p99 > a.TargetP99 && limit > a.Floor:
+					case p99 > target && limit > a.Floor:
 						next := limit / 2
 						if next < a.Floor {
 							next = a.Floor
 						}
 						e.gate.setLimit(next)
-					case p99 < a.TargetP99/2 && limit < a.Ceiling:
+					case p99 < target/2 && limit < a.Ceiling:
 						next := limit + 1 + limit/8
 						if next > a.Ceiling {
 							next = a.Ceiling
@@ -199,6 +208,18 @@ func (db *Database) adaptLoop() {
 			}
 		}
 	}
+}
+
+// adaptiveTarget returns the queue-wait p99 the depth controller steers
+// toward: the configured TargetP99, floored at the group-commit window when
+// batched commit is enabled (commit acknowledgement latency cannot fall below
+// the flush cadence, so targeting less would only thrash depth downward).
+func (db *Database) adaptiveTarget() time.Duration {
+	target := db.cfg.AdaptiveDepth.TargetP99
+	if db.cfg.GroupCommit.Enabled && db.cfg.GroupCommit.Window > target {
+		target = db.cfg.GroupCommit.Window
+	}
+	return target
 }
 
 // Definition returns the logical database declaration.

@@ -164,6 +164,7 @@ func Registry() map[string]Runner {
 		"twopc":      TwoPC,
 		"checkpoint": Checkpoint,
 		"scheduler":  Scheduler,
+		"query":      Query,
 	}
 }
 

@@ -21,6 +21,7 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"affinity", "overhead", "durability", "twopc", "checkpoint", "scheduler",
+		"query",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -293,5 +294,54 @@ func TestTwoPCSweepRoutesRecordsThroughGroupCommitter(t *testing.T) {
 		if _, err := fmtSscan(recs, &n); err != nil || n <= 0 {
 			t.Fatalf("config %s flushed %s 2PC records through the group committer, want > 0", name, recs)
 		}
+	}
+}
+
+func TestQuerySweepShowsPlannerAndIndexEffects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := Query(tinyOptions())
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	payload, ok := tbl.Machine.(*QueryBench)
+	if !ok || len(payload.Rows) == 0 {
+		t.Fatalf("machine payload missing or empty: %#v", tbl.Machine)
+	}
+	find := func(shape string, fanout int, indexed bool, planner string) *QueryBenchRow {
+		for i := range payload.Rows {
+			r := &payload.Rows[i]
+			if r.Shape == shape && r.Fanout == fanout && r.Indexed == indexed && r.Planner == planner {
+				return r
+			}
+		}
+		t.Fatalf("row %s/fanout=%d/indexed=%v/%s missing", shape, fanout, indexed, planner)
+		return nil
+	}
+	top := 16
+	greedy := find("join", top, true, "greedy")
+	naive := find("join", top, true, "naive")
+	if greedy.JoinOrder != "c,o,l" {
+		t.Fatalf("greedy did not reorder the declared l,c,o join: %q", greedy.JoinOrder)
+	}
+	if naive.JoinOrder != "l,c,o" {
+		t.Fatalf("naive should keep declaration order: %q", naive.JoinOrder)
+	}
+	if greedy.RowsOut != naive.RowsOut {
+		t.Fatalf("planners disagree on results: %d vs %d rows", greedy.RowsOut, naive.RowsOut)
+	}
+	if greedy.MicrosPerQ >= naive.MicrosPerQ {
+		t.Fatalf("greedy (%.1fus) should beat naive (%.1fus) on the skewed fan-out",
+			greedy.MicrosPerQ, naive.MicrosPerQ)
+	}
+	scan := find("point", top, false, "-")
+	indexed := find("point", top, true, "-")
+	if indexed.AccessPath != "index:by_cust" || scan.AccessPath != "scan" {
+		t.Fatalf("access paths wrong: indexed=%q scan=%q", indexed.AccessPath, scan.AccessPath)
+	}
+	if indexed.MicrosPerQ*2 > scan.MicrosPerQ {
+		t.Fatalf("indexed lookup (%.1fus) should be at least 2x faster than the scan (%.1fus)",
+			indexed.MicrosPerQ, scan.MicrosPerQ)
 	}
 }

@@ -17,19 +17,27 @@ import (
 // the record latch and the structural guard anyway so it is safe by
 // construction.
 func (d *Domain) ApplyReplayedWrite(rec *kv.Record, guard ScanGuard, tid uint64, data []byte, deleted bool) {
+	maintainer, maintain := guard.(IndexMaintainer)
 	rec.Lock()
 	if tid <= rec.TID() {
 		rec.Unlock()
 		return
 	}
+	oldData := rec.Data()
+	oldPresent := !rec.Absent()
 	structural := rec.Absent() || deleted
 	if !deleted {
 		rec.SetData(data)
 	}
 	rec.UnlockWithTID(tid, deleted)
-	if structural && guard != nil {
+	if guard != nil && (structural || maintain) {
 		guard.LockStructure()
-		guard.BumpVersion()
+		if maintain && maintainer.ApplyIndexWrite(oldData, oldPresent, data, deleted) {
+			structural = true
+		}
+		if structural {
+			guard.BumpVersion()
+		}
 		guard.UnlockStructure()
 	}
 }
@@ -45,19 +53,27 @@ func (d *Domain) ApplyReplayedWrite(rec *kv.Record, guard ScanGuard, tid uint64,
 // may be truncated), so the record must end up absent even if a re-run loader
 // repopulated it before Recover.
 func (d *Domain) InstallCheckpointRow(rec *kv.Record, guard ScanGuard, tid uint64, data []byte, deleted bool) {
+	maintainer, maintain := guard.(IndexMaintainer)
 	rec.Lock()
 	if !rec.Absent() && tid <= rec.TID() && tid > 0 {
 		rec.Unlock()
 		return
 	}
+	oldData := rec.Data()
+	oldPresent := !rec.Absent()
 	structural := rec.Absent() || deleted
 	if !deleted {
 		rec.SetData(data)
 	}
 	rec.UnlockWithTID(tid, deleted)
-	if structural && guard != nil {
+	if guard != nil && (structural || maintain) {
 		guard.LockStructure()
-		guard.BumpVersion()
+		if maintain && maintainer.ApplyIndexWrite(oldData, oldPresent, data, deleted) {
+			structural = true
+		}
+		if structural {
+			guard.BumpVersion()
+		}
 		guard.UnlockStructure()
 	}
 }

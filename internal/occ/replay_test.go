@@ -71,7 +71,7 @@ func TestPreparedWritesAndAssignTIDDriveTheDurabilityHook(t *testing.T) {
 	d := NewDomain("prepared-writes")
 	rec := kv.NewCommittedRecord(encInt(1), 0)
 	txn := d.Begin()
-	if err := txn.Write(rec, "r\x00t\x00k", encInt(42)); err != nil {
+	if err := txn.Write(rec, "r\x00t\x00k", encInt(42), nil); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 

@@ -35,6 +35,19 @@ type ScanGuard interface {
 	UnlockStructure()
 }
 
+// IndexMaintainer extends ScanGuard for tables that keep secondary indexes
+// (rel.Table). The commit install phase calls ApplyIndexWrite for every write
+// whose guard implements it, passing the record state captured before the
+// install, so index entries always mirror the committed row contents. The
+// return value reports whether any index entry changed; the caller treats a
+// true result as a structural change and bumps the guard's version, because
+// a row moving between index ranges is a phantom for concurrent index scans
+// even when its primary key is unchanged.
+type IndexMaintainer interface {
+	ScanGuard
+	ApplyIndexWrite(oldData []byte, oldPresent bool, newData []byte, deleted bool) bool
+}
+
 type txnState uint8
 
 const (
@@ -145,10 +158,12 @@ func (t *Txn) observe(rec *kv.Record, tid uint64) {
 }
 
 // Write buffers an update of rec to data. key is a diagnostic identifier
-// (reactor/table/primary-key); guard may be nil for updates since they do not
-// change table structure.
-func (t *Txn) Write(rec *kv.Record, key string, data []byte) error {
-	return t.bufferWrite(rec, key, data, writeUpdate, nil)
+// (reactor/table/primary-key). guard may be nil for updates of tables without
+// secondary indexes, since those do not change table structure; for indexed
+// tables the caller must pass the table so the install phase can maintain its
+// index entries under the structural latch.
+func (t *Txn) Write(rec *kv.Record, key string, data []byte, guard ScanGuard) error {
+	return t.bufferWrite(rec, key, data, writeUpdate, guard)
 }
 
 // Insert buffers the insertion of a new row. rec must be the record obtained
@@ -324,11 +339,13 @@ func (t *Txn) Prepare() error {
 		}
 	}
 
-	// Lock the structural guards of tables this transaction inserts into or
-	// deletes from, so concurrent scan validation cannot race with our bump.
+	// Lock the structural guards of tables this transaction inserts into,
+	// deletes from, or updates with index maintenance (any guarded write), so
+	// concurrent scan validation cannot race with our bump or observe a
+	// half-applied index entry move.
 	guardSet := make(map[ScanGuard]bool)
 	for _, w := range t.writes {
-		if w.guard != nil && w.kind != writeUpdate {
+		if w.guard != nil {
 			guardSet[w.guard] = true
 		}
 	}
@@ -439,6 +456,16 @@ func (t *Txn) CommitPrepared() (uint64, error) {
 		t.tid = tid
 	}
 	for _, w := range t.writes {
+		// Capture the pre-install record state while the latch is held, so
+		// index maintenance can retract exactly the entries the old row
+		// contributed.
+		maintainer, maintain := w.guard.(IndexMaintainer)
+		var oldData []byte
+		var oldPresent bool
+		if maintain {
+			oldData = w.rec.Data()
+			oldPresent = !w.rec.Absent()
+		}
 		switch w.kind {
 		case writeDelete:
 			w.rec.UnlockWithTID(tid, true)
@@ -446,7 +473,11 @@ func (t *Txn) CommitPrepared() (uint64, error) {
 			w.rec.SetData(w.data)
 			w.rec.UnlockWithTID(tid, false)
 		}
-		if w.guard != nil && w.kind != writeUpdate {
+		structural := w.kind != writeUpdate
+		if maintain && maintainer.ApplyIndexWrite(oldData, oldPresent, w.data, w.kind == writeDelete) {
+			structural = true
+		}
+		if w.guard != nil && structural {
 			w.guard.BumpVersion()
 		}
 	}

@@ -1,0 +1,534 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Operator is a pull-based relational operator: the classic open/next/close
+// iterator contract. Columns are qualified "alias.col" names (or aggregate
+// output names); Next returns nil at end of stream. Operators are
+// single-threaded — a query pipeline runs entirely on the goroutine of the
+// root (sub-)transaction that issued the query.
+type Operator interface {
+	Columns() []string
+	Open() error
+	Next() (Row, error)
+	Close() error
+}
+
+// drain pulls an operator to completion and returns all rows.
+func drain(op Operator) ([]Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows []Row
+	for {
+		row, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}
+
+// colIndex resolves a qualified column name against an operator's columns.
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Scan --------------------------------------------------------------------
+
+// sliceScan replays an already-materialized batch of rows. Leaf batches are
+// fetched transactionally by the engine before planning (the greedy planner
+// needs their actual sizes), so the scan operator proper is a replay.
+type sliceScan struct {
+	cols []string
+	rows []Row
+	pos  int
+}
+
+func (s *sliceScan) Columns() []string { return s.cols }
+func (s *sliceScan) Open() error       { s.pos = 0; return nil }
+func (s *sliceScan) Close() error      { return nil }
+
+func (s *sliceScan) Next() (Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// --- Filter ------------------------------------------------------------------
+
+// predicate evaluates one compiled filter against a row.
+type predicate func(Row) (bool, error)
+
+// filterOp drops rows failing any predicate.
+type filterOp struct {
+	child Operator
+	preds []predicate
+}
+
+func (f *filterOp) Columns() []string { return f.child.Columns() }
+func (f *filterOp) Open() error       { return f.child.Open() }
+func (f *filterOp) Close() error      { return f.child.Close() }
+
+func (f *filterOp) Next() (Row, error) {
+next:
+	for {
+		row, err := f.child.Next()
+		if err != nil || row == nil {
+			return row, err
+		}
+		for _, p := range f.preds {
+			ok, err := p(row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue next
+			}
+		}
+		return row, nil
+	}
+}
+
+// --- Join --------------------------------------------------------------------
+
+// hashJoinOp equi-joins a streamed left input against a materialized right
+// batch: Open builds a hash table over the right rows' join-column values,
+// Next probes it with each left row and emits the concatenated matches. With
+// no join columns every row pair matches (cross join), which the planner only
+// produces for disconnected query graphs.
+type hashJoinOp struct {
+	left      Operator
+	rightCols []string
+	rightRows []Row
+	leftIdx   []int // join columns in left's output
+	rightIdx  []int // join columns in the right batch
+
+	cols    []string
+	table   map[string][]Row
+	pending []Row // matches of the current left row not yet emitted
+	current Row   // current left row
+}
+
+func newHashJoinOp(left Operator, rightCols []string, rightRows []Row, leftIdx, rightIdx []int) *hashJoinOp {
+	cols := append(append([]string{}, left.Columns()...), rightCols...)
+	return &hashJoinOp{
+		left: left, rightCols: rightCols, rightRows: rightRows,
+		leftIdx: leftIdx, rightIdx: rightIdx, cols: cols,
+	}
+}
+
+func (j *hashJoinOp) Columns() []string { return j.cols }
+
+func (j *hashJoinOp) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]Row, len(j.rightRows))
+	for _, row := range j.rightRows {
+		key, err := joinKey(row, j.rightIdx)
+		if err != nil {
+			return err
+		}
+		j.table[key] = append(j.table[key], row)
+	}
+	j.pending, j.current = nil, nil
+	return nil
+}
+
+func (j *hashJoinOp) Close() error {
+	j.table, j.pending, j.current = nil, nil, nil
+	return j.left.Close()
+}
+
+func (j *hashJoinOp) Next() (Row, error) {
+	for {
+		if len(j.pending) > 0 {
+			right := j.pending[0]
+			j.pending = j.pending[1:]
+			out := make(Row, 0, len(j.current)+len(right))
+			out = append(append(out, j.current...), right...)
+			return out, nil
+		}
+		row, err := j.left.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		key, err := joinKey(row, j.leftIdx)
+		if err != nil {
+			return nil, err
+		}
+		j.current = row
+		j.pending = j.table[key]
+	}
+}
+
+// joinKey builds an order-preserving encoded key from the given columns of a
+// row, for hash-join and group-by buckets.
+func joinKey(row Row, idx []int) (string, error) {
+	var dst []byte
+	for _, i := range idx {
+		var err error
+		dst, err = appendValueKey(dst, row[i])
+		if err != nil {
+			return "", err
+		}
+	}
+	return string(dst), nil
+}
+
+// appendValueKey encodes a canonical row value by its dynamic type.
+func appendValueKey(dst []byte, v any) ([]byte, error) {
+	switch tv := v.(type) {
+	case int64:
+		return AppendKeyInt64(dst, tv), nil
+	case float64:
+		return AppendKeyFloat64(dst, tv), nil
+	case string:
+		return AppendKeyString(dst, tv), nil
+	case bool:
+		return AppendKeyBool(dst, tv), nil
+	case []byte:
+		return AppendKeyString(dst, string(tv)), nil
+	}
+	return nil, fmt.Errorf("rel: query: cannot key %T value", v)
+}
+
+// --- Project -----------------------------------------------------------------
+
+// projectOp narrows the output to the named columns.
+type projectOp struct {
+	child Operator
+	cols  []string
+	idx   []int
+}
+
+func newProjectOp(child Operator, cols []string) (Operator, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := colIndex(child.Columns(), c)
+		if j < 0 {
+			return nil, fmt.Errorf("rel: query: projected column %q does not exist", c)
+		}
+		idx[i] = j
+	}
+	return &projectOp{child: child, cols: cols, idx: idx}, nil
+}
+
+func (p *projectOp) Columns() []string { return p.cols }
+func (p *projectOp) Open() error       { return p.child.Open() }
+func (p *projectOp) Close() error      { return p.child.Close() }
+
+func (p *projectOp) Next() (Row, error) {
+	row, err := p.child.Next()
+	if err != nil || row == nil {
+		return row, err
+	}
+	out := make(Row, len(p.idx))
+	for i, j := range p.idx {
+		out[i] = row[j]
+	}
+	return out, nil
+}
+
+// --- Aggregate ---------------------------------------------------------------
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	min   any
+	max   any
+}
+
+func (a *aggState) add(v any) error {
+	a.count++
+	switch tv := v.(type) {
+	case int64:
+		a.sumI += tv
+	case float64:
+		a.sumF += tv
+		a.isF = true
+	case nil:
+		// COUNT(*) has no input column.
+		return nil
+	default:
+		// MIN/MAX accept any comparable type; SUM/AVG reject it at result
+		// time if the accumulator was never numeric.
+	}
+	if a.min == nil {
+		a.min, a.max = v, v
+		return nil
+	}
+	if c, err := compareValues(v, a.min); err == nil && c < 0 {
+		a.min = v
+	} else if err != nil {
+		return err
+	}
+	if c, err := compareValues(v, a.max); err == nil && c > 0 {
+		a.max = v
+	} else if err != nil {
+		return err
+	}
+	return nil
+}
+
+func (a *aggState) result(fn AggFunc, spec AggSpec) (any, error) {
+	switch fn {
+	case AggCount:
+		return a.count, nil
+	case AggSum:
+		if a.isF {
+			return a.sumF, nil
+		}
+		return a.sumI, nil
+	case AggAvg:
+		if a.count == 0 {
+			return 0.0, nil
+		}
+		if a.isF {
+			return a.sumF / float64(a.count), nil
+		}
+		return float64(a.sumI) / float64(a.count), nil
+	case AggMin:
+		return a.min, nil
+	case AggMax:
+		return a.max, nil
+	}
+	return nil, fmt.Errorf("rel: query: unknown aggregate for %q", spec.As)
+}
+
+// aggOp materializes its input, groups it by the group-by columns (one global
+// group when there are none), and emits one row per group: group-by values
+// followed by aggregate results, in first-seen group order.
+type aggOp struct {
+	child    Operator
+	groupBy  []string
+	groupIdx []int
+	specs    []AggSpec
+	specIdx  []int // input column per spec; -1 for COUNT(*)
+	cols     []string
+
+	out []Row
+	pos int
+}
+
+func newAggOp(child Operator, groupBy []string, specs []AggSpec) (Operator, error) {
+	a := &aggOp{child: child, groupBy: groupBy, specs: specs}
+	for _, g := range groupBy {
+		i := colIndex(child.Columns(), g)
+		if i < 0 {
+			return nil, fmt.Errorf("rel: query: group-by column %q does not exist", g)
+		}
+		a.groupIdx = append(a.groupIdx, i)
+		a.cols = append(a.cols, g)
+	}
+	for _, s := range specs {
+		i := -1
+		if s.Func != AggCount {
+			if i = colIndex(child.Columns(), s.Col); i < 0 {
+				return nil, fmt.Errorf("rel: query: aggregate column %q does not exist", s.Col)
+			}
+		}
+		a.specIdx = append(a.specIdx, i)
+		a.cols = append(a.cols, s.As)
+	}
+	return a, nil
+}
+
+func (a *aggOp) Columns() []string { return a.cols }
+func (a *aggOp) Close() error      { a.out = nil; return a.child.Close() }
+
+func (a *aggOp) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	type group struct {
+		key    Row
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for {
+		row, err := a.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key, err := joinKey(row, a.groupIdx)
+		if err != nil {
+			return err
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{states: make([]*aggState, len(a.specs))}
+			for i := range g.states {
+				g.states[i] = &aggState{}
+			}
+			for _, gi := range a.groupIdx {
+				g.key = append(g.key, row[gi])
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, si := range a.specIdx {
+			var v any
+			if si >= 0 {
+				v = row[si]
+			}
+			if err := g.states[i].add(v); err != nil {
+				return err
+			}
+		}
+	}
+	// A global aggregate over zero rows still emits one row of zero values.
+	if len(a.groupIdx) == 0 && len(order) == 0 {
+		g := &group{states: make([]*aggState, len(a.specs))}
+		for i := range g.states {
+			g.states[i] = &aggState{}
+		}
+		groups[""], order = g, append(order, "")
+	}
+	a.out = make([]Row, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		row := append(Row{}, g.key...)
+		for i, st := range g.states {
+			v, err := st.result(a.specs[i].Func, a.specs[i])
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *aggOp) Next() (Row, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	row := a.out[a.pos]
+	a.pos++
+	return row, nil
+}
+
+// --- Order -------------------------------------------------------------------
+
+// orderOp materializes its input and sorts it by the order specs.
+type orderOp struct {
+	child Operator
+	specs []OrderSpec
+	idx   []int
+
+	out []Row
+	pos int
+	err error
+}
+
+func newOrderOp(child Operator, specs []OrderSpec) (Operator, error) {
+	o := &orderOp{child: child, specs: specs}
+	for _, s := range specs {
+		i := colIndex(child.Columns(), s.Col)
+		if i < 0 {
+			return nil, fmt.Errorf("rel: query: order-by column %q does not exist", s.Col)
+		}
+		o.idx = append(o.idx, i)
+	}
+	return o, nil
+}
+
+func (o *orderOp) Columns() []string { return o.child.Columns() }
+func (o *orderOp) Close() error      { o.out = nil; return o.child.Close() }
+
+func (o *orderOp) Open() error {
+	if err := o.child.Open(); err != nil {
+		return err
+	}
+	o.out, o.pos, o.err = nil, 0, nil
+	for {
+		row, err := o.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		o.out = append(o.out, row)
+	}
+	sort.SliceStable(o.out, func(i, j int) bool {
+		for k, ci := range o.idx {
+			c, err := compareValues(o.out[i][ci], o.out[j][ci])
+			if err != nil {
+				if o.err == nil {
+					o.err = err
+				}
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if o.specs[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return o.err
+}
+
+func (o *orderOp) Next() (Row, error) {
+	if o.pos >= len(o.out) {
+		return nil, nil
+	}
+	row := o.out[o.pos]
+	o.pos++
+	return row, nil
+}
+
+// --- Limit -------------------------------------------------------------------
+
+// limitOp passes through the first n rows.
+type limitOp struct {
+	child Operator
+	n     int
+	seen  int
+}
+
+func (l *limitOp) Columns() []string { return l.child.Columns() }
+func (l *limitOp) Open() error       { l.seen = 0; return l.child.Open() }
+func (l *limitOp) Close() error      { return l.child.Close() }
+
+func (l *limitOp) Next() (Row, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	row, err := l.child.Next()
+	if err != nil || row == nil {
+		return row, err
+	}
+	l.seen++
+	return row, nil
+}

@@ -12,14 +12,33 @@ type Column struct {
 	Type ColType
 }
 
-// Schema describes a relation: its name, columns, and primary key. Schemas are
-// immutable after construction and safe for concurrent use.
+// Schema describes a relation: its name, columns, primary key, and secondary
+// indexes. Schemas are immutable once a database is opened over them and safe
+// for concurrent use; indexes are declared at schema-definition time via
+// AddIndex/MustAddIndex.
 type Schema struct {
 	name    string
 	columns []Column
 	key     []int // indices into columns
 	byName  map[string]int
+	indexes []*Index
 }
+
+// Index is a secondary index declaration: an ordered subset of a relation's
+// columns. Entries are maintained transactionally by the reactor's write path
+// and are keyed by the indexed column values followed by the primary key, so
+// equal index values are disambiguated and prefix scans are possible.
+type Index struct {
+	name string
+	cols []int // indices into Schema.columns
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// ColumnIndices returns the positions of the indexed columns in the schema
+// (callers must not modify the slice).
+func (ix *Index) ColumnIndices() []int { return ix.cols }
 
 // NewSchema builds a schema. keyCols name the primary key columns in order;
 // every relation must have a primary key (single-tuple relations typically use
@@ -64,6 +83,105 @@ func MustSchema(name string, columns []Column, keyCols ...string) *Schema {
 		panic(err)
 	}
 	return s
+}
+
+// AddIndex declares a secondary index over the named columns. All validation
+// happens at declaration time: unknown columns, duplicate columns within the
+// index, empty column lists and duplicate index names are rejected here, never
+// deferred to first use. Indexes must be declared before the schema is handed
+// to a database definition.
+func (s *Schema) AddIndex(name string, cols ...string) error {
+	if name == "" {
+		return fmt.Errorf("rel: schema %s: index needs a name", s.name)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("rel: schema %s: index %q needs at least one column", s.name, name)
+	}
+	for _, ix := range s.indexes {
+		if ix.name == name {
+			return fmt.Errorf("rel: schema %s: duplicate index %q", s.name, name)
+		}
+	}
+	ix := &Index{name: name, cols: make([]int, 0, len(cols))}
+	seen := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		i, ok := s.byName[c]
+		if !ok {
+			return fmt.Errorf("rel: schema %s: index %q references unknown column %q", s.name, name, c)
+		}
+		if seen[i] {
+			return fmt.Errorf("rel: schema %s: index %q repeats column %q", s.name, name, c)
+		}
+		seen[i] = true
+		ix.cols = append(ix.cols, i)
+	}
+	s.indexes = append(s.indexes, ix)
+	return nil
+}
+
+// MustAddIndex is AddIndex that panics on error and returns the schema, so
+// static declarations can chain it after MustSchema.
+func (s *Schema) MustAddIndex(name string, cols ...string) *Schema {
+	if err := s.AddIndex(name, cols...); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Indexes returns the declared secondary indexes in declaration order
+// (callers must not modify the slice).
+func (s *Schema) Indexes() []*Index { return s.indexes }
+
+// IndexNamed returns the position and declaration of the named index, or
+// (-1, nil) if no such index exists.
+func (s *Schema) IndexNamed(name string) (int, *Index) {
+	for i, ix := range s.indexes {
+		if ix.name == name {
+			return i, ix
+		}
+	}
+	return -1, nil
+}
+
+// IndexKeyOf returns the encoded secondary-index entry key for row: the
+// indexed column values in index order followed by the full primary key, so
+// entries are unique per row and ordered for prefix scans.
+func (s *Schema) IndexKeyOf(ix *Index, row Row) (string, error) {
+	if len(row) != len(s.columns) {
+		return "", fmt.Errorf("rel: %s row has %d values, schema has %d columns", s.name, len(row), len(s.columns))
+	}
+	var dst []byte
+	var err error
+	for _, ci := range ix.cols {
+		dst, err = AppendKeyValue(dst, row[ci], s.columns[ci].Type)
+		if err != nil {
+			return "", err
+		}
+	}
+	for _, ki := range s.key {
+		dst, err = AppendKeyValue(dst, row[ki], s.columns[ki].Type)
+		if err != nil {
+			return "", err
+		}
+	}
+	return string(dst), nil
+}
+
+// EncodeIndexPrefix encodes the given values as a (possibly partial) prefix of
+// the named index's entry keys, usable for index range scans.
+func (s *Schema) EncodeIndexPrefix(ix *Index, values ...any) (string, error) {
+	if len(values) > len(ix.cols) {
+		return "", fmt.Errorf("rel: %s index %q has %d columns, got %d values", s.name, ix.name, len(ix.cols), len(values))
+	}
+	var dst []byte
+	var err error
+	for i, v := range values {
+		dst, err = AppendKeyValue(dst, v, s.columns[ix.cols[i]].Type)
+		if err != nil {
+			return "", err
+		}
+	}
+	return string(dst), nil
 }
 
 // Name returns the relation name.

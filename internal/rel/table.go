@@ -17,6 +17,13 @@ type Table struct {
 	index   *kv.BTree
 	version atomic.Uint64 // structural version, bumped on committed insert/delete (phantom guard)
 
+	// secondary holds one entry tree per declared index (parallel to
+	// schema.Indexes()). Entry keys are indexed-column values followed by the
+	// primary key; the entry record's immutable payload is the encoded
+	// primary key. Entries are added and removed whole — never mutated — by
+	// ApplyIndexWrite, always under structMu.
+	secondary []*kv.BTree
+
 	// structMu serializes committed structural changes against concurrent
 	// scan validation (see occ.ScanGuard). It is held only for the short
 	// write phase of commits that insert or delete rows.
@@ -25,7 +32,11 @@ type Table struct {
 
 // NewTable creates an empty table with the given schema.
 func NewTable(schema *Schema) *Table {
-	return &Table{schema: schema, index: kv.NewBTree()}
+	t := &Table{schema: schema, index: kv.NewBTree()}
+	for range schema.Indexes() {
+		t.secondary = append(t.secondary, kv.NewBTree())
+	}
+	return t
 }
 
 // Schema returns the table's schema.
@@ -82,6 +93,88 @@ func (t *Table) AscendPrefix(prefix string, fn func(key string, rec *kv.Record) 
 	t.index.AscendRange(prefix, KeyPrefixSuccessor(prefix), fn)
 }
 
+// --- Secondary indexes -------------------------------------------------------
+
+// HasIndexes reports whether the table has any declared secondary index. The
+// write path uses it to decide whether updates must carry the table as their
+// structural guard (index entries may move even when the primary key does
+// not).
+func (t *Table) HasIndexes() bool { return len(t.secondary) > 0 }
+
+// IndexLen returns the number of entries in the index at position pos, for
+// tests and consistency checks.
+func (t *Table) IndexLen(pos int) int { return t.secondary[pos].Len() }
+
+// AscendIndexPrefix iterates the primary keys of rows whose entry in the index
+// at position pos starts with prefix, in entry-key order (indexed column
+// values, then primary key). The callback receives the encoded primary key;
+// callers must re-read the row transactionally and re-check predicates, since
+// index entries are only as fresh as the last committed write.
+func (t *Table) AscendIndexPrefix(pos int, prefix string, fn func(pk string) bool) {
+	t.secondary[pos].AscendRange(prefix, KeyPrefixSuccessor(prefix), func(_ string, rec *kv.Record) bool {
+		return fn(string(rec.Data()))
+	})
+}
+
+// ApplyIndexWrite maintains all secondary indexes across one installed write:
+// oldData/oldPresent describe the record contents before the install (captured
+// while the record latch was held), newData the payload of an insert or
+// update, deleted whether the write was a delete. It returns true if any index
+// entry was added or removed, in which case the caller must bump the table's
+// structural version so concurrent index scans validate against the change.
+//
+// The caller must hold the table's structural latch (occ locks it for every
+// guarded write), making entry removal+insertion atomic with respect to scan
+// validation. Payload decode failures panic: payloads were encoded by this
+// schema, so a failure indicates corruption, never user error.
+func (t *Table) ApplyIndexWrite(oldData []byte, oldPresent bool, newData []byte, deleted bool) bool {
+	if len(t.secondary) == 0 {
+		return false
+	}
+	var oldRow, newRow Row
+	var err error
+	if oldPresent {
+		if oldRow, err = t.schema.DecodeRow(oldData); err != nil {
+			panic(fmt.Sprintf("rel: %s: corrupt row during index maintenance: %v", t.Name(), err))
+		}
+	}
+	if !deleted {
+		if newRow, err = t.schema.DecodeRow(newData); err != nil {
+			panic(fmt.Sprintf("rel: %s: corrupt row during index maintenance: %v", t.Name(), err))
+		}
+	}
+	changed := false
+	for pos, ix := range t.schema.Indexes() {
+		var oldKey, newKey string
+		if oldRow != nil {
+			if oldKey, err = t.schema.IndexKeyOf(ix, oldRow); err != nil {
+				panic(fmt.Sprintf("rel: %s: index %s: %v", t.Name(), ix.Name(), err))
+			}
+		}
+		if newRow != nil {
+			if newKey, err = t.schema.IndexKeyOf(ix, newRow); err != nil {
+				panic(fmt.Sprintf("rel: %s: index %s: %v", t.Name(), ix.Name(), err))
+			}
+		}
+		if oldRow != nil && newRow != nil && oldKey == newKey {
+			continue // update kept the indexed columns; entry unchanged
+		}
+		if oldRow != nil {
+			t.secondary[pos].Delete(oldKey)
+			changed = true
+		}
+		if newRow != nil {
+			pk, err := t.schema.KeyOf(newRow)
+			if err != nil {
+				panic(fmt.Sprintf("rel: %s: index %s: %v", t.Name(), ix.Name(), err))
+			}
+			t.secondary[pos].Insert(newKey, kv.NewCommittedRecord([]byte(pk), 0))
+			changed = true
+		}
+	}
+	return changed
+}
+
 // LoadRow inserts a committed row outside of any transaction. It is used by
 // benchmark loaders and example setup code and must not run concurrently with
 // transactions on the same table.
@@ -97,6 +190,7 @@ func (t *Table) LoadRow(row Row) error {
 	if prev := t.index.Insert(key, kv.NewCommittedRecord(data, 0)); prev != nil {
 		return fmt.Errorf("rel: %s: duplicate primary key during load", t.Name())
 	}
+	t.ApplyIndexWrite(nil, false, data, false)
 	t.BumpVersion()
 	return nil
 }

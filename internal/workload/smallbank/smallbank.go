@@ -395,6 +395,29 @@ func TotalBalance(db *engine.Database, numCustomers int) (float64, error) {
 	return total, nil
 }
 
+// TotalBalanceQuery is TotalBalance expressed through the declarative query
+// layer: one aggregate query per relation, fanned out over every customer
+// reactor as a single serializable read transaction — unlike TotalBalance's
+// non-transactional row reads, the result is a consistent snapshot even under
+// concurrent transfers.
+func TotalBalanceQuery(db *engine.Database, numCustomers int) (float64, error) {
+	reactors := make([]string, numCustomers)
+	for i := range reactors {
+		reactors[i] = ReactorName(i)
+	}
+	var total float64
+	for _, relation := range []string{RelSavings, RelChecking} {
+		res, err := db.Query(rel.NewQuery().
+			From("b", relation, reactors...).
+			Sum("b.balance", "total"))
+		if err != nil {
+			return 0, err
+		}
+		total += res.Rows[0].Float64(0)
+	}
+	return total, nil
+}
+
 // RangePlacement returns a Placement function that maps customer reactors to
 // containers in contiguous ranges of the given size, matching the paper's
 // deployment ("each container holds a range of 1000 reactors"). Non-customer

@@ -236,3 +236,61 @@ func TestRangePlacement(t *testing.T) {
 		t.Fatalf("non-customer reactors should map to container 0")
 	}
 }
+
+// TestTotalBalanceQueryMatchesRowReads differences the declarative audit
+// against the raw row-read audit, quiesced and while concurrent transfers
+// run: the query form must always report the conserved total because it reads
+// through one serializable transaction.
+func TestTotalBalanceQueryMatchesRowReads(t *testing.T) {
+	const customers = 8
+	db := open(t, customers, sharedNothing(4, 2))
+
+	raw, err := TotalBalance(db, customers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaQuery, err := TotalBalanceQuery(db, customers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != viaQuery || viaQuery != customers*2000 {
+		t.Fatalf("quiesced audits disagree: rows=%v query=%v", raw, viaQuery)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			src := i % customers
+			_, err := db.Execute(ReactorName(src), ProcMultiTransferOpt,
+				ReactorName(src), []string{ReactorName((src + 1) % customers)}, 1.0)
+			if err != nil && !errors.Is(err, engine.ErrConflict) &&
+				!core.IsUserAbort(err) && !errors.Is(err, core.ErrDangerousStructure) {
+				t.Errorf("transfer: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		viaQuery, err := TotalBalanceQuery(db, customers)
+		if err != nil {
+			if errors.Is(err, engine.ErrConflict) {
+				i--
+				continue
+			}
+			t.Fatal(err)
+		}
+		if viaQuery != customers*2000 {
+			t.Fatalf("serializable audit saw torn total %v under concurrent transfers", viaQuery)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

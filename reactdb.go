@@ -66,6 +66,39 @@ type (
 	Row = rel.Row
 )
 
+// Re-exported declarative-query types. A Query is built fluently, then run
+// either ad hoc through Database.Query (its own serializable read
+// transaction) or inside a procedure through Context.Query (the procedure's
+// transaction):
+//
+//	res, err := db.Query(reactdb.NewQuery().
+//		From("a", "account", "alice", "bob").
+//		Where("a", "branch", reactdb.Eq, "north").
+//		Sum("a.amount", "total"))
+type (
+	// Query is a declarative read-only query over one or more reactors.
+	Query = rel.Query
+	// QueryResult is the materialized output of a query.
+	QueryResult = rel.Result
+	// CmpOp is a comparison operator for Query.Where.
+	CmpOp = rel.CmpOp
+)
+
+// Comparison operators for Query.Where.
+const (
+	Eq = rel.Eq
+	Ne = rel.Ne
+	Lt = rel.Lt
+	Le = rel.Le
+	Gt = rel.Gt
+	Ge = rel.Ge
+)
+
+// NewQuery starts a declarative query. Chain From/Where/Join/GroupBy/
+// aggregate/Select/OrderBy/Limit calls, then pass it to Database.Query or
+// Context.Query. Builder errors accumulate and surface at execution.
+func NewQuery() *Query { return rel.NewQuery() }
+
 // Re-exported runtime types (paper §3).
 type (
 	// Database is a running ReactDB instance.
