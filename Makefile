@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-query
+.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-query bench-storage bench-storage-check
 
 all: fmt-check vet build test
 
@@ -81,3 +81,13 @@ bench-sched:
 # history.
 bench-query:
 	$(GO) run ./cmd/reactdb-bench -experiment query -json BENCH_query.json
+
+# Run the storage hot-path sweep (point read / scan / RMW, ns + allocs +
+# bytes per logical row op) and append a dated entry to the bench history.
+bench-storage:
+	$(GO) run ./cmd/reactdb-bench -experiment storage -json-history BENCH_storage.json
+
+# Gate on the storage bench history: fail if the newest entry regressed >20%
+# in ns/op or allocs/op against the previous one.
+bench-storage-check:
+	$(GO) run ./cmd/reactdb-bench -compare BENCH_storage.json

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// appendHistory appends a dated jsonReport entry to a JSON-array history file
+// (creating it if absent). Unlike -json, which overwrites with the latest run,
+// the history file keeps the trajectory so CI can flag regressions against the
+// previous entry.
+func appendHistory(path string, report jsonReport) error {
+	var history []jsonReport
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &history); err != nil {
+			return fmt.Errorf("parse history %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("read history %s: %w", path, err)
+	}
+	history = append(history, report)
+	buf, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal history: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// historyRow is the subset of a benchmark payload row the regression gate
+// understands. Rows without a name (or from experiments with differently
+// shaped payloads) are skipped.
+type historyRow struct {
+	Name        string   `json:"name"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func decodeHistoryRows(payload any) (map[string]historyRow, error) {
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	var rows []historyRow
+	if err := json.Unmarshal(buf, &rows); err != nil {
+		return nil, err
+	}
+	out := make(map[string]historyRow, len(rows))
+	for _, r := range rows {
+		if r.Name != "" {
+			out[r.Name] = r
+		}
+	}
+	return out, nil
+}
+
+// compareHistory checks the last history entry against the one before it and
+// returns an error if any benchmark row regressed by more than maxRegression
+// (fractional, e.g. 0.20) in ns/op or allocs/op. Alloc counts near zero use an
+// absolute slack of 0.25 allocs/op so a 0 -> 0.1 wobble on a pinned-zero path
+// still fails while float jitter on identical runs does not.
+func compareHistory(path string, maxRegression float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("  no history at %s; nothing to compare\n", path)
+			return nil
+		}
+		return fmt.Errorf("read history %s: %w", path, err)
+	}
+	var history []jsonReport
+	if err := json.Unmarshal(buf, &history); err != nil {
+		return fmt.Errorf("parse history %s: %w", path, err)
+	}
+	if len(history) < 2 {
+		fmt.Printf("  %s has %d entry(ies); need 2 to compare\n", path, len(history))
+		return nil
+	}
+	prev, last := history[len(history)-2], history[len(history)-1]
+	prevRows, err := decodeHistoryRows(prev.Payload)
+	if err != nil {
+		return fmt.Errorf("decode previous payload: %w", err)
+	}
+	lastRows, err := decodeHistoryRows(last.Payload)
+	if err != nil {
+		return fmt.Errorf("decode latest payload: %w", err)
+	}
+
+	var regressions []string
+	check := func(name, metric string, prevV, lastV float64) {
+		limit := prevV * (1 + maxRegression)
+		if metric == "allocs/op" && limit < prevV+0.25 {
+			limit = prevV + 0.25
+		}
+		if lastV > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: %.2f -> %.2f (limit %.2f)", name, metric, prevV, lastV, limit))
+		} else {
+			fmt.Printf("  ok %s %s: %.2f -> %.2f\n", name, metric, prevV, lastV)
+		}
+	}
+	compared := 0
+	for name, lastRow := range lastRows {
+		prevRow, ok := prevRows[name]
+		if !ok {
+			fmt.Printf("  new row %s (no previous entry)\n", name)
+			continue
+		}
+		compared++
+		if prevRow.NsPerOp != nil && lastRow.NsPerOp != nil {
+			check(name, "ns/op", *prevRow.NsPerOp, *lastRow.NsPerOp)
+		}
+		if prevRow.AllocsPerOp != nil && lastRow.AllocsPerOp != nil {
+			check(name, "allocs/op", *prevRow.AllocsPerOp, *lastRow.AllocsPerOp)
+		}
+	}
+	if compared == 0 {
+		fmt.Printf("  no comparable rows between the last two entries of %s\n", path)
+		return nil
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) in %s (threshold %.0f%%)",
+			len(regressions), path, maxRegression*100)
+	}
+	return nil
+}

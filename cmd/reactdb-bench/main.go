@@ -37,8 +37,19 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		full       = flag.Bool("full", false, "use the full (paper-sized) sweeps instead of the quick ones")
 		jsonPath   = flag.String("json", "", "write the experiment's machine-readable payload to this file (single -experiment runs only)")
+		historyP   = flag.String("json-history", "", "append a dated entry to this JSON-array history file (single -experiment runs only)")
+		compareP   = flag.String("compare", "", "compare the last two entries of this history file and exit 1 on regression; skips running experiments")
+		maxRegress = flag.Float64("max-regression", 0.20, "fractional ns/op or allocs/op regression tolerated by -compare")
 	)
 	flag.Parse()
+
+	if *compareP != "" {
+		if err := compareHistory(*compareP, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -62,7 +73,7 @@ func main() {
 		}
 		table.Fprint(os.Stdout)
 		fmt.Printf("  (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
-		if *jsonPath != "" {
+		if *jsonPath != "" || *historyP != "" {
 			if table.Machine == nil {
 				return fmt.Errorf("experiment %s has no machine-readable payload for -json", id)
 			}
@@ -73,15 +84,23 @@ func main() {
 				GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 				Payload:     table.Machine,
 			}
-			buf, err := json.MarshalIndent(report, "", "  ")
-			if err != nil {
-				return fmt.Errorf("marshal %s payload: %w", id, err)
+			if *jsonPath != "" {
+				buf, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return fmt.Errorf("marshal %s payload: %w", id, err)
+				}
+				buf = append(buf, '\n')
+				if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+					return fmt.Errorf("write %s: %w", *jsonPath, err)
+				}
+				fmt.Printf("  wrote %s\n\n", *jsonPath)
 			}
-			buf = append(buf, '\n')
-			if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
-				return fmt.Errorf("write %s: %w", *jsonPath, err)
+			if *historyP != "" {
+				if err := appendHistory(*historyP, report); err != nil {
+					return err
+				}
+				fmt.Printf("  appended to %s\n\n", *historyP)
 			}
-			fmt.Printf("  wrote %s\n\n", *jsonPath)
 		}
 		return nil
 	}
@@ -93,8 +112,8 @@ func main() {
 			os.Exit(1)
 		}
 	case *all:
-		if *jsonPath != "" {
-			fmt.Fprintln(os.Stderr, "-json requires a single -experiment run")
+		if *jsonPath != "" || *historyP != "" {
+			fmt.Fprintln(os.Stderr, "-json/-json-history require a single -experiment run")
 			os.Exit(2)
 		}
 		for _, id := range experiments.IDs() {

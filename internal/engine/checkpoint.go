@@ -187,13 +187,13 @@ func (c *Container) snapshotRows() []wal.CheckpointRow {
 	for reactor, cat := range c.catalogs {
 		for relation, tbl := range cat.Tables() {
 			prefix := reactor + "\x00" + relation + "\x00"
-			tbl.AscendRange("", "", func(key string, rec *kv.Record) bool {
+			tbl.AscendRange(nil, nil, func(key []byte, rec *kv.Record) bool {
 				data, tid, present := rec.StableRead()
 				switch {
 				case present:
-					rows = append(rows, wal.CheckpointRow{Key: prefix + key, TID: tid, Data: data})
+					rows = append(rows, wal.CheckpointRow{Key: prefix + string(key), TID: tid, Data: data})
 				case tid > 0:
-					rows = append(rows, wal.CheckpointRow{Key: prefix + key, TID: tid, Deleted: true})
+					rows = append(rows, wal.CheckpointRow{Key: prefix + string(key), TID: tid, Deleted: true})
 				}
 				return true
 			})
@@ -222,7 +222,7 @@ func (c *Container) installCheckpoint(cp *wal.Checkpoint) error {
 		if tbl == nil {
 			return fmt.Errorf("engine: checkpoint: unknown relation %s.%s in container %d", reactor, relation, c.id)
 		}
-		r, _ := tbl.GetOrInsert(key)
+		r, _ := tbl.GetOrInsert([]byte(key))
 		c.domain.InstallCheckpointRow(r, tbl, row.TID, row.Data, row.Deleted)
 	}
 	c.domain.ObserveRecoveredTID(cp.MaxTID)

@@ -123,8 +123,11 @@ func walRecordPrepared(txn *occ.Txn) (wal.Record, error) {
 		return wal.Record{}, err
 	}
 	rec := wal.Record{TID: tid}
-	txn.PreparedWrites(func(key string, data []byte, deleted bool) {
-		rec.Writes = append(rec.Writes, wal.Write{Key: key, Data: data, Delete: deleted})
+	// WAL record keys are strings; the conversion copies the transaction's
+	// arena-backed key bytes, which is required anyway (the record outlives
+	// the transaction) and cheap next to the fsync this record is headed for.
+	txn.PreparedWrites(func(key []byte, data []byte, deleted bool) {
+		rec.Writes = append(rec.Writes, wal.Write{Key: string(key), Data: data, Delete: deleted})
 	})
 	return rec, nil
 }
@@ -253,7 +256,7 @@ func (c *Container) recover(decided map[uint64]bool) (int, error) {
 			if tbl == nil {
 				return fmt.Errorf("engine: recovery: unknown relation %s.%s in container %d", reactor, relation, c.id)
 			}
-			r, _ := tbl.GetOrInsert(key)
+			r, _ := tbl.GetOrInsert([]byte(key))
 			c.domain.ApplyReplayedWrite(r, tbl, rec.TID, w.Data, w.Delete)
 		}
 		c.domain.ObserveRecoveredTID(rec.TID)

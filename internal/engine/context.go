@@ -54,6 +54,9 @@ type execContext struct {
 	txn       *occ.Txn
 	children  []*core.Future
 	rng       *rand.Rand
+	// scratch is the context-cached key buffer for point operations; see
+	// execContext.keyScratch in keybuf.go for the ownership rules.
+	scratch *keyScratch
 }
 
 var _ core.Context = (*execContext)(nil)
@@ -91,8 +94,29 @@ func (c *execContext) table(relation string) (*rel.Table, error) {
 	return tbl, nil
 }
 
-func (c *execContext) lockKey(relation, key string) string {
-	return c.reactor + "\x00" + relation + "\x00" + key
+// getRaw is the storage-level point read underneath Get: it builds the
+// encoded key in pooled scratch, resolves the record, and returns the raw
+// committed (or transaction-local) payload without decoding a row. The
+// returned slice is the record's immutable payload (or an OCC-buffered write)
+// and must not be mutated. It allocates nothing on the hit path — a pinned
+// regression test holds it to 0 allocs/op.
+func (c *execContext) getRaw(tbl *rel.Table, keyVals []any) ([]byte, bool, error) {
+	s := c.keyScratch()
+	key, err := tbl.Schema().AppendKeyPrefix(s.buf[:0], keyVals)
+	if err != nil {
+		return nil, false, err
+	}
+	rec := tbl.Get(key)
+	s.buf = key[:0]
+	if rec == nil {
+		// Reading a missing key creates an anti-dependency on inserts of that
+		// key; guard it with the table's structural version.
+		if err := c.txn.RegisterScan(tbl); err != nil {
+			return nil, false, err
+		}
+		return nil, false, nil
+	}
+	return c.txn.Read(rec)
 }
 
 // Get implements core.Context.
@@ -101,25 +125,9 @@ func (c *execContext) Get(relation string, keyVals ...any) (rel.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	key, err := tbl.Schema().EncodeKey(keyVals...)
-	if err != nil {
+	data, present, err := c.getRaw(tbl, keyVals)
+	if err != nil || !present {
 		return nil, err
-	}
-	rec := tbl.Get(key)
-	if rec == nil {
-		// Reading a missing key creates an anti-dependency on inserts of that
-		// key; guard it with the table's structural version.
-		if err := c.txn.RegisterScan(tbl); err != nil {
-			return nil, err
-		}
-		return nil, nil
-	}
-	data, present, err := c.txn.Read(rec)
-	if err != nil {
-		return nil, err
-	}
-	if !present {
-		return nil, nil
 	}
 	return tbl.Schema().DecodeRow(data)
 }
@@ -130,16 +138,21 @@ func (c *execContext) Insert(relation string, row rel.Row) error {
 	if err != nil {
 		return err
 	}
-	key, err := tbl.Schema().KeyOf(row)
-	if err != nil {
-		return err
-	}
 	data, err := tbl.Schema().EncodeRow(row)
 	if err != nil {
 		return err
 	}
+	s := c.keyScratch()
+	key, err := tbl.Schema().AppendKey(s.buf[:0], row)
+	if err != nil {
+		return err
+	}
 	rec, _ := tbl.GetOrInsert(key)
-	if err := c.txn.Insert(rec, c.lockKey(relation, key), data, tbl); err != nil {
+	n := len(key)
+	lk := appendLockKey(key, c.reactor, relation, key[:n])
+	err = c.txn.Insert(rec, lk[n:], data, tbl)
+	s.buf = lk[:0]
+	if err != nil {
 		if errors.Is(err, occ.ErrDuplicateKey) {
 			// The key was committed by a concurrent transaction after this one
 			// began (the serial-order insert would have succeeded); report a
@@ -157,21 +170,25 @@ func (c *execContext) Update(relation string, row rel.Row) error {
 	if err != nil {
 		return err
 	}
-	key, err := tbl.Schema().KeyOf(row)
+	data, err := tbl.Schema().EncodeRow(row)
 	if err != nil {
 		return err
 	}
-	data, err := tbl.Schema().EncodeRow(row)
+	s := c.keyScratch()
+	key, err := tbl.Schema().AppendKey(s.buf[:0], row)
 	if err != nil {
 		return err
 	}
 	rec := tbl.Get(key)
 	if rec == nil {
+		s.buf = key[:0]
 		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
 	}
 	if _, present, err := c.txn.Read(rec); err != nil {
+		s.buf = key[:0]
 		return err
 	} else if !present {
+		s.buf = key[:0]
 		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
 	}
 	// Updates of indexed tables carry the table as their guard so the commit
@@ -181,7 +198,11 @@ func (c *execContext) Update(relation string, row rel.Row) error {
 	if tbl.HasIndexes() {
 		guard = tbl
 	}
-	return c.txn.Write(rec, c.lockKey(relation, key), data, guard)
+	n := len(key)
+	lk := appendLockKey(key, c.reactor, relation, key[:n])
+	err = c.txn.Write(rec, lk[n:], data, guard)
+	s.buf = lk[:0]
+	return err
 }
 
 // Delete implements core.Context.
@@ -190,20 +211,28 @@ func (c *execContext) Delete(relation string, keyVals ...any) error {
 	if err != nil {
 		return err
 	}
-	key, err := tbl.Schema().EncodeKey(keyVals...)
+	s := c.keyScratch()
+	key, err := tbl.Schema().AppendKeyPrefix(s.buf[:0], keyVals)
 	if err != nil {
 		return err
 	}
 	rec := tbl.Get(key)
 	if rec == nil {
+		s.buf = key[:0]
 		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
 	}
 	if _, present, err := c.txn.Read(rec); err != nil {
+		s.buf = key[:0]
 		return err
 	} else if !present {
+		s.buf = key[:0]
 		return fmt.Errorf("%w: %s", core.ErrNoSuchRow, relation)
 	}
-	return c.txn.Delete(rec, c.lockKey(relation, key), tbl)
+	n := len(key)
+	lk := appendLockKey(key, c.reactor, relation, key[:n])
+	err = c.txn.Delete(rec, lk[n:], tbl)
+	s.buf = lk[:0]
+	return err
 }
 
 // Scan implements core.Context.
@@ -224,37 +253,81 @@ func (c *execContext) scan(relation string, fn func(row rel.Row) bool, descendin
 	if err := c.txn.RegisterScan(tbl); err != nil {
 		return err
 	}
-	lo, hi := "", ""
+	// The prefix bounds live in pooled scratch held across the whole scan;
+	// nested operations issued by fn draw their own buffers from the pool. The
+	// exclusive upper bound is appended into the same buffer right after the
+	// lower bound.
+	s := getKeyScratch()
+	buf := s.buf[:0]
+	var lo, hi []byte
 	if len(prefixVals) > 0 {
-		prefix, err := tbl.Schema().EncodeKey(prefixVals...)
+		buf, err = tbl.Schema().AppendKeyPrefix(buf, prefixVals)
 		if err != nil {
+			putKeyScratch(s, buf)
 			return err
 		}
-		lo, hi = prefix, rel.KeyPrefixSuccessor(prefix)
+		n := len(buf)
+		var bounded bool
+		buf, bounded = rel.AppendKeyPrefixSuccessor(buf, buf[:n])
+		lo = buf[:n]
+		if bounded {
+			hi = buf[n:]
+		}
 	}
-	var iterErr error
-	visit := func(key string, rec *kv.Record) bool {
-		data, present, err := c.txn.Read(rec)
-		if err != nil {
-			iterErr = err
-			return false
-		}
-		if !present {
-			return true
-		}
-		row, err := tbl.Schema().DecodeRow(data)
-		if err != nil {
-			iterErr = err
-			return false
-		}
-		return fn(row)
-	}
+	defer putKeyScratch(s, buf)
 	if descending {
-		tbl.DescendRange(lo, hi, visit)
-	} else {
-		tbl.AscendRange(lo, hi, visit)
+		var iterErr error
+		tbl.DescendRange(lo, hi, func(_ []byte, rec *kv.Record) bool {
+			ok, err := c.visitRecord(tbl, rec, fn)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			return ok
+		})
+		return iterErr
 	}
-	return iterErr
+	// Ascending scans run through a reusable cursor in slab-sized batches: one
+	// tree latch acquisition per batch instead of one per scan, and the cursor
+	// revalidates its position if fn's nested calls mutate the tree while the
+	// task is blocked (cooperative multitasking).
+	slab := getScanSlab()
+	defer putScanSlab(slab)
+	var cur kv.Cursor
+	cur.Reset(tbl.Index(), lo, hi)
+	for {
+		n := cur.ScanBatch(slab.entries)
+		if n == 0 {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			ok, err := c.visitRecord(tbl, slab.entries[i].Rec, fn)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+}
+
+// visitRecord reads one scanned record through the transaction, decodes it and
+// hands it to the caller's row callback. Absent rows are skipped (ok without a
+// callback). It reports whether the scan should continue.
+func (c *execContext) visitRecord(tbl *rel.Table, rec *kv.Record, fn func(row rel.Row) bool) (bool, error) {
+	data, present, err := c.txn.Read(rec)
+	if err != nil {
+		return false, err
+	}
+	if !present {
+		return true, nil
+	}
+	row, err := tbl.Schema().DecodeRow(data)
+	if err != nil {
+		return false, err
+	}
+	return fn(row), nil
 }
 
 // SelectAll implements core.Context.
@@ -418,6 +491,7 @@ func (c *execContext) runInline(container *Container, reactor string, proc core.
 	if waitErr := child.waitChildren(); err == nil {
 		err = waitErr
 	}
+	child.releaseScratch()
 	return res, err
 }
 

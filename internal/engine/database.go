@@ -354,6 +354,7 @@ func (db *Database) runTask(t *task, session *coreSession) {
 			err = waitErr
 		}
 	}
+	ctx.releaseScratch()
 
 	if t.isRoot {
 		commitStart := time.Now()
@@ -371,6 +372,13 @@ func (db *Database) runTask(t *task, session *coreSession) {
 		t.root.profMu.Lock()
 		t.root.profile.Commit = time.Since(commitStart)
 		t.root.profMu.Unlock()
+		// The protocol is over on every container: recycle the per-container
+		// transactions into their domains' pools. With CC disabled the
+		// transactions were never committed or aborted, and Release's implicit
+		// abort would skew the domain counters — leave them for the GC.
+		if !db.cfg.DisableCC {
+			t.root.release()
+		}
 	}
 
 	session.release()
@@ -441,7 +449,7 @@ func (db *Database) ReadRow(reactor, relation string, keyVals ...any) (rel.Row, 
 	if tbl == nil {
 		return nil, fmt.Errorf("%w: %s.%s", core.ErrUnknownRelation, reactor, relation)
 	}
-	key, err := tbl.Schema().EncodeKey(keyVals...)
+	key, err := tbl.Schema().AppendKeyPrefix(nil, keyVals)
 	if err != nil {
 		return nil, err
 	}

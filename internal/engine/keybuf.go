@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"sync"
+
+	"reactdb/internal/kv"
+)
+
+// This file owns the engine's key-buffer plumbing: every composite key the hot
+// path builds — encoded primary keys, prefix bounds, and the fully-qualified
+// reactor\x00relation\x00pk lock keys — is appended into a pooled scratch
+// buffer instead of concatenated through strings. Buffers are pooled (not
+// stored per executor) because cooperative multitasking lets a second task run
+// on the same executor whenever the first one blocks on a future: per-slot
+// executor scratch would be clobbered mid-scan, whereas a pool hands every
+// in-flight operation its own buffer and recycles it when the operation ends.
+
+// keyScratch is one reusable key buffer. Operations take one from the pool,
+// build every key they need in it (the OCC layer interns keys it retains, and
+// the B+tree copies keys on insert, so reuse is safe), and put it back.
+type keyScratch struct {
+	buf []byte
+}
+
+var keyScratchPool = sync.Pool{
+	New: func() any { return &keyScratch{buf: make([]byte, 0, 128)} },
+}
+
+func getKeyScratch() *keyScratch { return keyScratchPool.Get().(*keyScratch) }
+
+// keyScratch returns the context's cached scratch, drawing one from the pool
+// on first use. Point operations (get/insert/update/delete) run start to
+// finish without yielding or re-entering the context, so they can share one
+// buffer per context instead of paying a pool round-trip per operation. Scans
+// must NOT use it: they hold their bounds across row callbacks that may
+// re-enter the same context's point operations.
+func (c *execContext) keyScratch() *keyScratch {
+	if c.scratch == nil {
+		c.scratch = getKeyScratch()
+	}
+	return c.scratch
+}
+
+// releaseScratch recycles the context's cached scratch, if any, when the
+// (sub-)transaction invocation completes. Contexts that are never released
+// (abandoned on error paths) just let the GC take the buffer.
+func (c *execContext) releaseScratch() {
+	if c.scratch != nil {
+		putKeyScratch(c.scratch, c.scratch.buf)
+		c.scratch = nil
+	}
+}
+
+// putKeyScratch returns s to the pool, remembering the (possibly grown)
+// backing array under buf so the capacity is kept.
+func putKeyScratch(s *keyScratch, buf []byte) {
+	s.buf = buf[:0]
+	keyScratchPool.Put(s)
+}
+
+// scanSlab is a reusable batch buffer for cursor scans (kv.Cursor.ScanBatch).
+type scanSlab struct {
+	entries []kv.ScanEntry
+}
+
+// scanBatchSize balances latch hold time against per-batch overhead: one
+// RLock/RUnlock of the tree per scanBatchSize rows.
+const scanBatchSize = 128
+
+var scanSlabPool = sync.Pool{
+	New: func() any { return &scanSlab{entries: make([]kv.ScanEntry, scanBatchSize)} },
+}
+
+func getScanSlab() *scanSlab  { return scanSlabPool.Get().(*scanSlab) }
+func putScanSlab(s *scanSlab) { scanSlabPool.Put(s) }
+
+// appendLockKey appends the engine's fully-qualified write key — reactor
+// \x00 relation \x00 encoded-primary-key, the format splitWALKey decomposes —
+// to dst. pk may alias dst's backing array (the usual case: the caller encodes
+// the primary key first and appends the lock key after it in the same scratch
+// buffer); append copies forward from a lower offset, which is safe.
+func appendLockKey(dst []byte, reactor, relation string, pk []byte) []byte {
+	dst = append(dst, reactor...)
+	dst = append(dst, 0)
+	dst = append(dst, relation...)
+	dst = append(dst, 0)
+	return append(dst, pk...)
+}

@@ -205,7 +205,9 @@ func (c *execContext) fetchLocalOn(reactor, relation string, filters []rel.Filte
 	if child.catalog == nil {
 		return nil, fmt.Errorf("%w: %s not hosted in container %d", core.ErrUnknownReactor, reactor, target.id)
 	}
-	return child.fetchLocal(relation, filters)
+	batch, err := child.fetchLocal(relation, filters)
+	child.releaseScratch()
+	return batch, err
 }
 
 // fetchLocal reads the current reactor's relation under the cheapest access
@@ -297,18 +299,24 @@ func (c *execContext) fetchLocal(relation string, filters []rel.Filter) (*rel.Le
 func (c *execContext) indexScan(tbl *rel.Table, pos int, prefixVals []any) ([]rel.Row, error) {
 	schema := tbl.Schema()
 	ix := schema.Indexes()[pos]
-	prefix, err := schema.EncodeIndexPrefix(ix, prefixVals...)
+	s := getKeyScratch()
+	prefix, err := schema.AppendIndexPrefix(s.buf[:0], ix, prefixVals)
 	if err != nil {
+		putKeyScratch(s, s.buf)
 		return nil, err
 	}
 	if err := c.txn.RegisterScan(tbl); err != nil {
+		putKeyScratch(s, prefix)
 		return nil, err
 	}
-	var pks []string
-	tbl.AscendIndexPrefix(pos, prefix, func(pk string) bool {
+	// Primary keys collected here are the entry records' immutable payloads —
+	// stable slices, referenced without copying.
+	var pks [][]byte
+	tbl.AscendIndexPrefix(pos, prefix, func(pk []byte) bool {
 		pks = append(pks, pk)
 		return true
 	})
+	putKeyScratch(s, prefix)
 	seen := make(map[string]bool, len(pks))
 	var rows []rel.Row
 	for _, pk := range pks {
@@ -320,7 +328,7 @@ func (c *execContext) indexScan(tbl *rel.Table, pos int, prefixVals []any) ([]re
 		if err != nil {
 			return nil, err
 		}
-		seen[pk] = true
+		seen[string(pk)] = true
 		if !present {
 			continue
 		}
@@ -334,7 +342,7 @@ func (c *execContext) indexScan(tbl *rel.Table, pos int, prefixVals []any) ([]re
 	// are visible to its own scans even though their index entries install
 	// only at commit.
 	var overlayErr error
-	c.txn.EachPendingWrite(tbl, func(_ string, data []byte, deleted bool) {
+	c.txn.EachPendingWrite(tbl, func(_ []byte, data []byte, deleted bool) {
 		if overlayErr != nil || deleted || data == nil {
 			return
 		}

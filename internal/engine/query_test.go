@@ -546,14 +546,14 @@ func assertIndexesMatchTable(t *testing.T, tbl *rel.Table, label string) {
 	t.Helper()
 	schema := tbl.Schema()
 	var keys []string
-	tbl.AscendPrefix("", func(key string, _ *kv.Record) bool {
-		keys = append(keys, key)
+	tbl.AscendPrefix(nil, func(key []byte, _ *kv.Record) bool {
+		keys = append(keys, string(key))
 		return true
 	})
 	present := 0
 	rowsByKey := make(map[string]rel.Row)
 	for _, k := range keys {
-		row, err := tbl.ReadRow(k)
+		row, err := tbl.ReadRow([]byte(k))
 		if err != nil {
 			t.Fatalf("%s: ReadRow(%q): %v", label, k, err)
 		}
@@ -577,8 +577,8 @@ func assertIndexesMatchTable(t *testing.T, tbl *rel.Table, label string) {
 				t.Fatalf("%s: EncodeIndexPrefix: %v", label, err)
 			}
 			found := false
-			tbl.AscendIndexPrefix(pos, prefix, func(entryPK string) bool {
-				if entryPK == pk {
+			tbl.AscendIndexPrefix(pos, []byte(prefix), func(entryPK []byte) bool {
+				if string(entryPK) == pk {
 					found = true
 					return false
 				}
@@ -697,8 +697,8 @@ func TestCrashMatrixIndexMaintenance(t *testing.T) {
 			}
 			pos, _ := schema.IndexNamed("by_branch")
 			got := make(map[string]bool)
-			tbl.AscendIndexPrefix(pos, prefix, func(pk string) bool {
-				got[pk] = true
+			tbl.AscendIndexPrefix(pos, []byte(prefix), func(pk []byte) bool {
+				got[string(pk)] = true
 				return true
 			})
 			return got

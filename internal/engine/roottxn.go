@@ -465,6 +465,20 @@ func (r *rootTxn) abortAll() {
 	}
 }
 
+// release returns every per-container OCC transaction to its domain's pool so
+// the next Begin on that domain reuses its read/write-set slices and key
+// arena. It must only run once the root transaction has fully committed or
+// aborted and nothing — group committer, 2PC coordinator, sub-transaction —
+// can touch the transactions again; Txn.Release itself refuses transactions
+// that still hold locks.
+func (r *rootTxn) release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.order {
+		r.txns[c].Release()
+	}
+}
+
 // snapshotProfile returns a copy of the accumulated profile.
 func (r *rootTxn) snapshotProfile() Profile {
 	r.profMu.Lock()

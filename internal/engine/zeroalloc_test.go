@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"reactdb/internal/occ"
+	"reactdb/internal/rel"
+)
+
+// TestHotReadZeroAlloc pins the storage-level hot read path — key encoding
+// into pooled scratch, B+tree lookup, OCC stable read with read-set
+// bookkeeping — at 0 allocs/op. Row decoding is deliberately outside the
+// pinned path (materializing a Row inherently allocates); getRaw is the
+// boundary the zero-allocation refactor defends.
+func TestHotReadZeroAlloc(t *testing.T) {
+	schema := rel.MustSchema("accounts",
+		[]rel.Column{{Name: "id", Type: rel.Int64}, {Name: "val", Type: rel.Int64}}, "id")
+	tbl := rel.NewTable(schema)
+	const rows = 1024
+	for i := 0; i < rows; i++ {
+		tbl.MustLoadRow(rel.Row{int64(i), int64(i) * 3})
+	}
+	d := occ.NewDomain("zero-alloc")
+	c := &execContext{txn: d.Begin()}
+
+	// Key values are pre-boxed: boxing the caller's int64 argument is the
+	// caller's cost, identical before and after the refactor.
+	boxed := make([]any, rows)
+	for i := range boxed {
+		boxed[i] = int64(i)
+	}
+	vals := make([]any, 1)
+
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		vals[0] = boxed[i%rows]
+		i++
+		data, present, err := c.getRaw(tbl, vals)
+		if err != nil || !present || len(data) == 0 {
+			t.Fatalf("getRaw: data=%v present=%v err=%v", data, present, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot read allocated %.1f allocs/op, want 0", allocs)
+	}
+
+	// Repeat reads of the same key stay allocation-free too (read-set dedup
+	// must not rebuild map keys or grow the set).
+	vals[0] = boxed[7]
+	allocs = testing.AllocsPerRun(2000, func() {
+		if _, present, err := c.getRaw(tbl, vals); err != nil || !present {
+			t.Fatalf("repeat getRaw failed: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("repeat hot read allocated %.1f allocs/op, want 0", allocs)
+	}
+	c.txn.Release()
+}

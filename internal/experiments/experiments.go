@@ -165,6 +165,7 @@ func Registry() map[string]Runner {
 		"checkpoint": Checkpoint,
 		"scheduler":  Scheduler,
 		"query":      Query,
+		"storage":    Storage,
 	}
 }
 

@@ -21,7 +21,7 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"affinity", "overhead", "durability", "twopc", "checkpoint", "scheduler",
-		"query",
+		"query", "storage",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

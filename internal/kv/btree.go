@@ -1,7 +1,8 @@
 package kv
 
 import (
-	"sort"
+	"bytes"
+	"encoding/binary"
 	"sync"
 )
 
@@ -9,27 +10,65 @@ import (
 // most degree keys and degree+1 children; leaves hold at most degree keys.
 const degree = 64
 
-// BTree is an ordered in-memory B+tree mapping string keys to *Record values.
+// BTree is an ordered in-memory B+tree mapping binary keys to *Record values.
 // Keys are expected to be order-preserving encodings (see package rel), so
 // lexicographic byte order equals logical order.
+//
+// Key bytes are copied on insert and never mutated or freed afterwards, so a
+// key slice obtained from any lookup or scan remains valid (and immutable)
+// after the tree latch is released — cursors exploit this to resume scans
+// without copying their position.
 //
 // The tree structure is protected by a readers-writer mutex; record payloads
 // are versioned independently (see Record), so structural latching is only
 // needed for lookups, inserts and deletes of index entries, never for reading
-// or writing record contents.
+// or writing record contents. A monotonically increasing epoch counter, bumped
+// on every structural change (new key, physical delete), lets cursors detect
+// that cached leaf positions may have been invalidated.
 type BTree struct {
-	mu   sync.RWMutex
-	root *node
-	size int
+	mu    sync.RWMutex
+	root  *node
+	size  int
+	epoch uint64
 }
 
 type node struct {
-	leaf     bool
-	keys     []string
+	leaf bool
+	keys [][]byte
+	// pfx caches the first 8 bytes of each key as a big-endian integer
+	// ("poor man's normalized key"): binary search compares one register
+	// per probe and touches the key bytes only on a prefix tie, which for
+	// short order-preserving encodings is the exceptional case. pfx is
+	// maintained strictly parallel to keys.
+	pfx      []uint64
 	children []*node   // interior nodes only; len(children) == len(keys)+1
 	values   []*Record // leaf nodes only
 	next     *node     // leaf chain for ascending scans
 	prev     *node     // leaf chain for descending scans
+}
+
+// keyPrefix returns the first 8 bytes of k as a big-endian integer, zero-padded
+// on the right for shorter keys. For keys a, b: keyPrefix(a) < keyPrefix(b)
+// implies a < b; equal prefixes need a tie-break (see comparePastPrefix).
+func keyPrefix(k []byte) uint64 {
+	if len(k) >= 8 {
+		return binary.BigEndian.Uint64(k)
+	}
+	var v uint64
+	for _, b := range k {
+		v = v<<8 | uint64(b)
+	}
+	return v << (8 * (8 - len(k)))
+}
+
+// comparePastPrefix orders two keys whose 8-byte prefixes compared equal.
+// With zero padding, equal prefixes of two keys both <= 8 bytes long mean the
+// longer is the shorter extended by NUL bytes, so length order is byte order.
+func comparePastPrefix(a, b []byte) int {
+	if len(a) <= 8 && len(b) <= 8 {
+		return len(a) - len(b)
+	}
+	return bytes.Compare(a, b)
 }
 
 // NewBTree returns an empty tree.
@@ -45,16 +84,77 @@ func (t *BTree) Len() int {
 	return t.size
 }
 
-// Get returns the record stored under key, or nil if the key is not indexed.
-func (t *BTree) Get(key string) *Record {
+// Epoch returns the structural version of the tree. It changes whenever a key
+// is inserted or physically deleted; replacing the record under an existing
+// key does not change it.
+func (t *BTree) Epoch() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// lowerBound returns the first index i in n.keys with n.keys[i] >= key.
+// Hand-rolled (rather than sort.Search) to keep the hot path closure-free;
+// kpfx must be keyPrefix(key).
+func (n *node) lowerBound(key []byte, kpfx uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		var less bool
+		if p := n.pfx[mid]; p != kpfx {
+			less = p < kpfx
+		} else {
+			less = comparePastPrefix(n.keys[mid], key) < 0
+		}
+		if less {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index i in n.keys with n.keys[i] > key. For an
+// interior node's separator keys this is the index of the child covering key.
+// kpfx must be keyPrefix(key).
+func (n *node) upperBound(key []byte, kpfx uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		var le bool
+		if p := n.pfx[mid]; p != kpfx {
+			le = p < kpfx
+		} else {
+			le = comparePastPrefix(n.keys[mid], key) <= 0
+		}
+		if le {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafFor descends to the leaf covering key; kpfx must be keyPrefix(key).
+// Caller holds the latch.
+func (t *BTree) leafFor(key []byte, kpfx uint64) *node {
 	n := t.root
 	for !n.leaf {
-		n = n.children[childIndex(n.keys, key)]
+		n = n.children[n.upperBound(key, kpfx)]
 	}
-	i := sort.SearchStrings(n.keys, key)
-	if i < len(n.keys) && n.keys[i] == key {
+	return n
+}
+
+// Get returns the record stored under key, or nil if the key is not indexed.
+func (t *BTree) Get(key []byte) *Record {
+	kpfx := keyPrefix(key)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.leafFor(key, kpfx)
+	i := n.lowerBound(key, kpfx)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 		return n.values[i]
 	}
 	return nil
@@ -63,8 +163,9 @@ func (t *BTree) Get(key string) *Record {
 // GetOrInsert returns the record stored under key, inserting rec if the key is
 // not yet indexed. The boolean result reports whether rec was inserted (true)
 // or an existing record was returned (false). It is the single atomic
-// operation used by the OCC layer to claim a key for an insert.
-func (t *BTree) GetOrInsert(key string, rec *Record) (*Record, bool) {
+// operation used by the OCC layer to claim a key for an insert. The key bytes
+// are copied, so the caller may reuse its buffer.
+func (t *BTree) GetOrInsert(key []byte, rec *Record) (*Record, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if existing := t.lookupLocked(key); existing != nil {
@@ -75,16 +176,15 @@ func (t *BTree) GetOrInsert(key string, rec *Record) (*Record, bool) {
 }
 
 // Insert stores rec under key, replacing any existing record. It returns the
-// previous record or nil.
-func (t *BTree) Insert(key string, rec *Record) *Record {
+// previous record or nil. The key bytes are copied on a fresh insert, so the
+// caller may reuse its buffer.
+func (t *BTree) Insert(key []byte, rec *Record) *Record {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := t.root
-	for !n.leaf {
-		n = n.children[childIndex(n.keys, key)]
-	}
-	i := sort.SearchStrings(n.keys, key)
-	if i < len(n.keys) && n.keys[i] == key {
+	kpfx := keyPrefix(key)
+	n := t.leafFor(key, kpfx)
+	i := n.lowerBound(key, kpfx)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 		old := n.values[i]
 		n.values[i] = rec
 		return old
@@ -96,13 +196,14 @@ func (t *BTree) Insert(key string, rec *Record) *Record {
 // Delete removes the index entry for key and returns the record that was
 // stored there, or nil if the key was not indexed. Most deletions in ReactDB
 // are logical (the record is marked absent); physical removal is used by
-// loaders and tests.
-func (t *BTree) Delete(key string) *Record {
+// loaders, secondary-index maintenance and tests.
+func (t *BTree) Delete(key []byte) *Record {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rec := t.deleteLocked(t.root, key)
 	if rec != nil {
 		t.size--
+		t.epoch++
 		if !t.root.leaf && len(t.root.keys) == 0 {
 			t.root = t.root.children[0]
 		}
@@ -111,19 +212,18 @@ func (t *BTree) Delete(key string) *Record {
 }
 
 // AscendRange calls fn for every key k with lo <= k < hi in ascending order.
-// An empty hi means "no upper bound". Iteration stops early if fn returns
-// false. The tree latch is held in read mode for the duration of the scan.
-func (t *BTree) AscendRange(lo, hi string, fn func(key string, rec *Record) bool) {
+// A nil/empty hi means "no upper bound". Iteration stops early if fn returns
+// false. The tree latch is held in read mode for the duration of the scan; the
+// key slices passed to fn remain valid after it is released.
+func (t *BTree) AscendRange(lo, hi []byte, fn func(key []byte, rec *Record) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	n := t.root
-	for !n.leaf {
-		n = n.children[childIndex(n.keys, lo)]
-	}
-	i := sort.SearchStrings(n.keys, lo)
+	lpfx := keyPrefix(lo)
+	n := t.leafFor(lo, lpfx)
+	i := n.lowerBound(lo, lpfx)
 	for n != nil {
 		for ; i < len(n.keys); i++ {
-			if hi != "" && n.keys[i] >= hi {
+			if len(hi) > 0 && bytes.Compare(n.keys[i], hi) >= 0 {
 				return
 			}
 			if !fn(n.keys[i], n.values[i]) {
@@ -137,36 +237,61 @@ func (t *BTree) AscendRange(lo, hi string, fn func(key string, rec *Record) bool
 
 // Ascend calls fn for every key in ascending order, stopping early if fn
 // returns false.
-func (t *BTree) Ascend(fn func(key string, rec *Record) bool) {
-	t.AscendRange("", "", fn)
+func (t *BTree) Ascend(fn func(key []byte, rec *Record) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+// AscendPrefix calls fn for every key that starts with prefix, in ascending
+// order, stopping early if fn returns false. Because keys sharing a prefix
+// form a contiguous range, the scan seeks to the prefix and stops at the first
+// key that no longer starts with it — no successor key is materialized.
+func (t *BTree) AscendPrefix(prefix []byte, fn func(key []byte, rec *Record) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ppfx := keyPrefix(prefix)
+	n := t.leafFor(prefix, ppfx)
+	i := n.lowerBound(prefix, ppfx)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if !bytes.HasPrefix(n.keys[i], prefix) {
+				return
+			}
+			if !fn(n.keys[i], n.values[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
 }
 
 // DescendRange calls fn for every key k with lo <= k < hi in descending order,
-// stopping early if fn returns false. An empty hi means "no upper bound".
-func (t *BTree) DescendRange(lo, hi string, fn func(key string, rec *Record) bool) {
+// stopping early if fn returns false. A nil/empty hi means "no upper bound".
+func (t *BTree) DescendRange(lo, hi []byte, fn func(key []byte, rec *Record) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	// Find the right-most leaf containing keys < hi (or the right-most leaf
 	// overall when hi is unbounded).
 	n := t.root
-	if hi == "" {
+	hpfx := keyPrefix(hi)
+	if len(hi) == 0 {
 		for !n.leaf {
 			n = n.children[len(n.children)-1]
 		}
 	} else {
 		for !n.leaf {
-			n = n.children[childIndex(n.keys, hi)]
+			n = n.children[n.upperBound(hi, hpfx)]
 		}
 	}
 	var i int
-	if hi == "" {
+	if len(hi) == 0 {
 		i = len(n.keys) - 1
 	} else {
-		i = sort.SearchStrings(n.keys, hi) - 1
+		i = n.lowerBound(hi, hpfx) - 1
 	}
 	for n != nil {
 		for ; i >= 0; i-- {
-			if n.keys[i] < lo {
+			if bytes.Compare(n.keys[i], lo) < 0 {
 				return
 			}
 			if !fn(n.keys[i], n.values[i]) {
@@ -181,47 +306,52 @@ func (t *BTree) DescendRange(lo, hi string, fn func(key string, rec *Record) boo
 }
 
 // lookupLocked finds the record for key; the caller holds the write latch.
-func (t *BTree) lookupLocked(key string) *Record {
-	n := t.root
-	for !n.leaf {
-		n = n.children[childIndex(n.keys, key)]
-	}
-	i := sort.SearchStrings(n.keys, key)
-	if i < len(n.keys) && n.keys[i] == key {
+func (t *BTree) lookupLocked(key []byte) *Record {
+	kpfx := keyPrefix(key)
+	n := t.leafFor(key, kpfx)
+	i := n.lowerBound(key, kpfx)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 		return n.values[i]
 	}
 	return nil
 }
 
 // insertLocked inserts a new key; the caller holds the write latch and has
-// verified the key is not present.
-func (t *BTree) insertLocked(key string, rec *Record) {
+// verified the key is not present. The key bytes are copied into tree-owned
+// storage that is never subsequently mutated.
+func (t *BTree) insertLocked(key []byte, rec *Record) {
+	owned := append(make([]byte, 0, len(key)), key...)
 	if len(t.root.keys) >= degree {
 		old := t.root
 		t.root = &node{children: []*node{old}}
 		t.splitChild(t.root, 0)
 	}
-	t.insertNonFull(t.root, key, rec)
+	t.insertNonFull(t.root, owned, rec)
 	t.size++
+	t.epoch++
 }
 
-func (t *BTree) insertNonFull(n *node, key string, rec *Record) {
+func (t *BTree) insertNonFull(n *node, key []byte, rec *Record) {
+	kpfx := keyPrefix(key)
 	for !n.leaf {
-		i := childIndex(n.keys, key)
+		i := n.upperBound(key, kpfx)
 		child := n.children[i]
 		if len(child.keys) >= degree {
 			t.splitChild(n, i)
-			if key >= n.keys[i] {
+			if bytes.Compare(key, n.keys[i]) >= 0 {
 				i++
 			}
 			child = n.children[i]
 		}
 		n = child
 	}
-	i := sort.SearchStrings(n.keys, key)
-	n.keys = append(n.keys, "")
+	i := n.lowerBound(key, kpfx)
+	n.keys = append(n.keys, nil)
 	copy(n.keys[i+1:], n.keys[i:])
 	n.keys[i] = key
+	n.pfx = append(n.pfx, 0)
+	copy(n.pfx[i+1:], n.pfx[i:])
+	n.pfx[i] = kpfx
 	n.values = append(n.values, nil)
 	copy(n.values[i+1:], n.values[i:])
 	n.values[i] = rec
@@ -231,16 +361,20 @@ func (t *BTree) insertNonFull(n *node, key string, rec *Record) {
 func (t *BTree) splitChild(n *node, i int) {
 	child := n.children[i]
 	mid := len(child.keys) / 2
-	var sep string
+	var sep []byte
+	var sepPfx uint64
 	right := &node{leaf: child.leaf}
 	if child.leaf {
 		// B+tree leaf split: the separator is copied up, both halves keep
 		// their keys, and the leaf chain is stitched.
 		right.keys = append(right.keys, child.keys[mid:]...)
+		right.pfx = append(right.pfx, child.pfx[mid:]...)
 		right.values = append(right.values, child.values[mid:]...)
 		child.keys = child.keys[:mid:mid]
+		child.pfx = child.pfx[:mid:mid]
 		child.values = child.values[:mid:mid]
 		sep = right.keys[0]
+		sepPfx = right.pfx[0]
 		right.next = child.next
 		if right.next != nil {
 			right.next.prev = right
@@ -250,14 +384,20 @@ func (t *BTree) splitChild(n *node, i int) {
 	} else {
 		// Interior split: the separator moves up.
 		sep = child.keys[mid]
+		sepPfx = child.pfx[mid]
 		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.pfx = append(right.pfx, child.pfx[mid+1:]...)
 		right.children = append(right.children, child.children[mid+1:]...)
 		child.keys = child.keys[:mid:mid]
+		child.pfx = child.pfx[:mid:mid]
 		child.children = child.children[: mid+1 : mid+1]
 	}
-	n.keys = append(n.keys, "")
+	n.keys = append(n.keys, nil)
 	copy(n.keys[i+1:], n.keys[i:])
 	n.keys[i] = sep
+	n.pfx = append(n.pfx, 0)
+	copy(n.pfx[i+1:], n.pfx[i:])
+	n.pfx[i] = sepPfx
 	n.children = append(n.children, nil)
 	copy(n.children[i+2:], n.children[i+1:])
 	n.children[i+1] = right
@@ -267,22 +407,18 @@ func (t *BTree) splitChild(n *node, i int) {
 // removed record. It uses lazy rebalancing: underfull nodes are tolerated,
 // which is acceptable for an in-memory OLTP store where physical deletes are
 // rare (logical deletes just mark records absent).
-func (t *BTree) deleteLocked(n *node, key string) *Record {
+func (t *BTree) deleteLocked(n *node, key []byte) *Record {
+	kpfx := keyPrefix(key)
 	for !n.leaf {
-		n = n.children[childIndex(n.keys, key)]
+		n = n.children[n.upperBound(key, kpfx)]
 	}
-	i := sort.SearchStrings(n.keys, key)
-	if i >= len(n.keys) || n.keys[i] != key {
+	i := n.lowerBound(key, kpfx)
+	if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
 		return nil
 	}
 	rec := n.values[i]
 	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.pfx = append(n.pfx[:i], n.pfx[i+1:]...)
 	n.values = append(n.values[:i], n.values[i+1:]...)
 	return rec
-}
-
-// childIndex returns the index of the child of an interior node that covers
-// key, given the node's separator keys.
-func childIndex(keys []string, key string) int {
-	return sort.Search(len(keys), func(i int) bool { return key < keys[i] })
 }

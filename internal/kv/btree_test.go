@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -9,22 +10,22 @@ import (
 	"testing/quick"
 )
 
-func key(i int) string { return fmt.Sprintf("k%08d", i) }
+func key(i int) []byte { return []byte(fmt.Sprintf("k%08d", i)) }
 
 func TestBTreeEmptyTree(t *testing.T) {
 	bt := NewBTree()
 	if bt.Len() != 0 {
 		t.Fatalf("Len = %d, want 0", bt.Len())
 	}
-	if bt.Get("missing") != nil {
+	if bt.Get([]byte("missing")) != nil {
 		t.Fatalf("Get on empty tree should return nil")
 	}
 	count := 0
-	bt.Ascend(func(string, *Record) bool { count++; return true })
+	bt.Ascend(func([]byte, *Record) bool { count++; return true })
 	if count != 0 {
 		t.Fatalf("Ascend on empty tree visited %d entries", count)
 	}
-	if bt.Delete("missing") != nil {
+	if bt.Delete([]byte("missing")) != nil {
 		t.Fatalf("Delete of missing key should return nil")
 	}
 }
@@ -36,8 +37,8 @@ func TestBTreeInsertGet(t *testing.T) {
 	perm := rand.New(rand.NewSource(1)).Perm(n)
 	for _, i := range perm {
 		k := key(i)
-		r := NewCommittedRecord([]byte(k), uint64(i))
-		recs[k] = r
+		r := NewCommittedRecord(k, uint64(i))
+		recs[string(k)] = r
 		if prev := bt.Insert(k, r); prev != nil {
 			t.Fatalf("unexpected previous record for %s", k)
 		}
@@ -46,12 +47,30 @@ func TestBTreeInsertGet(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", bt.Len(), n)
 	}
 	for k, want := range recs {
-		if got := bt.Get(k); got != want {
+		if got := bt.Get([]byte(k)); got != want {
 			t.Fatalf("Get(%s) returned wrong record", k)
 		}
 	}
-	if bt.Get("absent-key") != nil {
+	if bt.Get([]byte("absent-key")) != nil {
 		t.Fatalf("Get of missing key should return nil")
+	}
+}
+
+func TestBTreeInsertCopiesKey(t *testing.T) {
+	// The caller may reuse its key buffer after Insert/GetOrInsert: the tree
+	// must own its key bytes.
+	bt := NewBTree()
+	buf := []byte("key-one")
+	r1 := NewCommittedRecord(nil, 1)
+	bt.Insert(buf, r1)
+	copy(buf, "key-two")
+	r2 := NewCommittedRecord(nil, 2)
+	bt.GetOrInsert(buf, r2)
+	if bt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 distinct keys after buffer reuse", bt.Len())
+	}
+	if bt.Get([]byte("key-one")) != r1 || bt.Get([]byte("key-two")) != r2 {
+		t.Fatalf("buffer reuse corrupted stored keys")
 	}
 }
 
@@ -59,27 +78,53 @@ func TestBTreeInsertReplace(t *testing.T) {
 	bt := NewBTree()
 	r1 := NewCommittedRecord([]byte("v1"), 1)
 	r2 := NewCommittedRecord([]byte("v2"), 2)
-	bt.Insert("k", r1)
-	if prev := bt.Insert("k", r2); prev != r1 {
+	bt.Insert([]byte("k"), r1)
+	epoch := bt.Epoch()
+	if prev := bt.Insert([]byte("k"), r2); prev != r1 {
 		t.Fatalf("Insert should return the replaced record")
 	}
 	if bt.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 after replace", bt.Len())
 	}
-	if bt.Get("k") != r2 {
+	if bt.Get([]byte("k")) != r2 {
 		t.Fatalf("Get should return the replacement record")
+	}
+	if bt.Epoch() != epoch {
+		t.Fatalf("value replacement must not bump the structural epoch")
+	}
+}
+
+func TestBTreeEpoch(t *testing.T) {
+	bt := NewBTree()
+	e0 := bt.Epoch()
+	bt.Insert([]byte("a"), NewRecord())
+	e1 := bt.Epoch()
+	if e1 == e0 {
+		t.Fatalf("insert must bump the epoch")
+	}
+	bt.Delete([]byte("a"))
+	if bt.Epoch() == e1 {
+		t.Fatalf("physical delete must bump the epoch")
+	}
+	if bt.Delete([]byte("a")) != nil {
+		t.Fatalf("second delete should find nothing")
+	}
+	e2 := bt.Epoch()
+	bt.Delete([]byte("a"))
+	if bt.Epoch() != e2 {
+		t.Fatalf("no-op delete must not bump the epoch")
 	}
 }
 
 func TestBTreeGetOrInsert(t *testing.T) {
 	bt := NewBTree()
 	r1 := NewRecord()
-	got, inserted := bt.GetOrInsert("a", r1)
+	got, inserted := bt.GetOrInsert([]byte("a"), r1)
 	if !inserted || got != r1 {
 		t.Fatalf("first GetOrInsert should insert")
 	}
 	r2 := NewRecord()
-	got, inserted = bt.GetOrInsert("a", r2)
+	got, inserted = bt.GetOrInsert([]byte("a"), r2)
 	if inserted || got != r1 {
 		t.Fatalf("second GetOrInsert should return the existing record")
 	}
@@ -94,14 +139,14 @@ func TestBTreeAscendRange(t *testing.T) {
 		bt.Insert(key(i), NewCommittedRecord(nil, uint64(i)))
 	}
 	var visited []string
-	bt.AscendRange(key(100), key(200), func(k string, _ *Record) bool {
-		visited = append(visited, k)
+	bt.AscendRange(key(100), key(200), func(k []byte, _ *Record) bool {
+		visited = append(visited, string(k))
 		return true
 	})
 	if len(visited) != 100 {
 		t.Fatalf("visited %d keys, want 100", len(visited))
 	}
-	if visited[0] != key(100) || visited[99] != key(199) {
+	if visited[0] != string(key(100)) || visited[99] != string(key(199)) {
 		t.Fatalf("range bounds wrong: first=%s last=%s", visited[0], visited[99])
 	}
 	if !sort.StringsAreSorted(visited) {
@@ -110,12 +155,40 @@ func TestBTreeAscendRange(t *testing.T) {
 
 	// Early termination.
 	count := 0
-	bt.AscendRange(key(0), "", func(string, *Record) bool {
+	bt.AscendRange(key(0), nil, func([]byte, *Record) bool {
 		count++
 		return count < 10
 	})
 	if count != 10 {
 		t.Fatalf("early termination visited %d, want 10", count)
+	}
+}
+
+func TestBTreeAscendPrefix(t *testing.T) {
+	bt := NewBTree()
+	for _, k := range []string{"a", "ab", "ab\x00", "ab\xff", "abc", "ac", "b"} {
+		bt.Insert([]byte(k), NewCommittedRecord(nil, 0))
+	}
+	var visited []string
+	bt.AscendPrefix([]byte("ab"), func(k []byte, _ *Record) bool {
+		visited = append(visited, string(k))
+		return true
+	})
+	want := []string{"ab", "ab\x00", "abc", "ab\xff"}
+	sort.Strings(want)
+	if len(visited) != len(want) {
+		t.Fatalf("prefix scan visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("prefix scan visited %v, want %v", visited, want)
+		}
+	}
+	// Empty prefix scans everything.
+	count := 0
+	bt.AscendPrefix(nil, func([]byte, *Record) bool { count++; return true })
+	if count != bt.Len() {
+		t.Fatalf("empty prefix visited %d, want %d", count, bt.Len())
 	}
 }
 
@@ -125,14 +198,14 @@ func TestBTreeDescendRange(t *testing.T) {
 		bt.Insert(key(i), NewCommittedRecord(nil, uint64(i)))
 	}
 	var visited []string
-	bt.DescendRange(key(100), key(200), func(k string, _ *Record) bool {
-		visited = append(visited, k)
+	bt.DescendRange(key(100), key(200), func(k []byte, _ *Record) bool {
+		visited = append(visited, string(k))
 		return true
 	})
 	if len(visited) != 100 {
 		t.Fatalf("visited %d keys, want 100", len(visited))
 	}
-	if visited[0] != key(199) || visited[99] != key(100) {
+	if visited[0] != string(key(199)) || visited[99] != string(key(100)) {
 		t.Fatalf("descending bounds wrong: first=%s last=%s", visited[0], visited[99])
 	}
 	if !sort.SliceIsSorted(visited, func(i, j int) bool { return visited[i] > visited[j] }) {
@@ -141,11 +214,11 @@ func TestBTreeDescendRange(t *testing.T) {
 
 	// Unbounded high end scans from the largest key.
 	visited = visited[:0]
-	bt.DescendRange("", "", func(k string, _ *Record) bool {
-		visited = append(visited, k)
+	bt.DescendRange(nil, nil, func(k []byte, _ *Record) bool {
+		visited = append(visited, string(k))
 		return len(visited) < 3
 	})
-	if len(visited) != 3 || visited[0] != key(499) {
+	if len(visited) != 3 || visited[0] != string(key(499)) {
 		t.Fatalf("unbounded descend wrong: %v", visited)
 	}
 }
@@ -174,7 +247,7 @@ func TestBTreeDelete(t *testing.T) {
 		}
 	}
 	count := 0
-	bt.Ascend(func(string, *Record) bool { count++; return true })
+	bt.Ascend(func([]byte, *Record) bool { count++; return true })
 	if count != n/2 {
 		t.Fatalf("Ascend visited %d, want %d", count, n/2)
 	}
@@ -194,12 +267,12 @@ func TestBTreeScanMatchesSortedInsertOrderProperty(t *testing.T) {
 			}
 			seen[k] = true
 			keys = append(keys, k)
-			bt.Insert(k, NewCommittedRecord(nil, 0))
+			bt.Insert([]byte(k), NewCommittedRecord(nil, 0))
 		}
 		sort.Strings(keys)
 		var scanned []string
-		bt.Ascend(func(k string, _ *Record) bool {
-			scanned = append(scanned, k)
+		bt.Ascend(func(k []byte, _ *Record) bool {
+			scanned = append(scanned, string(k))
 			return true
 		})
 		if len(scanned) != len(keys) {
@@ -231,7 +304,7 @@ func TestBTreeConcurrentReadersAndWriters(t *testing.T) {
 		go func(w int) {
 			defer writers.Done()
 			for i := 0; i < 500; i++ {
-				bt.Insert(fmt.Sprintf("w%d-%06d", w, i), NewCommittedRecord(nil, 0))
+				bt.Insert([]byte(fmt.Sprintf("w%d-%06d", w, i)), NewCommittedRecord(nil, 0))
 			}
 		}(w)
 	}
@@ -246,10 +319,10 @@ func TestBTreeConcurrentReadersAndWriters(t *testing.T) {
 					return
 				default:
 				}
-				prev := ""
+				var prev []byte
 				count := 0
-				bt.AscendRange(key(0), key(n), func(k string, _ *Record) bool {
-					if prev != "" && k <= prev {
+				bt.AscendRange(key(0), key(n), func(k []byte, _ *Record) bool {
+					if prev != nil && bytes.Compare(k, prev) <= 0 {
 						t.Errorf("scan out of order: %s after %s", k, prev)
 						return false
 					}

@@ -1,0 +1,166 @@
+package kv
+
+import "bytes"
+
+// ScanEntry is one row of a batch scan: the tree-owned (immutable) key and the
+// record indexed under it.
+type ScanEntry struct {
+	Key []byte
+	Rec *Record
+}
+
+// Cursor is a reusable, allocation-free iterator over a key range [lo, hi) of
+// a BTree. A zero Cursor is ready for Reset; the same Cursor value can be
+// Reset onto different trees and ranges indefinitely, so callers keep one per
+// executor (or per operator) instead of allocating per scan.
+//
+// The cursor caches its leaf position between calls and revalidates it against
+// the tree's structural epoch: if the tree changed shape since the last call
+// (a key was inserted or physically deleted anywhere), the cursor re-seeks
+// past the last key it returned. This makes Next/ScanBatch safe to interleave
+// with arbitrary concurrent inserts and deletes — the cursor never misses a
+// pre-existing key that is still in the tree and never returns a key twice,
+// though (as with any latch-crabbing iterator) keys inserted concurrently next
+// to the cursor position may or may not be observed.
+//
+// Because the tree never mutates key bytes after insert, the resume position
+// is simply the last returned key slice — no copy is taken.
+//
+// The lo and hi bounds are retained by reference and must not be mutated by
+// the caller until the cursor is Reset again or abandoned.
+type Cursor struct {
+	tree  *BTree
+	lo    []byte
+	hi    []byte
+	leaf  *node
+	idx   int
+	epoch uint64
+	// resume is the last key returned; nil until the first row is produced.
+	resume []byte
+	state  uint8
+}
+
+const (
+	cursorInit uint8 = iota
+	cursorActive
+	cursorDone
+)
+
+// Reset re-targets the cursor at tree for the range [lo, hi). Nil/empty lo
+// means "from the start"; nil/empty hi means "no upper bound".
+func (c *Cursor) Reset(tree *BTree, lo, hi []byte) {
+	c.tree = tree
+	c.lo = lo
+	c.hi = hi
+	c.leaf = nil
+	c.idx = 0
+	c.epoch = 0
+	c.resume = nil
+	c.state = cursorInit
+}
+
+// NewCursor returns a cursor positioned at the start of [lo, hi).
+func (t *BTree) NewCursor(lo, hi []byte) *Cursor {
+	c := &Cursor{}
+	c.Reset(t, lo, hi)
+	return c
+}
+
+// seekLocked positions the cursor at the first key >= key (exclusive=false) or
+// > key (exclusive=true). Caller holds the tree latch.
+func (c *Cursor) seekLocked(key []byte, exclusive bool) {
+	kpfx := keyPrefix(key)
+	c.leaf = c.tree.leafFor(key, kpfx)
+	if exclusive {
+		c.idx = c.leaf.upperBound(key, kpfx)
+	} else {
+		c.idx = c.leaf.lowerBound(key, kpfx)
+	}
+}
+
+// ensureLocked validates the cached position against the tree epoch,
+// (re-)seeking if the cursor is fresh or the tree changed shape. Caller holds
+// the tree latch.
+func (c *Cursor) ensureLocked() {
+	switch {
+	case c.state == cursorDone:
+		return
+	case c.state == cursorInit:
+		c.seekLocked(c.lo, false)
+		c.epoch = c.tree.epoch
+		c.state = cursorActive
+	case c.epoch != c.tree.epoch:
+		if c.resume != nil {
+			c.seekLocked(c.resume, true)
+		} else {
+			c.seekLocked(c.lo, false)
+		}
+		c.epoch = c.tree.epoch
+	}
+}
+
+// Next returns the next key/record in the range, or ok=false when the range is
+// exhausted. The returned key is tree-owned and immutable; it remains valid
+// after the call.
+func (c *Cursor) Next() (key []byte, rec *Record, ok bool) {
+	t := c.tree
+	t.mu.RLock()
+	c.ensureLocked()
+	for c.leaf != nil {
+		if c.idx >= len(c.leaf.keys) {
+			c.leaf = c.leaf.next
+			c.idx = 0
+			continue
+		}
+		k := c.leaf.keys[c.idx]
+		if len(c.hi) > 0 && bytes.Compare(k, c.hi) >= 0 {
+			break
+		}
+		rec = c.leaf.values[c.idx]
+		c.idx++
+		c.resume = k
+		t.mu.RUnlock()
+		return k, rec, true
+	}
+	c.state = cursorDone
+	c.leaf = nil
+	t.mu.RUnlock()
+	return nil, nil, false
+}
+
+// ScanBatch fills buf with the next rows of the range and returns how many
+// were produced. A return of 0 means the range is exhausted (when buf is
+// non-empty). The tree latch is acquired once per batch rather than once per
+// row, which is what makes batched scans cheaper than repeated Next calls.
+func (c *Cursor) ScanBatch(buf []ScanEntry) int {
+	if len(buf) == 0 || c.state == cursorDone {
+		return 0
+	}
+	t := c.tree
+	t.mu.RLock()
+	c.ensureLocked()
+	n := 0
+	for c.leaf != nil && n < len(buf) {
+		if c.idx >= len(c.leaf.keys) {
+			c.leaf = c.leaf.next
+			c.idx = 0
+			continue
+		}
+		k := c.leaf.keys[c.idx]
+		if len(c.hi) > 0 && bytes.Compare(k, c.hi) >= 0 {
+			c.leaf = nil
+			break
+		}
+		buf[n] = ScanEntry{Key: k, Rec: c.leaf.values[c.idx]}
+		n++
+		c.idx++
+	}
+	if n > 0 {
+		c.resume = buf[n-1].Key
+	}
+	if c.leaf == nil {
+		c.state = cursorDone
+	}
+	t.mu.RUnlock()
+	return n
+}

@@ -1,0 +1,213 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func cursorTree(n int) *BTree {
+	bt := NewBTree()
+	for i := 0; i < n; i++ {
+		bt.Insert(key(i), NewCommittedRecord(key(i), uint64(i)))
+	}
+	return bt
+}
+
+func TestCursorNextRange(t *testing.T) {
+	bt := cursorTree(500)
+	var c Cursor
+	c.Reset(bt, key(100), key(200))
+	var visited []string
+	for {
+		k, rec, ok := c.Next()
+		if !ok {
+			break
+		}
+		if rec == nil {
+			t.Fatalf("nil record for %s", k)
+		}
+		visited = append(visited, string(k))
+	}
+	if len(visited) != 100 || visited[0] != string(key(100)) || visited[99] != string(key(199)) {
+		t.Fatalf("cursor range wrong: %d keys, first=%q last=%q",
+			len(visited), visited[0], visited[len(visited)-1])
+	}
+	// Exhausted cursors stay exhausted.
+	if _, _, ok := c.Next(); ok {
+		t.Fatalf("exhausted cursor returned a row")
+	}
+	// Reset makes the same cursor reusable on a different range.
+	c.Reset(bt, nil, key(3))
+	count := 0
+	for {
+		if _, _, ok := c.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("reused cursor visited %d, want 3", count)
+	}
+}
+
+func TestCursorSurvivesConcurrentInsert(t *testing.T) {
+	bt := cursorTree(100)
+	var c Cursor
+	c.Reset(bt, nil, nil)
+	var visited []string
+	for i := 0; ; i++ {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		visited = append(visited, string(k))
+		// Structural churn between every Next call: new keys far past the
+		// cursor (forces splits and epoch bumps).
+		bt.Insert([]byte(fmt.Sprintf("zz-%04d", i)), NewCommittedRecord(nil, 0))
+	}
+	// Every pre-existing key must be visited exactly once, in order.
+	for i := 0; i < 100; i++ {
+		if visited[i] != string(key(i)) {
+			t.Fatalf("position %d: got %q, want %q", i, visited[i], key(i))
+		}
+	}
+	for i := 1; i < len(visited); i++ {
+		if visited[i] <= visited[i-1] {
+			t.Fatalf("cursor went backwards: %q after %q", visited[i], visited[i-1])
+		}
+	}
+}
+
+func TestCursorSurvivesConcurrentDelete(t *testing.T) {
+	bt := cursorTree(200)
+	var c Cursor
+	c.Reset(bt, nil, nil)
+	var visited []string
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		visited = append(visited, string(k))
+		// Delete a key well ahead of the cursor every step.
+		n := len(visited)
+		if ahead := n*2 + 50; ahead < 200 {
+			bt.Delete(key(ahead))
+		}
+	}
+	// No duplicates, ascending order, and every key the cursor saw must have
+	// existed at some point (trivially true); keys deleted before the cursor
+	// reached them must be absent.
+	seen := map[string]bool{}
+	for i, k := range visited {
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+		if i > 0 && k <= visited[i-1] {
+			t.Fatalf("out of order: %q after %q", k, visited[i-1])
+		}
+	}
+}
+
+func TestCursorScanBatch(t *testing.T) {
+	bt := cursorTree(500)
+	var c Cursor
+	c.Reset(bt, key(10), key(460))
+	buf := make([]ScanEntry, 64)
+	var visited []string
+	for {
+		n := c.ScanBatch(buf)
+		if n == 0 {
+			break
+		}
+		for _, e := range buf[:n] {
+			visited = append(visited, string(e.Key))
+			if e.Rec == nil {
+				t.Fatalf("nil record for %s", e.Key)
+			}
+		}
+	}
+	if len(visited) != 450 {
+		t.Fatalf("batch scan visited %d, want 450", len(visited))
+	}
+	if visited[0] != string(key(10)) || visited[len(visited)-1] != string(key(459)) {
+		t.Fatalf("batch bounds wrong: first=%q last=%q", visited[0], visited[len(visited)-1])
+	}
+	if n := c.ScanBatch(buf); n != 0 {
+		t.Fatalf("exhausted batch cursor returned %d rows", n)
+	}
+}
+
+func TestCursorBatchMatchesNext(t *testing.T) {
+	bt := cursorTree(333)
+	var a, b Cursor
+	a.Reset(bt, key(7), key(300))
+	b.Reset(bt, key(7), key(300))
+	buf := make([]ScanEntry, 17) // odd size to exercise batch boundaries
+	var fromBatch [][]byte
+	for {
+		n := a.ScanBatch(buf)
+		if n == 0 {
+			break
+		}
+		for _, e := range buf[:n] {
+			fromBatch = append(fromBatch, e.Key)
+		}
+	}
+	i := 0
+	for {
+		k, _, ok := b.Next()
+		if !ok {
+			break
+		}
+		if i >= len(fromBatch) || !bytes.Equal(fromBatch[i], k) {
+			t.Fatalf("batch/next divergence at %d", i)
+		}
+		i++
+	}
+	if i != len(fromBatch) {
+		t.Fatalf("batch returned %d rows, next returned %d", len(fromBatch), i)
+	}
+}
+
+// TestCursorZeroAlloc pins the allocation-free contract of the reusable
+// cursor: once Reset, steady-state Next and ScanBatch calls must not allocate.
+func TestCursorZeroAlloc(t *testing.T) {
+	bt := cursorTree(2048)
+	var c Cursor
+	buf := make([]ScanEntry, 128)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		c.Reset(bt, nil, nil)
+		for {
+			if _, _, ok := c.Next(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cursor Next loop allocated %.1f allocs/op, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(50, func() {
+		c.Reset(bt, nil, nil)
+		for c.ScanBatch(buf) > 0 {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cursor ScanBatch loop allocated %.1f allocs/op, want 0", allocs)
+	}
+
+	// Point lookups are allocation-free too.
+	k := key(512)
+	allocs = testing.AllocsPerRun(100, func() {
+		if bt.Get(k) == nil {
+			t.Fatal("missing key")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("BTree.Get allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,92 @@
+package kv
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestKeyPrefixOrderAgreement pins the normalized-key shortcut the node
+// search relies on: for any two keys, ordering by (keyPrefix, then
+// comparePastPrefix on ties) must agree exactly with bytes.Compare. Keys are
+// biased toward shared prefixes, NUL bytes, and lengths straddling the 8-byte
+// prefix width, which is where the zero-padding logic could go wrong.
+func TestKeyPrefixOrderAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randKey := func() []byte {
+		n := rng.Intn(12)
+		k := make([]byte, n)
+		for i := range k {
+			switch rng.Intn(4) {
+			case 0:
+				k[i] = 0x00
+			case 1:
+				k[i] = 0xFF
+			default:
+				k[i] = byte(rng.Intn(3)) // tiny alphabet forces long shared prefixes
+			}
+		}
+		return k
+	}
+	sign := func(v int) int {
+		switch {
+		case v < 0:
+			return -1
+		case v > 0:
+			return 1
+		}
+		return 0
+	}
+	for trial := 0; trial < 20000; trial++ {
+		a, b := randKey(), randKey()
+		if rng.Intn(4) == 0 {
+			// Force the tie path: b extends a (possibly by NUL bytes).
+			b = append(append([]byte(nil), a...), randKey()...)
+		}
+		pa, pb := keyPrefix(a), keyPrefix(b)
+		var got int
+		switch {
+		case pa < pb:
+			got = -1
+		case pa > pb:
+			got = 1
+		default:
+			got = sign(comparePastPrefix(a, b))
+		}
+		if want := bytes.Compare(a, b); got != want {
+			t.Fatalf("prefix compare %d != bytes.Compare %d for %x vs %x", got, want, a, b)
+		}
+	}
+}
+
+// TestNodePrefixParallelInvariant checks that pfx stays strictly parallel to
+// keys through inserts, splits and deletes.
+func TestNodePrefixParallelInvariant(t *testing.T) {
+	tree := NewBTree()
+	rng := rand.New(rand.NewSource(11))
+	var keys [][]byte
+	for i := 0; i < 5000; i++ {
+		k := make([]byte, 1+rng.Intn(10))
+		rng.Read(k)
+		tree.Insert(k, NewRecord())
+		keys = append(keys, k)
+	}
+	for i := 0; i < 2000; i++ {
+		tree.Delete(keys[rng.Intn(len(keys))])
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if len(n.pfx) != len(n.keys) {
+			t.Fatalf("node has %d keys but %d cached prefixes", len(n.keys), len(n.pfx))
+		}
+		for i, k := range n.keys {
+			if n.pfx[i] != keyPrefix(k) {
+				t.Fatalf("stale cached prefix %x for key %x (want %x)", n.pfx[i], k, keyPrefix(k))
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(tree.root)
+}

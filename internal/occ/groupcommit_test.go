@@ -18,7 +18,7 @@ func TestCommitPreparedBatchCommitsAllPrepared(t *testing.T) {
 		if _, _, err := txns[i].Read(recs[i]); err != nil {
 			t.Fatalf("Read: %v", err)
 		}
-		if err := txns[i].Write(recs[i], "k", encInt(int64(100+i)), nil); err != nil {
+		if err := txns[i].Write(recs[i], []byte("k"), encInt(int64(100+i)), nil); err != nil {
 			t.Fatalf("Write: %v", err)
 		}
 		if err := txns[i].Prepare(); err != nil {
@@ -53,7 +53,7 @@ func TestCommitPreparedBatchSkipsUnpreparedSlots(t *testing.T) {
 	recB := kv.NewCommittedRecord(encInt(2), 0)
 
 	prepared := d.Begin()
-	if err := prepared.Write(recA, "a", encInt(10), nil); err != nil {
+	if err := prepared.Write(recA, []byte("a"), encInt(10), nil); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	if err := prepared.Prepare(); err != nil {
@@ -61,7 +61,7 @@ func TestCommitPreparedBatchSkipsUnpreparedSlots(t *testing.T) {
 	}
 
 	unprepared := d.Begin()
-	if err := unprepared.Write(recB, "b", encInt(20), nil); err != nil {
+	if err := unprepared.Write(recB, []byte("b"), encInt(20), nil); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 

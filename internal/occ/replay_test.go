@@ -71,13 +71,13 @@ func TestPreparedWritesAndAssignTIDDriveTheDurabilityHook(t *testing.T) {
 	d := NewDomain("prepared-writes")
 	rec := kv.NewCommittedRecord(encInt(1), 0)
 	txn := d.Begin()
-	if err := txn.Write(rec, "r\x00t\x00k", encInt(42), nil); err != nil {
+	if err := txn.Write(rec, []byte("r\x00t\x00k"), encInt(42), nil); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 
 	// Before prepare, neither hook is available.
 	calls := 0
-	txn.PreparedWrites(func(string, []byte, bool) { calls++ })
+	txn.PreparedWrites(func([]byte, []byte, bool) { calls++ })
 	if calls != 0 {
 		t.Fatalf("PreparedWrites on active txn visited %d writes, want 0", calls)
 	}
@@ -95,9 +95,9 @@ func TestPreparedWritesAndAssignTIDDriveTheDurabilityHook(t *testing.T) {
 	if again, _ := txn.AssignTID(); again != tid {
 		t.Fatalf("AssignTID not stable: %d then %d", tid, again)
 	}
-	txn.PreparedWrites(func(key string, data []byte, deleted bool) {
+	txn.PreparedWrites(func(key []byte, data []byte, deleted bool) {
 		calls++
-		if key != "r\x00t\x00k" || decInt(data) != 42 || deleted {
+		if string(key) != "r\x00t\x00k" || decInt(data) != 42 || deleted {
 			t.Fatalf("unexpected write: key=%q data=%d deleted=%v", key, decInt(data), deleted)
 		}
 	})

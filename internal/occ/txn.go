@@ -3,9 +3,9 @@ package occ
 import (
 	"errors"
 	"fmt"
-	"reflect"
-	"sort"
+	"slices"
 	"sync"
+	"unsafe"
 
 	"reactdb/internal/kv"
 )
@@ -65,6 +65,13 @@ const (
 	writeDelete
 )
 
+// smallSetThreshold is the read/write-set size up to which membership lookups
+// use a linear scan over the entry slice instead of a map. OLTP transactions
+// rarely exceed it, so the hot path never touches (or allocates) the maps;
+// larger transactions spill to a map that is retained and cleared across
+// pooled reuses.
+const smallSetThreshold = 16
+
 type readEntry struct {
 	rec *kv.Record
 	tid uint64
@@ -72,7 +79,7 @@ type readEntry struct {
 
 type writeEntry struct {
 	rec   *kv.Record
-	key   string
+	key   []byte // arena-backed; valid until the txn is released
 	data  []byte
 	kind  writeKind
 	guard ScanGuard
@@ -88,23 +95,45 @@ type scanEntry struct {
 // use by multiple goroutines of the same root transaction (sub-transactions on
 // different reactors hosted in the same container), serialized by an internal
 // mutex.
+//
+// Transactions are pooled: Domain.Begin draws from a free list and Release
+// returns a finished transaction to it, so the entry slices, key arena and
+// spill maps are reused across transactions instead of reallocated.
 type Txn struct {
 	domain *Domain
 
-	mu       sync.Mutex
-	state    txnState
-	reads    []readEntry
-	readIdx  map[*kv.Record]int
-	writes   []writeEntry
-	writeIdx map[*kv.Record]int
-	scans    []scanEntry
-	scanIdx  map[ScanGuard]int
-	maxTID   uint64
-	tid      uint64 // commit TID, set by CommitPrepared
+	mu     sync.Mutex
+	state  txnState
+	reads  []readEntry
+	writes []writeEntry
+	scans  []scanEntry
+	maxTID uint64
+	tid    uint64 // commit TID, set by CommitPrepared
 
-	// prepare bookkeeping
+	// readIdx/writeIdx are spill indices, populated only once the respective
+	// set exceeds smallSetThreshold (readSpilled/writeSpilled). The maps are
+	// kept (and cleared) across pooled reuses so their buckets amortize.
+	readIdx     map[*kv.Record]int
+	writeIdx    map[*kv.Record]int
+	readSpilled bool
+	writeSpill  bool
+
+	// keyArena backs the key bytes of all buffered writes. Growing the arena
+	// may reallocate its backing array, but previously handed-out sub-slices
+	// keep referencing the old backing, so they stay valid.
+	keyArena []byte
+
+	// prepare bookkeeping, reused across pooled transactions
 	lockedRecs   []*kv.Record
 	lockedGuards []ScanGuard
+}
+
+// recPtr orders records by identity for deadlock-free lock ordering.
+func recPtr(r *kv.Record) uintptr { return uintptr(unsafe.Pointer(r)) }
+
+// guardPtr orders guards by the identity of their underlying object.
+func guardPtr(g ScanGuard) uintptr {
+	return uintptr((*[2]unsafe.Pointer)(unsafe.Pointer(&g))[1])
 }
 
 // Domain returns the concurrency control domain this transaction runs in.
@@ -121,6 +150,85 @@ func (t *Txn) Active() bool {
 func (t *Txn) ReadSetSize() int  { t.mu.Lock(); defer t.mu.Unlock(); return len(t.reads) }
 func (t *Txn) WriteSetSize() int { t.mu.Lock(); defer t.mu.Unlock(); return len(t.writes) }
 
+// lookupWrite returns the index of rec in the write set, or -1. The caller
+// holds t.mu.
+func (t *Txn) lookupWrite(rec *kv.Record) int {
+	if t.writeSpill {
+		if i, ok := t.writeIdx[rec]; ok {
+			return i
+		}
+		return -1
+	}
+	for i := range t.writes {
+		if t.writes[i].rec == rec {
+			return i
+		}
+	}
+	return -1
+}
+
+// indexWrite records that rec now lives at position i of the write set,
+// spilling to the map index once the set outgrows the linear fast path. The
+// caller holds t.mu.
+func (t *Txn) indexWrite(rec *kv.Record, i int) {
+	if !t.writeSpill {
+		if len(t.writes) <= smallSetThreshold {
+			return
+		}
+		if t.writeIdx == nil {
+			t.writeIdx = make(map[*kv.Record]int, 2*smallSetThreshold)
+		}
+		for j := range t.writes {
+			t.writeIdx[t.writes[j].rec] = j
+		}
+		t.writeSpill = true
+		return
+	}
+	t.writeIdx[rec] = i
+}
+
+// lookupRead reports whether rec is already in the read set. The caller holds
+// t.mu.
+func (t *Txn) lookupRead(rec *kv.Record) bool {
+	if t.readSpilled {
+		_, ok := t.readIdx[rec]
+		return ok
+	}
+	for i := range t.reads {
+		if t.reads[i].rec == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// indexRead mirrors indexWrite for the read set. The caller holds t.mu.
+func (t *Txn) indexRead(rec *kv.Record, i int) {
+	if !t.readSpilled {
+		if len(t.reads) <= smallSetThreshold {
+			return
+		}
+		if t.readIdx == nil {
+			t.readIdx = make(map[*kv.Record]int, 4*smallSetThreshold)
+		}
+		for j := range t.reads {
+			t.readIdx[t.reads[j].rec] = j
+		}
+		t.readSpilled = true
+		return
+	}
+	t.readIdx[rec] = i
+}
+
+// internKey copies key into the transaction's arena and returns a stable
+// slice. Arena growth leaves previously returned slices pointing at the old
+// backing array, so they remain valid until the transaction is released.
+func (t *Txn) internKey(key []byte) []byte {
+	start := len(t.keyArena)
+	t.keyArena = append(t.keyArena, key...)
+	return t.keyArena[start:len(t.keyArena):len(t.keyArena)]
+}
+
 // Read returns the current value of rec as seen by this transaction: its own
 // pending write if any, otherwise a stable read of the committed version,
 // which is added to the read set for commit-time validation.
@@ -130,8 +238,8 @@ func (t *Txn) Read(rec *kv.Record) (data []byte, present bool, err error) {
 	if t.state != stateActive {
 		return nil, false, ErrTxnClosed
 	}
-	if i, ok := t.writeIdx[rec]; ok {
-		w := t.writes[i]
+	if i := t.lookupWrite(rec); i >= 0 {
+		w := &t.writes[i]
 		if w.kind == writeDelete {
 			return nil, false, nil
 		}
@@ -145,24 +253,22 @@ func (t *Txn) Read(rec *kv.Record) (data []byte, present bool, err error) {
 // observe appends rec to the read set (first observation wins) and tracks the
 // largest TID seen. The caller holds t.mu.
 func (t *Txn) observe(rec *kv.Record, tid uint64) {
-	if t.readIdx == nil {
-		t.readIdx = make(map[*kv.Record]int)
-	}
-	if _, ok := t.readIdx[rec]; !ok {
-		t.readIdx[rec] = len(t.reads)
+	if !t.lookupRead(rec) {
 		t.reads = append(t.reads, readEntry{rec: rec, tid: tid})
+		t.indexRead(rec, len(t.reads)-1)
 	}
 	if tid > t.maxTID {
 		t.maxTID = tid
 	}
 }
 
-// Write buffers an update of rec to data. key is a diagnostic identifier
-// (reactor/table/primary-key). guard may be nil for updates of tables without
-// secondary indexes, since those do not change table structure; for indexed
-// tables the caller must pass the table so the install phase can maintain its
-// index entries under the structural latch.
-func (t *Txn) Write(rec *kv.Record, key string, data []byte, guard ScanGuard) error {
+// Write buffers an update of rec to data. key identifies the row
+// (reactor/table/primary-key) for the WAL; it is copied into the transaction's
+// arena, so the caller may reuse its buffer. guard may be nil for updates of
+// tables without secondary indexes, since those do not change table structure;
+// for indexed tables the caller must pass the table so the install phase can
+// maintain its index entries under the structural latch.
+func (t *Txn) Write(rec *kv.Record, key []byte, data []byte, guard ScanGuard) error {
 	return t.bufferWrite(rec, key, data, writeUpdate, guard)
 }
 
@@ -171,13 +277,13 @@ func (t *Txn) Write(rec *kv.Record, key string, data []byte, guard ScanGuard) er
 // (committed by another transaction), ErrDuplicateKey is returned. The
 // record's current (absent) version joins the read set so that a concurrent
 // insert of the same key is detected at validation.
-func (t *Txn) Insert(rec *kv.Record, key string, data []byte, guard ScanGuard) error {
+func (t *Txn) Insert(rec *kv.Record, key []byte, data []byte, guard ScanGuard) error {
 	t.mu.Lock()
 	if t.state != stateActive {
 		t.mu.Unlock()
 		return ErrTxnClosed
 	}
-	if i, ok := t.writeIdx[rec]; ok {
+	if i := t.lookupWrite(rec); i >= 0 {
 		// Re-insert of a key this transaction previously deleted becomes an
 		// update; re-insert of a key it already inserted is a duplicate.
 		if t.writes[i].kind == writeDelete {
@@ -187,12 +293,12 @@ func (t *Txn) Insert(rec *kv.Record, key string, data []byte, guard ScanGuard) e
 			return nil
 		}
 		t.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrDuplicateKey, key)
+		return fmt.Errorf("%w: %x", ErrDuplicateKey, key)
 	}
 	_, tid, present := rec.StableRead()
 	if present {
 		t.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrDuplicateKey, key)
+		return fmt.Errorf("%w: %x", ErrDuplicateKey, key)
 	}
 	t.observe(rec, tid)
 	t.mu.Unlock()
@@ -200,34 +306,26 @@ func (t *Txn) Insert(rec *kv.Record, key string, data []byte, guard ScanGuard) e
 }
 
 // Delete buffers the logical deletion of rec.
-func (t *Txn) Delete(rec *kv.Record, key string, guard ScanGuard) error {
+func (t *Txn) Delete(rec *kv.Record, key []byte, guard ScanGuard) error {
 	return t.bufferWrite(rec, key, nil, writeDelete, guard)
 }
 
-func (t *Txn) bufferWrite(rec *kv.Record, key string, data []byte, kind writeKind, guard ScanGuard) error {
+func (t *Txn) bufferWrite(rec *kv.Record, key []byte, data []byte, kind writeKind, guard ScanGuard) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.state != stateActive {
 		return ErrTxnClosed
 	}
-	if t.writeIdx == nil {
-		t.writeIdx = make(map[*kv.Record]int)
-	}
-	if i, ok := t.writeIdx[rec]; ok {
+	if i := t.lookupWrite(rec); i >= 0 {
 		prev := &t.writes[i]
 		switch {
 		case kind == writeDelete:
-			if prev.kind == writeInsert {
-				// Insert followed by delete within the same transaction: the
-				// net effect is "leave absent", but we keep the delete intent
-				// so the key's version still advances and concurrent inserts
-				// of the same key are serialized.
-				prev.kind = writeDelete
-				prev.data = nil
-			} else {
-				prev.kind = writeDelete
-				prev.data = nil
-			}
+			// Insert followed by delete within the same transaction nets out
+			// to "leave absent", but the delete intent is kept so the key's
+			// version still advances and concurrent inserts of the same key
+			// are serialized.
+			prev.kind = writeDelete
+			prev.data = nil
 			if prev.guard == nil {
 				prev.guard = guard
 			}
@@ -239,38 +337,39 @@ func (t *Txn) bufferWrite(rec *kv.Record, key string, data []byte, kind writeKin
 		}
 		return nil
 	}
-	t.writeIdx[rec] = len(t.writes)
-	t.writes = append(t.writes, writeEntry{rec: rec, key: key, data: data, kind: kind, guard: guard})
+	t.writes = append(t.writes, writeEntry{rec: rec, key: t.internKey(key), data: data, kind: kind, guard: guard})
+	t.indexWrite(rec, len(t.writes)-1)
 	return nil
 }
 
 // RegisterScan records the structural version of a scanned table so that
 // commit-time validation can detect phantoms (inserts or deletes committed by
-// other transactions after the scan).
+// other transactions after the scan). The scan set stays small (one entry per
+// scanned table), so dedup is a linear probe.
 func (t *Txn) RegisterScan(guard ScanGuard) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.state != stateActive {
 		return ErrTxnClosed
 	}
-	if t.scanIdx == nil {
-		t.scanIdx = make(map[ScanGuard]int)
+	for i := range t.scans {
+		if t.scans[i].guard == guard {
+			return nil
+		}
 	}
-	if _, ok := t.scanIdx[guard]; ok {
-		return nil
-	}
-	t.scanIdx[guard] = len(t.scans)
 	t.scans = append(t.scans, scanEntry{guard: guard, version: guard.Version()})
 	return nil
 }
 
 // EachPendingWrite calls fn for every buffered insert, update or delete that
 // targets a table using guard. The query layer uses it to make a
-// transaction's own structural changes visible to its later scans.
-func (t *Txn) EachPendingWrite(guard ScanGuard, fn func(key string, data []byte, deleted bool)) {
+// transaction's own structural changes visible to its later scans. The key
+// slice is arena-backed: valid only until the transaction is released.
+func (t *Txn) EachPendingWrite(guard ScanGuard, fn func(key []byte, data []byte, deleted bool)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, w := range t.writes {
+	for i := range t.writes {
+		w := &t.writes[i]
 		if w.guard == guard {
 			fn(w.key, w.data, w.kind == writeDelete)
 		}
@@ -281,11 +380,11 @@ func (t *Txn) EachPendingWrite(guard ScanGuard, fn func(key string, data []byte,
 func (t *Txn) PendingWriteFor(rec *kv.Record) (data []byte, deleted, ok bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	i, found := t.writeIdx[rec]
-	if !found {
+	i := t.lookupWrite(rec)
+	if i < 0 {
 		return nil, false, false
 	}
-	w := t.writes[i]
+	w := &t.writes[i]
 	return w.data, w.kind == writeDelete, true
 }
 
@@ -309,6 +408,17 @@ func (t *Txn) ReadOnly() bool {
 
 // --- Commit protocol ---------------------------------------------------------
 
+// holdsGuardLocked reports whether g is among the structural guards this
+// transaction locked during Prepare. The caller holds t.mu.
+func (t *Txn) holdsGuardLocked(g ScanGuard) bool {
+	for _, h := range t.lockedGuards {
+		if h == g {
+			return true
+		}
+	}
+	return false
+}
+
 // Prepare runs the first phase of the commit protocol: it locks the write set
 // in a deterministic order, then validates the read set and scan set. On
 // success the transaction is left in the prepared state holding its locks; the
@@ -323,17 +433,25 @@ func (t *Txn) Prepare() error {
 	}
 
 	// Phase 1: lock the write set, ordered by record identity so that
-	// concurrent transactions cannot deadlock.
-	ordered := make([]*kv.Record, 0, len(t.writes))
-	for _, w := range t.writes {
-		ordered = append(ordered, w.rec)
+	// concurrent transactions cannot deadlock. The ordering buffer is the
+	// lockedRecs slice itself, reused across pooled transactions.
+	t.lockedRecs = t.lockedRecs[:0]
+	for i := range t.writes {
+		t.lockedRecs = append(t.lockedRecs, t.writes[i].rec)
 	}
-	sort.Slice(ordered, func(i, j int) bool {
-		return reflect.ValueOf(ordered[i]).Pointer() < reflect.ValueOf(ordered[j]).Pointer()
+	slices.SortFunc(t.lockedRecs, func(a, b *kv.Record) int {
+		pa, pb := recPtr(a), recPtr(b)
+		switch {
+		case pa < pb:
+			return -1
+		case pa > pb:
+			return 1
+		default:
+			return 0
+		}
 	})
-	for _, rec := range ordered {
+	for _, rec := range t.lockedRecs {
 		rec.Lock()
-		t.lockedRecs = append(t.lockedRecs, rec)
 		if tid := rec.TID(); tid > t.maxTID {
 			t.maxTID = tid
 		}
@@ -342,43 +460,47 @@ func (t *Txn) Prepare() error {
 	// Lock the structural guards of tables this transaction inserts into,
 	// deletes from, or updates with index maintenance (any guarded write), so
 	// concurrent scan validation cannot race with our bump or observe a
-	// half-applied index entry move.
-	guardSet := make(map[ScanGuard]bool)
-	for _, w := range t.writes {
-		if w.guard != nil {
-			guardSet[w.guard] = true
+	// half-applied index entry move. The guard list is tiny (one per touched
+	// table), so dedup is a linear probe into the reused lockedGuards slice.
+	t.lockedGuards = t.lockedGuards[:0]
+	for i := range t.writes {
+		g := t.writes[i].guard
+		if g == nil || t.holdsGuardLocked(g) {
+			continue
 		}
-	}
-	guards := make([]ScanGuard, 0, len(guardSet))
-	for g := range guardSet {
-		guards = append(guards, g)
-	}
-	sort.Slice(guards, func(i, j int) bool {
-		return reflect.ValueOf(guards[i]).Pointer() < reflect.ValueOf(guards[j]).Pointer()
-	})
-	for _, g := range guards {
-		g.LockStructure()
 		t.lockedGuards = append(t.lockedGuards, g)
+	}
+	slices.SortFunc(t.lockedGuards, func(a, b ScanGuard) int {
+		pa, pb := guardPtr(a), guardPtr(b)
+		switch {
+		case pa < pb:
+			return -1
+		case pa > pb:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for _, g := range t.lockedGuards {
+		g.LockStructure()
 	}
 
 	// Phase 2: validate reads and scans.
-	for _, r := range t.reads {
-		_, lockedByMe := t.writeIdx[r.rec]
+	for i := range t.reads {
+		r := &t.reads[i]
+		lockedByMe := t.lookupWrite(r.rec) >= 0
 		if !r.rec.ValidateVersion(r.tid, lockedByMe) {
-			t.releaseLocksLocked()
-			t.state = stateAborted
-			t.domain.aborted.Add(1)
+			t.abortPrepareLocked()
 			return ErrConflict
 		}
 	}
-	for _, s := range t.scans {
-		if guardSet[s.guard] {
+	for i := range t.scans {
+		s := &t.scans[i]
+		if t.holdsGuardLocked(s.guard) {
 			// We hold this guard ourselves (we also modify the table's
 			// structure); only the version needs to be rechecked.
 			if s.guard.Version() != s.version {
-				t.releaseLocksLocked()
-				t.state = stateAborted
-				t.domain.aborted.Add(1)
+				t.abortPrepareLocked()
 				return ErrConflict
 			}
 			continue
@@ -387,22 +509,26 @@ func (t *Txn) Prepare() error {
 		// the table's structure; treat it as a conflict rather than blocking,
 		// so preparing transactions can never deadlock on guards.
 		if !s.guard.TryLockStructure() {
-			t.releaseLocksLocked()
-			t.state = stateAborted
-			t.domain.aborted.Add(1)
+			t.abortPrepareLocked()
 			return ErrConflict
 		}
 		version := s.guard.Version()
 		s.guard.UnlockStructure()
 		if version != s.version {
-			t.releaseLocksLocked()
-			t.state = stateAborted
-			t.domain.aborted.Add(1)
+			t.abortPrepareLocked()
 			return ErrConflict
 		}
 	}
 	t.state = statePrepared
 	return nil
+}
+
+// abortPrepareLocked releases locks and marks the transaction aborted after a
+// validation failure. The caller holds t.mu.
+func (t *Txn) abortPrepareLocked() {
+	t.releaseLocksLocked()
+	t.state = stateAborted
+	t.domain.aborted.Add(1)
 }
 
 // AssignTID assigns (or returns the already-assigned) commit TID of a
@@ -427,15 +553,17 @@ func (t *Txn) AssignTID() (uint64, error) {
 
 // PreparedWrites calls fn for every buffered write of a prepared transaction
 // — the write set CommitPrepared is about to install — in buffer order. The
-// data slice must be treated as immutable. For a transaction that is not
+// data slice must be treated as immutable; the key slice is arena-backed and
+// valid only until the transaction is released. For a transaction that is not
 // prepared, fn is never called.
-func (t *Txn) PreparedWrites(fn func(key string, data []byte, deleted bool)) {
+func (t *Txn) PreparedWrites(fn func(key []byte, data []byte, deleted bool)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.state != statePrepared {
 		return
 	}
-	for _, w := range t.writes {
+	for i := range t.writes {
+		w := &t.writes[i]
 		fn(w.key, w.data, w.kind == writeDelete)
 	}
 }
@@ -455,7 +583,8 @@ func (t *Txn) CommitPrepared() (uint64, error) {
 		tid = t.domain.nextTID(t.maxTID)
 		t.tid = tid
 	}
-	for _, w := range t.writes {
+	for i := range t.writes {
+		w := &t.writes[i]
 		// Capture the pre-install record state while the latch is held, so
 		// index maintenance can retract exactly the entries the old row
 		// contributed.
@@ -481,11 +610,11 @@ func (t *Txn) CommitPrepared() (uint64, error) {
 			w.guard.BumpVersion()
 		}
 	}
-	t.lockedRecs = nil
+	t.lockedRecs = t.lockedRecs[:0]
 	for _, g := range t.lockedGuards {
 		g.UnlockStructure()
 	}
-	t.lockedGuards = nil
+	t.lockedGuards = t.lockedGuards[:0]
 	t.state = stateCommitted
 	t.domain.committed.Add(1)
 	return tid, nil
@@ -531,9 +660,63 @@ func (t *Txn) releaseLocksLocked() {
 	for _, rec := range t.lockedRecs {
 		rec.Unlock()
 	}
-	t.lockedRecs = nil
+	t.lockedRecs = t.lockedRecs[:0]
 	for _, g := range t.lockedGuards {
 		g.UnlockStructure()
 	}
-	t.lockedGuards = nil
+	t.lockedGuards = t.lockedGuards[:0]
+}
+
+// Release returns a finished (committed or aborted) transaction to the
+// domain's pool for reuse. An active transaction is aborted first. A prepared
+// transaction — which still holds record and guard locks — is never recycled;
+// the call is a no-op so a caller bug cannot corrupt lock state.
+//
+// After Release the transaction must not be used: its buffers (including all
+// key slices previously handed to EachPendingWrite/PreparedWrites callbacks)
+// are reused by the next transaction the domain begins.
+func (t *Txn) Release() {
+	t.mu.Lock()
+	if t.state == stateActive {
+		t.state = stateAborted
+		t.domain.aborted.Add(1)
+	}
+	if t.state == statePrepared {
+		t.mu.Unlock()
+		return
+	}
+	d := t.domain
+	t.resetLocked()
+	t.mu.Unlock()
+	d.pool.Put(t)
+}
+
+// resetLocked clears the transaction for reuse, keeping slice and map
+// capacity. Entry slices are element-cleared first so pooled transactions do
+// not pin records, guards or payloads of previous transactions. The caller
+// holds t.mu.
+func (t *Txn) resetLocked() {
+	clear(t.reads)
+	t.reads = t.reads[:0]
+	clear(t.writes)
+	t.writes = t.writes[:0]
+	clear(t.scans)
+	t.scans = t.scans[:0]
+	clear(t.lockedRecs[:cap(t.lockedRecs)])
+	t.lockedRecs = t.lockedRecs[:0]
+	clear(t.lockedGuards[:cap(t.lockedGuards)])
+	t.lockedGuards = t.lockedGuards[:0]
+	if t.readSpilled {
+		clear(t.readIdx)
+		t.readSpilled = false
+	}
+	if t.writeSpill {
+		clear(t.writeIdx)
+		t.writeSpill = false
+	}
+	t.keyArena = t.keyArena[:0]
+	t.maxTID = 0
+	t.tid = 0
+	t.domain = nil
+	t.state = stateActive
 }

@@ -41,7 +41,7 @@ func TestReadYourOwnWrites(t *testing.T) {
 	if err != nil || !present || decInt(data) != 1 {
 		t.Fatalf("initial read wrong: %v %v %v", data, present, err)
 	}
-	if err := txn.Write(rec, "k", encInt(2), nil); err != nil {
+	if err := txn.Write(rec, []byte("k"), encInt(2), nil); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	data, present, err = txn.Read(rec)
@@ -66,7 +66,7 @@ func TestCommitAssignsIncreasingTIDs(t *testing.T) {
 		if _, _, err := txn.Read(rec); err != nil {
 			t.Fatalf("Read: %v", err)
 		}
-		if err := txn.Write(rec, "k", encInt(int64(i)), nil); err != nil {
+		if err := txn.Write(rec, []byte("k"), encInt(int64(i)), nil); err != nil {
 			t.Fatalf("Write: %v", err)
 		}
 		tid, err := txn.Commit()
@@ -95,10 +95,10 @@ func TestLostUpdatePrevented(t *testing.T) {
 	t2 := d.Begin()
 	v1, _, _ := t1.Read(rec)
 	v2, _, _ := t2.Read(rec)
-	if err := t1.Write(rec, "k", encInt(decInt(v1)+1), nil); err != nil {
+	if err := t1.Write(rec, []byte("k"), encInt(decInt(v1)+1), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := t2.Write(rec, "k", encInt(decInt(v2)+1), nil); err != nil {
+	if err := t2.Write(rec, []byte("k"), encInt(decInt(v2)+1), nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := t1.Commit(); err != nil {
@@ -134,10 +134,10 @@ func TestWriteSkewPrevented(t *testing.T) {
 		t.Fatalf("setup wrong")
 	}
 	// t1 withdraws 100 from a, t2 withdraws 100 from b.
-	if err := t1.Write(a, "a", encInt(decInt(av1)-100), nil); err != nil {
+	if err := t1.Write(a, []byte("a"), encInt(decInt(av1)-100), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := t2.Write(b, "b", encInt(decInt(bv2)-100), nil); err != nil {
+	if err := t2.Write(b, []byte("b"), encInt(decInt(bv2)-100), nil); err != nil {
 		t.Fatal(err)
 	}
 	_, err1 := t1.Commit()
@@ -151,7 +151,7 @@ func TestAbortDiscardsWrites(t *testing.T) {
 	d := NewDomain("test")
 	rec := kv.NewCommittedRecord(encInt(5), 7)
 	txn := d.Begin()
-	if err := txn.Write(rec, "k", encInt(99), nil); err != nil {
+	if err := txn.Write(rec, []byte("k"), encInt(99), nil); err != nil {
 		t.Fatal(err)
 	}
 	txn.Abort()
@@ -159,7 +159,7 @@ func TestAbortDiscardsWrites(t *testing.T) {
 	if decInt(got) != 5 || tid != 7 {
 		t.Fatalf("abort must leave record untouched, got (%d, %d)", decInt(got), tid)
 	}
-	if err := txn.Write(rec, "k", encInt(1), nil); !errors.Is(err, ErrTxnClosed) {
+	if err := txn.Write(rec, []byte("k"), encInt(1), nil); !errors.Is(err, ErrTxnClosed) {
 		t.Fatalf("writes after abort should fail with ErrTxnClosed, got %v", err)
 	}
 	if _, _, err := txn.Read(rec); !errors.Is(err, ErrTxnClosed) {
@@ -176,7 +176,7 @@ func TestInsertVisibilityAndDuplicate(t *testing.T) {
 	rec := kv.NewRecord() // as returned by Table.GetOrInsert
 
 	txn := d.Begin()
-	if err := txn.Insert(rec, "k", encInt(42), guard); err != nil {
+	if err := txn.Insert(rec, []byte("k"), encInt(42), guard); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
 	// The inserting transaction sees its own insert.
@@ -198,7 +198,7 @@ func TestInsertVisibilityAndDuplicate(t *testing.T) {
 	}
 	// The concurrent reader that observed "absent" must now fail validation if
 	// it tries to commit a write based on that read.
-	if err := other.Write(kv.NewCommittedRecord(nil, 0), "other", nil, nil); err != nil {
+	if err := other.Write(kv.NewCommittedRecord(nil, 0), []byte("other"), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := other.Commit(); !errors.Is(err, ErrConflict) {
@@ -207,7 +207,7 @@ func TestInsertVisibilityAndDuplicate(t *testing.T) {
 
 	// Duplicate insert of the same (now committed) record fails immediately.
 	dup := d.Begin()
-	if err := dup.Insert(rec, "k", encInt(1), guard); !errors.Is(err, ErrDuplicateKey) {
+	if err := dup.Insert(rec, []byte("k"), encInt(1), guard); !errors.Is(err, ErrDuplicateKey) {
 		t.Fatalf("expected ErrDuplicateKey, got %v", err)
 	}
 }
@@ -219,10 +219,10 @@ func TestConcurrentInsertSameKeyOnlyOneWins(t *testing.T) {
 
 	t1 := d.Begin()
 	t2 := d.Begin()
-	if err := t1.Insert(rec, "k", encInt(1), guard); err != nil {
+	if err := t1.Insert(rec, []byte("k"), encInt(1), guard); err != nil {
 		t.Fatal(err)
 	}
-	if err := t2.Insert(rec, "k", encInt(2), guard); err != nil {
+	if err := t2.Insert(rec, []byte("k"), encInt(2), guard); err != nil {
 		t.Fatal(err)
 	}
 	_, err1 := t1.Commit()
@@ -241,7 +241,7 @@ func TestDeleteAndReinsert(t *testing.T) {
 	if _, _, err := txn.Read(rec); err != nil {
 		t.Fatal(err)
 	}
-	if err := txn.Delete(rec, "k", guard); err != nil {
+	if err := txn.Delete(rec, []byte("k"), guard); err != nil {
 		t.Fatal(err)
 	}
 	if _, present, _ := txn.Read(rec); present {
@@ -256,7 +256,7 @@ func TestDeleteAndReinsert(t *testing.T) {
 
 	// Reinsert through a new transaction (the key's record is reused).
 	re := d.Begin()
-	if err := re.Insert(rec, "k", encInt(20), guard); err != nil {
+	if err := re.Insert(rec, []byte("k"), encInt(20), guard); err != nil {
 		t.Fatalf("reinsert: %v", err)
 	}
 	if _, err := re.Commit(); err != nil {
@@ -279,7 +279,7 @@ func TestScanValidationDetectsPhantom(t *testing.T) {
 	// A concurrent transaction inserts into the scanned table and commits.
 	inserter := d.Begin()
 	rec := kv.NewRecord()
-	if err := inserter.Insert(rec, "new", encInt(1), guard); err != nil {
+	if err := inserter.Insert(rec, []byte("new"), encInt(1), guard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := inserter.Commit(); err != nil {
@@ -287,7 +287,7 @@ func TestScanValidationDetectsPhantom(t *testing.T) {
 	}
 	// The scanner writes something (to force validation) and must abort.
 	out := kv.NewCommittedRecord(encInt(0), 0)
-	if err := scanner.Write(out, "out", encInt(1), nil); err != nil {
+	if err := scanner.Write(out, []byte("out"), encInt(1), nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := scanner.Commit(); !errors.Is(err, ErrConflict) {
@@ -303,7 +303,7 @@ func TestScanValidationAllowsOwnInserts(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := kv.NewRecord()
-	if err := txn.Insert(rec, "k", encInt(1), guard); err != nil {
+	if err := txn.Insert(rec, []byte("k"), encInt(1), guard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := txn.Commit(); err != nil {
@@ -318,7 +318,7 @@ func TestPrepareAbortPreparedReleasesLocks(t *testing.T) {
 	if _, _, err := txn.Read(rec); err != nil {
 		t.Fatal(err)
 	}
-	if err := txn.Write(rec, "k", encInt(2), nil); err != nil {
+	if err := txn.Write(rec, []byte("k"), encInt(2), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := txn.Prepare(); err != nil {
@@ -353,7 +353,7 @@ func TestPreparedRecordBlocksConcurrentValidation(t *testing.T) {
 	if _, _, err := writer.Read(rec); err != nil {
 		t.Fatal(err)
 	}
-	if err := writer.Write(rec, "k", encInt(2), nil); err != nil {
+	if err := writer.Write(rec, []byte("k"), encInt(2), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := writer.Prepare(); err != nil {
@@ -363,7 +363,7 @@ func TestPreparedRecordBlocksConcurrentValidation(t *testing.T) {
 	// While the writer holds the record latch (e.g. during a 2PC prepare
 	// window) the reader must fail validation of its earlier read.
 	dep := kv.NewCommittedRecord(encInt(0), 0)
-	if err := reader.Write(dep, "dep", encInt(1), nil); err != nil {
+	if err := reader.Write(dep, []byte("dep"), encInt(1), nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := reader.Commit(); !errors.Is(err, ErrConflict) {
@@ -441,8 +441,8 @@ func TestSerializabilityStressBankTransfers(t *testing.T) {
 					txn.Abort()
 					continue
 				}
-				_ = txn.Write(recs[src], fmt.Sprintf("a%d", src), encInt(decInt(sv)-amt), nil)
-				_ = txn.Write(recs[dst], fmt.Sprintf("a%d", dst), encInt(decInt(dv)+amt), nil)
+				_ = txn.Write(recs[src], []byte(fmt.Sprintf("a%d", src)), encInt(decInt(sv)-amt), nil)
+				_ = txn.Write(recs[dst], []byte(fmt.Sprintf("a%d", dst)), encInt(decInt(dv)+amt), nil)
 				if _, err := txn.Commit(); err == nil {
 					committed.Add(1)
 				}
@@ -478,7 +478,7 @@ func TestDomainEpochAdvance(t *testing.T) {
 	rec := kv.NewCommittedRecord(encInt(0), 0)
 	txn := d.Begin()
 	_, _, _ = txn.Read(rec)
-	_ = txn.Write(rec, "k", encInt(1), nil)
+	_ = txn.Write(rec, []byte("k"), encInt(1), nil)
 	tid, err := txn.Commit()
 	if err != nil {
 		t.Fatal(err)

@@ -121,8 +121,9 @@ type hashJoinOp struct {
 
 	cols    []string
 	table   map[string][]Row
-	pending []Row // matches of the current left row not yet emitted
-	current Row   // current left row
+	keyBuf  []byte // reusable probe-key scratch
+	pending []Row  // matches of the current left row not yet emitted
+	current Row    // current left row
 }
 
 func newHashJoinOp(left Operator, rightCols []string, rightRows []Row, leftIdx, rightIdx []int) *hashJoinOp {
@@ -169,27 +170,37 @@ func (j *hashJoinOp) Next() (Row, error) {
 		if err != nil || row == nil {
 			return nil, err
 		}
-		key, err := joinKey(row, j.leftIdx)
-		if err != nil {
-			return nil, err
+		// Probe with a reused scratch buffer: the map lookup through
+		// string(j.keyBuf) does not materialize a string, so steady-state
+		// probing allocates nothing.
+		var err2 error
+		j.keyBuf, err2 = appendJoinKey(j.keyBuf[:0], row, j.leftIdx)
+		if err2 != nil {
+			return nil, err2
 		}
 		j.current = row
-		j.pending = j.table[key]
+		j.pending = j.table[string(j.keyBuf)]
 	}
 }
 
-// joinKey builds an order-preserving encoded key from the given columns of a
-// row, for hash-join and group-by buckets.
-func joinKey(row Row, idx []int) (string, error) {
-	var dst []byte
+// appendJoinKey appends an order-preserving encoded key built from the given
+// columns of a row to dst, for hash-join and group-by buckets.
+func appendJoinKey(dst []byte, row Row, idx []int) ([]byte, error) {
 	for _, i := range idx {
 		var err error
 		dst, err = appendValueKey(dst, row[i])
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 	}
-	return string(dst), nil
+	return dst, nil
+}
+
+// joinKey is appendJoinKey materialized as a string, for map-key storage on
+// the build side.
+func joinKey(row Row, idx []int) (string, error) {
+	dst, err := appendJoinKey(nil, row, idx)
+	return string(dst), err
 }
 
 // appendValueKey encodes a canonical row value by its dynamic type.
@@ -366,6 +377,7 @@ func (a *aggOp) Open() error {
 	}
 	groups := make(map[string]*group)
 	var order []string
+	var keyBuf []byte
 	for {
 		row, err := a.child.Next()
 		if err != nil {
@@ -374,12 +386,15 @@ func (a *aggOp) Open() error {
 		if row == nil {
 			break
 		}
-		key, err := joinKey(row, a.groupIdx)
+		// Group lookup probes with reused scratch; the string key is only
+		// materialized when a new group is created.
+		keyBuf, err = appendJoinKey(keyBuf[:0], row, a.groupIdx)
 		if err != nil {
 			return err
 		}
-		g, ok := groups[key]
+		g, ok := groups[string(keyBuf)]
 		if !ok {
+			key := string(keyBuf)
 			g = &group{states: make([]*aggState, len(a.specs))}
 			for i := range g.states {
 				g.states[i] = &aggState{}

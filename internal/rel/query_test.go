@@ -78,7 +78,7 @@ func TestTableIndexMaintenance(t *testing.T) {
 			t.Fatal(err)
 		}
 		var ids []int64
-		tbl.AscendIndexPrefix(0, prefix, func(pk string) bool {
+		tbl.AscendIndexPrefix(0, []byte(prefix), func(pk []byte) bool {
 			row, err := tbl.ReadRow(pk)
 			if err != nil {
 				t.Fatal(err)

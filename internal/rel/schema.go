@@ -143,43 +143,63 @@ func (s *Schema) IndexNamed(name string) (int, *Index) {
 	return -1, nil
 }
 
-// IndexKeyOf returns the encoded secondary-index entry key for row: the
-// indexed column values in index order followed by the full primary key, so
-// entries are unique per row and ordered for prefix scans.
-func (s *Schema) IndexKeyOf(ix *Index, row Row) (string, error) {
+// AppendIndexKey appends the encoded secondary-index entry key for row to
+// dst: the indexed column values in index order followed by the full primary
+// key, so entries are unique per row and ordered for prefix scans. It is the
+// allocation-free primitive under IndexKeyOf — callers own dst.
+func (s *Schema) AppendIndexKey(dst []byte, ix *Index, row Row) ([]byte, error) {
 	if len(row) != len(s.columns) {
-		return "", fmt.Errorf("rel: %s row has %d values, schema has %d columns", s.name, len(row), len(s.columns))
+		return dst, fmt.Errorf("rel: %s row has %d values, schema has %d columns", s.name, len(row), len(s.columns))
 	}
-	var dst []byte
 	var err error
 	for _, ci := range ix.cols {
 		dst, err = AppendKeyValue(dst, row[ci], s.columns[ci].Type)
 		if err != nil {
-			return "", err
+			return dst, err
 		}
 	}
 	for _, ki := range s.key {
 		dst, err = AppendKeyValue(dst, row[ki], s.columns[ki].Type)
 		if err != nil {
-			return "", err
+			return dst, err
 		}
+	}
+	return dst, nil
+}
+
+// IndexKeyOf returns the encoded secondary-index entry key for row as a
+// string (see AppendIndexKey for the buffer-reusing form).
+func (s *Schema) IndexKeyOf(ix *Index, row Row) (string, error) {
+	dst, err := s.AppendIndexKey(nil, ix, row)
+	if err != nil {
+		return "", err
 	}
 	return string(dst), nil
 }
 
-// EncodeIndexPrefix encodes the given values as a (possibly partial) prefix of
-// the named index's entry keys, usable for index range scans.
-func (s *Schema) EncodeIndexPrefix(ix *Index, values ...any) (string, error) {
+// AppendIndexPrefix appends the encoding of values as a (possibly partial)
+// prefix of the index's entry keys to dst, usable for index range scans.
+func (s *Schema) AppendIndexPrefix(dst []byte, ix *Index, values []any) ([]byte, error) {
 	if len(values) > len(ix.cols) {
-		return "", fmt.Errorf("rel: %s index %q has %d columns, got %d values", s.name, ix.name, len(ix.cols), len(values))
+		return dst, fmt.Errorf("rel: %s index %q has %d columns, got %d values", s.name, ix.name, len(ix.cols), len(values))
 	}
-	var dst []byte
 	var err error
 	for i, v := range values {
 		dst, err = AppendKeyValue(dst, v, s.columns[ix.cols[i]].Type)
 		if err != nil {
-			return "", err
+			return dst, err
 		}
+	}
+	return dst, nil
+}
+
+// EncodeIndexPrefix encodes the given values as a (possibly partial) prefix of
+// the named index's entry keys as a string (see AppendIndexPrefix for the
+// buffer-reusing form).
+func (s *Schema) EncodeIndexPrefix(ix *Index, values ...any) (string, error) {
+	dst, err := s.AppendIndexPrefix(nil, ix, values)
+	if err != nil {
+		return "", err
 	}
 	return string(dst), nil
 }
@@ -232,36 +252,57 @@ func (s *Schema) NormalizeRow(row Row) (Row, error) {
 	return out, nil
 }
 
-// KeyOf returns the encoded primary key of row.
-func (s *Schema) KeyOf(row Row) (string, error) {
+// AppendKey appends the encoded primary key of row to dst. It is the
+// allocation-free primitive under KeyOf — callers own dst and may reuse it
+// across calls (the storage layer copies key bytes it retains).
+func (s *Schema) AppendKey(dst []byte, row Row) ([]byte, error) {
 	if len(row) != len(s.columns) {
-		return "", fmt.Errorf("rel: %s row has %d values, schema has %d columns", s.name, len(row), len(s.columns))
+		return dst, fmt.Errorf("rel: %s row has %d values, schema has %d columns", s.name, len(row), len(s.columns))
 	}
-	var dst []byte
 	var err error
 	for _, ki := range s.key {
 		dst, err = AppendKeyValue(dst, row[ki], s.columns[ki].Type)
 		if err != nil {
-			return "", err
+			return dst, err
 		}
+	}
+	return dst, nil
+}
+
+// KeyOf returns the encoded primary key of row as a string (see AppendKey for
+// the buffer-reusing form).
+func (s *Schema) KeyOf(row Row) (string, error) {
+	dst, err := s.AppendKey(nil, row)
+	if err != nil {
+		return "", err
 	}
 	return string(dst), nil
 }
 
-// EncodeKey encodes the given values as a (possibly partial, prefix) primary
-// key for this schema. Fewer values than key columns yields a prefix usable
-// for range scans.
-func (s *Schema) EncodeKey(values ...any) (string, error) {
+// AppendKeyPrefix appends the encoding of values as a (possibly partial,
+// prefix) primary key to dst. Fewer values than key columns yields a prefix
+// usable for range scans.
+func (s *Schema) AppendKeyPrefix(dst []byte, values []any) ([]byte, error) {
 	if len(values) > len(s.key) {
-		return "", fmt.Errorf("rel: %s key has %d columns, got %d values", s.name, len(s.key), len(values))
+		return dst, fmt.Errorf("rel: %s key has %d columns, got %d values", s.name, len(s.key), len(values))
 	}
-	var dst []byte
 	var err error
 	for i, v := range values {
 		dst, err = AppendKeyValue(dst, v, s.columns[s.key[i]].Type)
 		if err != nil {
-			return "", err
+			return dst, err
 		}
+	}
+	return dst, nil
+}
+
+// EncodeKey encodes the given values as a (possibly partial, prefix) primary
+// key for this schema as a string (see AppendKeyPrefix for the buffer-reusing
+// form).
+func (s *Schema) EncodeKey(values ...any) (string, error) {
+	dst, err := s.AppendKeyPrefix(nil, values)
+	if err != nil {
+		return "", err
 	}
 	return string(dst), nil
 }

@@ -1,6 +1,7 @@
 package rel
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,11 @@ type Table struct {
 	// scan validation (see occ.ScanGuard). It is held only for the short
 	// write phase of commits that insert or delete rows.
 	structMu sync.Mutex
+
+	// ixOld/ixNew are entry-key scratch buffers reused by ApplyIndexWrite.
+	// They are only touched under structMu (or by single-threaded loaders),
+	// and the entry trees copy key bytes on insert, so reuse is safe.
+	ixOld, ixNew []byte
 }
 
 // NewTable creates an empty table with the given schema.
@@ -68,30 +74,46 @@ func (t *Table) TryLockStructure() bool { return t.structMu.TryLock() }
 // UnlockStructure releases the structural latch.
 func (t *Table) UnlockStructure() { t.structMu.Unlock() }
 
-// Get returns the record indexed under the encoded key, or nil.
-func (t *Table) Get(key string) *kv.Record { return t.index.Get(key) }
+// Get returns the record indexed under the encoded key, or nil. The key
+// buffer is not retained.
+func (t *Table) Get(key []byte) *kv.Record { return t.index.Get(key) }
 
 // GetOrInsert returns the record under key, inserting a fresh absent record if
 // the key is not indexed yet. The boolean reports whether an insert happened.
-func (t *Table) GetOrInsert(key string) (*kv.Record, bool) {
+// The key bytes are copied on insert, so callers may reuse their buffers.
+func (t *Table) GetOrInsert(key []byte) (*kv.Record, bool) {
 	return t.index.GetOrInsert(key, kv.NewRecord())
 }
 
-// AscendRange iterates records with lo <= key < hi in ascending key order. An
-// empty hi is unbounded.
-func (t *Table) AscendRange(lo, hi string, fn func(key string, rec *kv.Record) bool) {
+// AscendRange iterates records with lo <= key < hi in ascending key order. A
+// nil/empty hi is unbounded. Key slices passed to fn are tree-owned and
+// immutable — they remain valid after the scan.
+func (t *Table) AscendRange(lo, hi []byte, fn func(key []byte, rec *kv.Record) bool) {
 	t.index.AscendRange(lo, hi, fn)
 }
 
 // DescendRange iterates records with lo <= key < hi in descending key order.
-func (t *Table) DescendRange(lo, hi string, fn func(key string, rec *kv.Record) bool) {
+func (t *Table) DescendRange(lo, hi []byte, fn func(key []byte, rec *kv.Record) bool) {
 	t.index.DescendRange(lo, hi, fn)
 }
 
-// AscendPrefix iterates records whose key starts with prefix, ascending.
-func (t *Table) AscendPrefix(prefix string, fn func(key string, rec *kv.Record) bool) {
-	t.index.AscendRange(prefix, KeyPrefixSuccessor(prefix), fn)
+// AscendPrefix iterates records whose key starts with prefix, ascending. No
+// successor bound is materialized — the underlying tree stops at the first
+// key that no longer carries the prefix.
+func (t *Table) AscendPrefix(prefix []byte, fn func(key []byte, rec *kv.Record) bool) {
+	t.index.AscendPrefix(prefix, fn)
 }
+
+// NewCursor returns a reusable cursor over the primary index for [lo, hi).
+// See kv.Cursor for the reuse and epoch-revalidation contract; callers that
+// already own a cursor should Reset it onto Index() instead.
+func (t *Table) NewCursor(lo, hi []byte) *kv.Cursor {
+	return t.index.NewCursor(lo, hi)
+}
+
+// Index exposes the primary-key tree so callers can Reset reusable cursors
+// onto it. The tree must only be mutated through Table methods.
+func (t *Table) Index() *kv.BTree { return t.index }
 
 // --- Secondary indexes -------------------------------------------------------
 
@@ -107,12 +129,13 @@ func (t *Table) IndexLen(pos int) int { return t.secondary[pos].Len() }
 
 // AscendIndexPrefix iterates the primary keys of rows whose entry in the index
 // at position pos starts with prefix, in entry-key order (indexed column
-// values, then primary key). The callback receives the encoded primary key;
-// callers must re-read the row transactionally and re-check predicates, since
+// values, then primary key). The callback receives the encoded primary key —
+// the entry record's immutable payload, valid after the scan without copying.
+// Callers must re-read the row transactionally and re-check predicates, since
 // index entries are only as fresh as the last committed write.
-func (t *Table) AscendIndexPrefix(pos int, prefix string, fn func(pk string) bool) {
-	t.secondary[pos].AscendRange(prefix, KeyPrefixSuccessor(prefix), func(_ string, rec *kv.Record) bool {
-		return fn(string(rec.Data()))
+func (t *Table) AscendIndexPrefix(pos int, prefix []byte, fn func(pk []byte) bool) {
+	t.secondary[pos].AscendPrefix(prefix, func(_ []byte, rec *kv.Record) bool {
+		return fn(rec.Data())
 	})
 }
 
@@ -143,20 +166,31 @@ func (t *Table) ApplyIndexWrite(oldData []byte, oldPresent bool, newData []byte,
 			panic(fmt.Sprintf("rel: %s: corrupt row during index maintenance: %v", t.Name(), err))
 		}
 	}
+	// The entry-key scratch buffers are reused across indexes and calls: the
+	// entry trees copy key bytes on insert and Delete does not retain its
+	// argument. The primary key is encoded once, fresh, because the inserted
+	// entry record retains it as its payload.
+	var pk []byte
+	if newRow != nil {
+		if pk, err = t.schema.AppendKey(nil, newRow); err != nil {
+			panic(fmt.Sprintf("rel: %s: index maintenance: %v", t.Name(), err))
+		}
+	}
 	changed := false
+	oldKey, newKey := t.ixOld, t.ixNew
 	for pos, ix := range t.schema.Indexes() {
-		var oldKey, newKey string
+		oldKey, newKey = oldKey[:0], newKey[:0]
 		if oldRow != nil {
-			if oldKey, err = t.schema.IndexKeyOf(ix, oldRow); err != nil {
+			if oldKey, err = t.schema.AppendIndexKey(oldKey, ix, oldRow); err != nil {
 				panic(fmt.Sprintf("rel: %s: index %s: %v", t.Name(), ix.Name(), err))
 			}
 		}
 		if newRow != nil {
-			if newKey, err = t.schema.IndexKeyOf(ix, newRow); err != nil {
+			if newKey, err = t.schema.AppendIndexKey(newKey, ix, newRow); err != nil {
 				panic(fmt.Sprintf("rel: %s: index %s: %v", t.Name(), ix.Name(), err))
 			}
 		}
-		if oldRow != nil && newRow != nil && oldKey == newKey {
+		if oldRow != nil && newRow != nil && bytes.Equal(oldKey, newKey) {
 			continue // update kept the indexed columns; entry unchanged
 		}
 		if oldRow != nil {
@@ -164,14 +198,11 @@ func (t *Table) ApplyIndexWrite(oldData []byte, oldPresent bool, newData []byte,
 			changed = true
 		}
 		if newRow != nil {
-			pk, err := t.schema.KeyOf(newRow)
-			if err != nil {
-				panic(fmt.Sprintf("rel: %s: index %s: %v", t.Name(), ix.Name(), err))
-			}
-			t.secondary[pos].Insert(newKey, kv.NewCommittedRecord([]byte(pk), 0))
+			t.secondary[pos].Insert(newKey, kv.NewCommittedRecord(pk, 0))
 			changed = true
 		}
 	}
+	t.ixOld, t.ixNew = oldKey, newKey
 	return changed
 }
 
@@ -179,7 +210,7 @@ func (t *Table) ApplyIndexWrite(oldData []byte, oldPresent bool, newData []byte,
 // benchmark loaders and example setup code and must not run concurrently with
 // transactions on the same table.
 func (t *Table) LoadRow(row Row) error {
-	key, err := t.schema.KeyOf(row)
+	key, err := t.schema.AppendKey(nil, row)
 	if err != nil {
 		return err
 	}
@@ -204,7 +235,7 @@ func (t *Table) MustLoadRow(row Row) {
 
 // ReadRow performs a non-transactional snapshot read of the row stored under
 // key, for tests and verification code. It returns nil if the key is absent.
-func (t *Table) ReadRow(key string) (Row, error) {
+func (t *Table) ReadRow(key []byte) (Row, error) {
 	rec := t.index.Get(key)
 	if rec == nil {
 		return nil, nil

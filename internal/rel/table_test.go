@@ -1,6 +1,7 @@
 package rel
 
 import (
+	"bytes"
 	"testing"
 
 	"reactdb/internal/kv"
@@ -23,7 +24,7 @@ func TestTableLoadAndReadRow(t *testing.T) {
 	if tbl.Len() != 100 {
 		t.Fatalf("Len = %d, want 100", tbl.Len())
 	}
-	key := tbl.Schema().MustEncodeKey(int64(42))
+	key := []byte(tbl.Schema().MustEncodeKey(int64(42)))
 	row, err := tbl.ReadRow(key)
 	if err != nil {
 		t.Fatalf("ReadRow: %v", err)
@@ -31,7 +32,7 @@ func TestTableLoadAndReadRow(t *testing.T) {
 	if row == nil || row.Int64(0) != 42 {
 		t.Fatalf("ReadRow returned %v", row)
 	}
-	missing, err := tbl.ReadRow(tbl.Schema().MustEncodeKey(int64(1000)))
+	missing, err := tbl.ReadRow([]byte(tbl.Schema().MustEncodeKey(int64(1000))))
 	if err != nil || missing != nil {
 		t.Fatalf("missing key should read as nil, got %v, %v", missing, err)
 	}
@@ -62,7 +63,7 @@ func TestTableVersionBumpsOnLoad(t *testing.T) {
 
 func TestTableGetOrInsert(t *testing.T) {
 	tbl := simpleTable(t)
-	key := tbl.Schema().MustEncodeKey(int64(9))
+	key := []byte(tbl.Schema().MustEncodeKey(int64(9)))
 	rec, inserted := tbl.GetOrInsert(key)
 	if !inserted || rec == nil || !rec.Absent() {
 		t.Fatalf("first GetOrInsert should create an absent record")
@@ -83,9 +84,9 @@ func TestTablePrefixScan(t *testing.T) {
 			tbl.MustLoadRow(Row{a, b, "x"})
 		}
 	}
-	prefix := s.MustEncodeKey(int64(3))
+	prefix := []byte(s.MustEncodeKey(int64(3)))
 	count := 0
-	tbl.AscendPrefix(prefix, func(key string, rec *kv.Record) bool {
+	tbl.AscendPrefix(prefix, func(key []byte, rec *kv.Record) bool {
 		data, _, present := rec.StableRead()
 		if !present {
 			t.Fatalf("loaded record should be present")
@@ -105,17 +106,17 @@ func TestTablePrefixScan(t *testing.T) {
 	}
 
 	// Bounded range scan across the composite key: a in [1,3).
-	lo := s.MustEncodeKey(int64(1))
-	hi := s.MustEncodeKey(int64(3))
+	lo := []byte(s.MustEncodeKey(int64(1)))
+	hi := []byte(s.MustEncodeKey(int64(3)))
 	count = 0
-	tbl.AscendRange(lo, hi, func(string, *kv.Record) bool { count++; return true })
+	tbl.AscendRange(lo, hi, func([]byte, *kv.Record) bool { count++; return true })
 	if count != 20 {
 		t.Fatalf("range scan visited %d rows, want 20", count)
 	}
 
 	// Descending scan sees the same rows in reverse order.
-	var keys []string
-	tbl.DescendRange(lo, hi, func(k string, _ *kv.Record) bool {
+	var keys [][]byte
+	tbl.DescendRange(lo, hi, func(k []byte, _ *kv.Record) bool {
 		keys = append(keys, k)
 		return true
 	})
@@ -123,7 +124,7 @@ func TestTablePrefixScan(t *testing.T) {
 		t.Fatalf("descending scan visited %d rows, want 20", len(keys))
 	}
 	for i := 1; i < len(keys); i++ {
-		if keys[i] >= keys[i-1] {
+		if bytes.Compare(keys[i], keys[i-1]) >= 0 {
 			t.Fatalf("descending scan out of order")
 		}
 	}

@@ -234,6 +234,130 @@ func KeyPrefixSuccessor(prefix string) string {
 	return ""
 }
 
+// AppendKeyPrefixSuccessor appends to dst the smallest key strictly greater
+// than every key having the given prefix — the allocation-free counterpart of
+// KeyPrefixSuccessor for callers that own their key buffers. It returns
+// (dst, false) unchanged when no such bound exists (the prefix is empty or
+// all 0xFF bytes), meaning the scan is unbounded above.
+func AppendKeyPrefixSuccessor(dst, prefix []byte) ([]byte, bool) {
+	i := len(prefix) - 1
+	for ; i >= 0; i-- {
+		if prefix[i] != 0xFF {
+			break
+		}
+	}
+	if i < 0 {
+		return dst, false
+	}
+	dst = append(dst, prefix[:i+1]...)
+	dst[len(dst)-1]++
+	return dst, true
+}
+
+// --- Key decoding ------------------------------------------------------------
+//
+// Decoders invert the Append* encoders: each consumes one value from the front
+// of key and returns the remaining bytes. They exist for debugging, fuzzing
+// and index tooling — the hot path never decodes keys (rows are decoded from
+// their payload encoding instead).
+
+// DecodeKeyInt64 decodes an int64 from the front of key.
+func DecodeKeyInt64(key []byte) (int64, []byte, error) {
+	if len(key) < 8 {
+		return 0, nil, fmt.Errorf("rel: int64 key needs 8 bytes, have %d", len(key))
+	}
+	u := binary.BigEndian.Uint64(key) ^ (1 << 63)
+	return int64(u), key[8:], nil
+}
+
+// DecodeKeyFloat64 decodes a float64 from the front of key.
+func DecodeKeyFloat64(key []byte) (float64, []byte, error) {
+	if len(key) < 8 {
+		return 0, nil, fmt.Errorf("rel: float64 key needs 8 bytes, have %d", len(key))
+	}
+	bits := binary.BigEndian.Uint64(key)
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits), key[8:], nil
+}
+
+// DecodeKeyString decodes a string from the front of key, undoing the NUL
+// escaping and consuming the 0x00 0x01 terminator.
+func DecodeKeyString(key []byte) (string, []byte, error) {
+	var sb []byte
+	for i := 0; i < len(key); {
+		c := key[i]
+		if c != 0x00 {
+			sb = append(sb, c)
+			i++
+			continue
+		}
+		if i+1 >= len(key) {
+			return "", nil, fmt.Errorf("rel: truncated string key escape")
+		}
+		switch key[i+1] {
+		case 0xFF:
+			sb = append(sb, 0x00)
+			i += 2
+		case 0x01:
+			return string(sb), key[i+2:], nil
+		default:
+			return "", nil, fmt.Errorf("rel: invalid string key escape 0x00 0x%02X", key[i+1])
+		}
+	}
+	return "", nil, fmt.Errorf("rel: unterminated string key")
+}
+
+// DecodeKeyBool decodes a bool from the front of key.
+func DecodeKeyBool(key []byte) (bool, []byte, error) {
+	if len(key) < 1 {
+		return false, nil, fmt.Errorf("rel: bool key needs 1 byte")
+	}
+	switch key[0] {
+	case 0:
+		return false, key[1:], nil
+	case 1:
+		return true, key[1:], nil
+	default:
+		return false, nil, fmt.Errorf("rel: invalid bool key byte 0x%02X", key[0])
+	}
+}
+
+// DecodeKeyValue decodes one value of column type t from the front of key,
+// returning the canonical Go value and the remaining bytes.
+func DecodeKeyValue(key []byte, t ColType) (any, []byte, error) {
+	switch t {
+	case Int64:
+		return firstOf3(DecodeKeyInt64(key))
+	case Float64:
+		return firstOf3(DecodeKeyFloat64(key))
+	case String:
+		return firstOf3(DecodeKeyString(key))
+	case Bool:
+		return firstOf3(DecodeKeyBool(key))
+	case Bytes:
+		s, rest, err := DecodeKeyString(key)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []byte(s), rest, nil
+	default:
+		return nil, nil, fmt.Errorf("rel: unsupported key column type %s", t)
+	}
+}
+
+// firstOf3 adapts a typed decoder result to the any-valued DecodeKeyValue
+// signature.
+func firstOf3[T any](v T, rest []byte, err error) (any, []byte, error) {
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, rest, nil
+}
+
 // FormatKey renders an encoded key for debugging.
 func FormatKey(key string) string {
 	var sb strings.Builder

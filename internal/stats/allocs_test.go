@@ -1,0 +1,83 @@
+package stats
+
+import "testing"
+
+// fakeAllocSource is a deterministic cumulative counter for testing the
+// alloc-source hook without depending on runtime allocation behavior.
+type fakeAllocSource struct{ n uint64 }
+
+func (f *fakeAllocSource) source() uint64 { return f.n }
+
+func TestHistogramAllocSource(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if h.Allocs() != 0 {
+		t.Fatalf("Allocs without a source = %d, want 0", h.Allocs())
+	}
+
+	f := &fakeAllocSource{n: 100}
+	h.SetAllocSource(f.source)
+	if got := h.Allocs(); got != 0 {
+		t.Fatalf("Allocs right after SetAllocSource = %d, want 0", got)
+	}
+
+	f.n = 140
+	if got := h.Allocs(); got != 40 {
+		t.Fatalf("Allocs = %d, want 40", got)
+	}
+	if snap := h.Snapshot(); snap.Allocs != 40 {
+		t.Fatalf("Snapshot.Allocs = %d, want 40", snap.Allocs)
+	}
+
+	// Reset re-baselines the counter along with the buckets.
+	h.Reset()
+	if got := h.Allocs(); got != 0 {
+		t.Fatalf("Allocs after Reset = %d, want 0", got)
+	}
+	f.n = 145
+	if got := h.Allocs(); got != 5 {
+		t.Fatalf("Allocs after Reset + 5 = %d, want 5", got)
+	}
+
+	// Detaching zeroes the report.
+	h.SetAllocSource(nil)
+	if got := h.Allocs(); got != 0 {
+		t.Fatalf("Allocs after detach = %d, want 0", got)
+	}
+}
+
+func TestWindowedHistogramAllocSource(t *testing.T) {
+	w := NewWindowedHistogram([]float64{1})
+	f := &fakeAllocSource{n: 1000}
+	w.SetAllocSource(f.source)
+
+	f.n += 30
+	w.Observe(0.5)
+	snap := w.Rotate()
+	if snap.Allocs != 30 {
+		t.Fatalf("first window Allocs = %d, want 30", snap.Allocs)
+	}
+
+	// The next window is re-baselined at rotation: only allocations after the
+	// rotate count toward it.
+	f.n += 7
+	snap = w.Rotate()
+	if snap.Allocs != 7 {
+		t.Fatalf("second window Allocs = %d, want 7", snap.Allocs)
+	}
+
+	// Current reads the open window without closing it.
+	f.n += 3
+	if got := w.Current().Allocs; got != 3 {
+		t.Fatalf("Current().Allocs = %d, want 3", got)
+	}
+}
+
+func TestDefaultAllocSourceMonotonic(t *testing.T) {
+	a := DefaultAllocSource()
+	sink := make([]byte, 1)
+	_ = sink
+	b := DefaultAllocSource()
+	if b < a {
+		t.Fatalf("DefaultAllocSource went backwards: %d then %d", a, b)
+	}
+}

@@ -6,8 +6,6 @@
 package ycsb
 
 import (
-	"fmt"
-
 	"reactdb/internal/core"
 	"reactdb/internal/engine"
 	"reactdb/internal/rel"
@@ -33,8 +31,30 @@ const RecordSize = 100
 // KeysPerMultiUpdate is the number of keys touched by one multi_update.
 const KeysPerMultiUpdate = 10
 
-// ReactorName returns the reactor name of key id.
-func ReactorName(id int) string { return fmt.Sprintf("key-%08d", id) }
+// ReactorName returns the reactor name of key id ("key-%08d" without the
+// fmt machinery: workload drivers call it per operation, and Sprintf was the
+// single largest allocation source on that path).
+func ReactorName(id int) string {
+	var digits [20]byte
+	n := len(digits)
+	v := id
+	for {
+		n--
+		digits[n] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	for len(digits)-n < 8 {
+		n--
+		digits[n] = '0'
+	}
+	var buf [24]byte
+	b := append(buf[:0], "key-"...)
+	b = append(b, digits[n:]...)
+	return string(b)
+}
 
 // Schema returns the usertable schema: a single row keyed by a constant id
 // with a version counter and an opaque payload.
@@ -127,9 +147,16 @@ func Load(db *engine.Database, numKeys int) error {
 // given size ("four containers ... assigned 10,000 contiguous reactors").
 func RangePlacement(rangeSize int) func(reactor string) int {
 	return func(reactor string) int {
-		var id int
-		if _, err := fmt.Sscanf(reactor, "key-%d", &id); err != nil {
+		if len(reactor) < 5 || reactor[:4] != "key-" {
 			return 0
+		}
+		id := 0
+		for i := 4; i < len(reactor); i++ {
+			c := reactor[i]
+			if c < '0' || c > '9' {
+				return 0
+			}
+			id = id*10 + int(c-'0')
 		}
 		return id / rangeSize
 	}

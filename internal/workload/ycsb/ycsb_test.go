@@ -2,6 +2,7 @@ package ycsb
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"testing"
@@ -137,5 +138,16 @@ func TestRangePlacement(t *testing.T) {
 	}
 	if p("other") != 0 {
 		t.Fatalf("non-key reactor should map to container 0")
+	}
+}
+
+// TestReactorNameMatchesSprintf pins the hand-rolled formatter against the
+// fmt.Sprintf("key-%08d") contract it replaced, including ids wider than the
+// padding.
+func TestReactorNameMatchesSprintf(t *testing.T) {
+	for _, id := range []int{0, 1, 7, 99, 12345678, 99999999, 100000000, 2000000001} {
+		if got, want := ReactorName(id), fmt.Sprintf("key-%08d", id); got != want {
+			t.Fatalf("ReactorName(%d) = %q, want %q", id, got, want)
+		}
 	}
 }
