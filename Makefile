@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-query bench-storage bench-storage-check
+.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt crash-repl fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-sched-check bench-query bench-query-check bench-storage bench-storage-check bench-repl
 
 all: fmt-check vet build test
 
@@ -46,6 +46,16 @@ crash:
 crash-ckpt:
 	$(GO) test -race -run 'CrashMatrixCheckpoint|TruncationSafety' -count=1 ./internal/engine/...
 
+# Replication crash matrix: kill the primary or the replica at every shipping
+# IO boundary — mirror appends and fsyncs (including the one releasing a
+# semi-sync ack), mirror segment handoff, checkpoint-blob transfer — then
+# promote the surviving mirror bytes and assert a consistent committed prefix
+# with atomic 2PC groups, through a double restart. The primary-kill matrix
+# additionally proves semi-sync never acknowledged a commit the promoted
+# replica lost.
+crash-repl:
+	$(GO) test -race -run CrashRepl -count=1 ./internal/engine/...
+
 # Fuzz smoke for WAL record and checkpoint decoding (corrupt frames must be
 # ErrCorrupt — forcing checkpoint fallback to full replay — never a panic or
 # a silent mis-decode).
@@ -72,15 +82,25 @@ bench-ckpt:
 	$(GO) run ./cmd/reactdb-bench -experiment checkpoint
 
 # Run the scheduler sweep (load skew x work stealing x static/adaptive depth)
-# and record the machine-readable results in the bench history.
+# and append a dated entry to the bench history.
 bench-sched:
-	$(GO) run ./cmd/reactdb-bench -experiment scheduler -json BENCH_sched.json
+	$(GO) run ./cmd/reactdb-bench -experiment scheduler -json-history BENCH_sched.json
+
+# Gate on the scheduler bench history: fail if any sweep point's mean
+# per-transaction cost regressed >35% against the previous entry (throughput
+# sweeps are noisier than the storage micro-bench, hence the wider band).
+bench-sched-check:
+	$(GO) run ./cmd/reactdb-bench -compare BENCH_sched.json -max-regression 0.35
 
 # Run the declarative-query sweep (join fan-out x secondary index x greedy vs
-# naive planning) and record the machine-readable results in the bench
-# history.
+# naive planning) and append a dated entry to the bench history.
 bench-query:
-	$(GO) run ./cmd/reactdb-bench -experiment query -json BENCH_query.json
+	$(GO) run ./cmd/reactdb-bench -experiment query -json-history BENCH_query.json
+
+# Gate on the query bench history: fail if any sweep point's per-query latency
+# regressed >35% against the previous entry.
+bench-query-check:
+	$(GO) run ./cmd/reactdb-bench -compare BENCH_query.json -max-regression 0.35
 
 # Run the storage hot-path sweep (point read / scan / RMW, ns + allocs +
 # bytes per logical row op) and append a dated entry to the bench history.
@@ -91,3 +111,11 @@ bench-storage:
 # in ns/op or allocs/op against the previous one.
 bench-storage-check:
 	$(GO) run ./cmd/reactdb-bench -compare BENCH_storage.json
+
+# Run the replication sweep (ack mode x replica count: commit latency
+# quantiles, freshness lag, catch-up time) and append a dated entry to the
+# bench history. Recorded for trend inspection, not gated: semi-sync commit
+# latency depends on replica poll timing and is too noisy for a regression
+# band.
+bench-repl:
+	$(GO) run ./cmd/reactdb-bench -experiment replication -json-history BENCH_repl.json

@@ -14,7 +14,14 @@ func appendHistory(path string, report jsonReport) error {
 	var history []jsonReport
 	if buf, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(buf, &history); err != nil {
-			return fmt.Errorf("parse history %s: %w", path, err)
+			// Migration: the file may be a single -json report from before
+			// this experiment kept a history; keep it as the first entry so
+			// the old datapoint still anchors the first comparison.
+			var single jsonReport
+			if err2 := json.Unmarshal(buf, &single); err2 != nil || single.Experiment == "" {
+				return fmt.Errorf("parse history %s: %w", path, err)
+			}
+			history = []jsonReport{single}
 		}
 	} else if !os.IsNotExist(err) {
 		return fmt.Errorf("read history %s: %w", path, err)
@@ -47,7 +54,16 @@ func decodeHistoryRows(payload any) (map[string]historyRow, error) {
 	}
 	var rows []historyRow
 	if err := json.Unmarshal(buf, &rows); err != nil {
-		return nil, err
+		// Sweep payloads (scheduler, query, replication) are objects that
+		// carry their rows under a "rows" field rather than being bare
+		// arrays like the storage payload.
+		var wrapped struct {
+			Rows []historyRow `json:"rows"`
+		}
+		if err2 := json.Unmarshal(buf, &wrapped); err2 != nil {
+			return nil, err
+		}
+		rows = wrapped.Rows
 	}
 	out := make(map[string]historyRow, len(rows))
 	for _, r := range rows {

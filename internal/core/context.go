@@ -29,6 +29,13 @@ type Context interface {
 	// returns (nil, nil) if the row does not exist.
 	Get(relation string, keyVals ...any) (rel.Row, error)
 
+	// GetView reads the row like Get but returns a lazy, allocation-free
+	// rel.RowView over the stored payload instead of materializing a Row;
+	// hot read-mostly procedures use it to stay off the allocator. The view
+	// is valid only until the transaction ends and its Bytes accessor aliases
+	// engine-owned memory (read-only). The bool reports row presence.
+	GetView(relation string, keyVals ...any) (rel.RowView, bool, error)
+
 	// Insert adds a new row. It fails if the primary key already exists.
 	Insert(relation string, row rel.Row) error
 

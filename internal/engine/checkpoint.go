@@ -150,6 +150,15 @@ func (c *Container) truncateCheckpointed() error {
 	lowLSN := c.ckptStats.lastLowLSN
 	c.ckptMu.Unlock()
 
+	// Replication clamp: never delete segments an attached replica has not
+	// durably mirrored yet. A freshly attached replica holds the floor at
+	// zero until its bootstrap catches up; a detached (or crashed) replica
+	// stops constraining truncation and re-bootstraps from a checkpoint if it
+	// later returns behind the log (wal.ErrShipGap).
+	if f, ok := c.db.repl.floor(c.id); ok && f < lowLSN {
+		lowLSN = f
+	}
+
 	deleted, truncErr := c.wal.TruncateBelow(lowLSN)
 	if deleted > 0 {
 		c.ckptMu.Lock()

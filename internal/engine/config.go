@@ -278,6 +278,12 @@ type Config struct {
 	// cannot pick up other work during the wait. Used by ablation benchmarks;
 	// the default (false) matches §3.2.3.
 	DisableCooperativeMultitasking bool
+
+	// replica marks the inner database of a Replica: procedures run read-only
+	// (Insert/Update/Delete fail with ErrReplicaRead) while the replica's
+	// apply loop installs the primary's writes underneath. Unexported on
+	// purpose — only OpenReplica sets it.
+	replica bool
 }
 
 // Validate checks the configuration and applies defaults for zero fields.

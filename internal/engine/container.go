@@ -185,7 +185,16 @@ func (c *Container) forceRecord(rec *wal.Record) (<-chan error, error) {
 			return nil, err
 		}
 	}
-	done <- c.wal.Sync()
+	err := c.wal.Sync()
+	if err == nil {
+		// Semi-sync hook for the eager (committer-less) force path: prepare
+		// and decision records are acknowledged only once semi-sync replicas
+		// durably hold them — which also keeps the mirror-safety ordering
+		// (prepares mirrored before their decision is appended) live under
+		// pure semi-sync 2PC.
+		c.waitShipped(c.wal.DurableLSN())
+	}
+	done <- err
 	return done, nil
 }
 

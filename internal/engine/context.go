@@ -132,8 +132,26 @@ func (c *execContext) Get(relation string, keyVals ...any) (rel.Row, error) {
 	return tbl.Schema().DecodeRow(data)
 }
 
+// GetView implements core.Context: the hit path allocates nothing — key
+// encoding uses pooled scratch (getRaw) and the returned view decodes columns
+// lazily from the record's payload in place.
+func (c *execContext) GetView(relation string, keyVals ...any) (rel.RowView, bool, error) {
+	tbl, err := c.table(relation)
+	if err != nil {
+		return rel.RowView{}, false, err
+	}
+	data, present, err := c.getRaw(tbl, keyVals)
+	if err != nil || !present {
+		return rel.RowView{}, false, err
+	}
+	return tbl.Schema().ViewRow(data), true, nil
+}
+
 // Insert implements core.Context.
 func (c *execContext) Insert(relation string, row rel.Row) error {
+	if c.db.cfg.replica {
+		return ErrReplicaRead
+	}
 	tbl, err := c.table(relation)
 	if err != nil {
 		return err
@@ -166,6 +184,9 @@ func (c *execContext) Insert(relation string, row rel.Row) error {
 
 // Update implements core.Context.
 func (c *execContext) Update(relation string, row rel.Row) error {
+	if c.db.cfg.replica {
+		return ErrReplicaRead
+	}
 	tbl, err := c.table(relation)
 	if err != nil {
 		return err
@@ -207,6 +228,9 @@ func (c *execContext) Update(relation string, row rel.Row) error {
 
 // Delete implements core.Context.
 func (c *execContext) Delete(relation string, keyVals ...any) error {
+	if c.db.cfg.replica {
+		return ErrReplicaRead
+	}
 	tbl, err := c.table(relation)
 	if err != nil {
 		return err

@@ -46,6 +46,11 @@ type Database struct {
 	adaptStop chan struct{}
 	adaptWG   sync.WaitGroup
 
+	// repl tracks attached replicas: semi-sync commit acknowledgments wait on
+	// it, and checkpoint truncation clamps to its shipping floor. See
+	// replication.go.
+	repl *replicationHub
+
 	closed atomic.Bool
 }
 
@@ -66,6 +71,7 @@ func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
 		epochStop: make(chan struct{}),
 		ckptStop:  make(chan struct{}),
 		adaptStop: make(chan struct{}),
+		repl:      newReplicationHub(),
 	}
 	for i := 0; i < cfg.Containers; i++ {
 		c, err := newContainer(db, i)

@@ -260,6 +260,13 @@ func (g *groupCommitter) flush(force bool) {
 		// records its members read are already appended, and an
 		// already-durable log absorbs the call.
 		logErr = w.Sync()
+		if logErr == nil {
+			// Semi-sync hook: withhold the whole batch's acknowledgments until
+			// every attached semi-sync replica has durably mirrored the
+			// batch's records. One wait covers the batch — the amortization
+			// that makes semi-sync affordable under group commit.
+			g.container.waitShipped(w.DurableLSN())
+		}
 	} else if g.logWrite > 0 {
 		vclock.Work(g.logWrite)
 	}

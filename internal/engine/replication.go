@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the primary's side of replication: the acknowledgment modes
+// and the hub tracking every attached replica's shipping progress. The
+// replica side — bootstrap, segment tailing, mirroring and apply — lives in
+// replica.go; the raw log plumbing in internal/wal/ship.go.
+
+// AckMode selects when a primary acknowledges a commit relative to
+// replication progress.
+type AckMode string
+
+// Acknowledgment modes.
+const (
+	// AckAsync (the default) acknowledges a commit as soon as it is durable
+	// on the primary's own log. Replicas tail the log at their own pace; a
+	// primary failure can lose commits the replica had not yet received.
+	AckAsync AckMode = "async"
+	// AckSemiSync withholds the commit acknowledgment until every attached
+	// semi-sync replica has durably received (mirrored and fsynced) the
+	// commit's log records. An acknowledged commit then survives the loss of
+	// either the primary or the replica — the replica can be promoted and
+	// recovery will find the records in its mirror. Like MySQL's semi-sync,
+	// the mode degrades to async when no semi-sync replica is attached (a
+	// failed replica detaches itself), so a dead replica cannot wedge the
+	// primary forever.
+	AckSemiSync AckMode = "semi-sync"
+)
+
+// replicationHub lives on a primary Database and tracks the durably-mirrored
+// LSN of every attached replica, per container. Commit paths consult it in
+// two ways: waitShipped blocks a semi-sync acknowledgment until the batch is
+// mirrored, and floor clamps checkpoint truncation so the primary never
+// deletes segments an attached replica still has to ship.
+type replicationHub struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// replicas maps each attached replica to its per-container mirrored-LSN
+	// vector. The map is keyed by identity; the Replica's internals are never
+	// touched from here.
+	replicas map[*Replica]*replAttachment
+	// semiSync counts attached semi-sync replicas, read without the lock on
+	// the commit fast path: with zero attached, waitShipped is a single
+	// atomic load.
+	semiSync atomic.Int32
+}
+
+type replAttachment struct {
+	mode    AckMode
+	shipped []uint64 // per-container durably mirrored LSN
+}
+
+func newReplicationHub() *replicationHub {
+	h := &replicationHub{replicas: make(map[*Replica]*replAttachment)}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// attach registers a replica. Its mirrored vector starts at zero, which
+// freezes checkpoint truncation (floor) until the replica has shipped the
+// existing log — exactly what a bootstrapping replica needs.
+func (h *replicationHub) attach(r *Replica, mode AckMode, containers int) {
+	h.mu.Lock()
+	if _, dup := h.replicas[r]; !dup && mode == AckSemiSync {
+		h.semiSync.Add(1)
+	}
+	h.replicas[r] = &replAttachment{mode: mode, shipped: make([]uint64, containers)}
+	h.mu.Unlock()
+}
+
+// detach removes a replica and wakes every semi-sync waiter so commits
+// blocked on the departed replica re-evaluate against the survivors (or
+// against nobody: semi-sync degrades to async, never to a wedged primary).
+func (h *replicationHub) detach(r *Replica) {
+	h.mu.Lock()
+	if a, ok := h.replicas[r]; ok {
+		delete(h.replicas, r)
+		if a.mode == AckSemiSync {
+			h.semiSync.Add(-1)
+		}
+		h.cond.Broadcast()
+	}
+	h.mu.Unlock()
+}
+
+// advance records that a replica has durably mirrored container's log through
+// lsn and wakes commit acknowledgments waiting on it.
+func (h *replicationHub) advance(r *Replica, container int, lsn uint64) {
+	h.mu.Lock()
+	if a, ok := h.replicas[r]; ok && container < len(a.shipped) && lsn > a.shipped[container] {
+		a.shipped[container] = lsn
+		h.cond.Broadcast()
+	}
+	h.mu.Unlock()
+}
+
+// waitShipped blocks until every attached semi-sync replica has durably
+// mirrored container's log through lsn. With no semi-sync replica attached it
+// returns immediately (one atomic load — async deployments and replica-free
+// primaries pay nothing). A replica that detaches mid-wait stops being
+// waited for: its durability promise is withdrawn along with it.
+func (h *replicationHub) waitShipped(container int, lsn uint64) {
+	if h.semiSync.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	for {
+		waiting := false
+		for _, a := range h.replicas {
+			if a.mode != AckSemiSync {
+				continue
+			}
+			if container < len(a.shipped) && a.shipped[container] < lsn {
+				waiting = true
+				break
+			}
+		}
+		if !waiting {
+			break
+		}
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
+}
+
+// floor returns the minimum durably-mirrored LSN across every attached
+// replica for the container, and whether any replica is attached. Checkpoint
+// truncation clamps its low-water mark to this floor so the log a replica is
+// still shipping stays available; without attached replicas truncation is
+// unconstrained.
+func (h *replicationHub) floor(container int) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	min, any := uint64(0), false
+	for _, a := range h.replicas {
+		if container >= len(a.shipped) {
+			continue
+		}
+		if !any || a.shipped[container] < min {
+			min, any = a.shipped[container], true
+		}
+	}
+	return min, any
+}
+
+// waitShipped blocks until every attached semi-sync replica has durably
+// mirrored this container's log through lsn: the commit-path hook of
+// AckSemiSync. It is a no-op with no semi-sync replica attached.
+func (c *Container) waitShipped(lsn uint64) {
+	c.db.repl.waitShipped(c.id, lsn)
+}

@@ -210,6 +210,9 @@ func (r *rootTxn) commit(session *coreSession) error {
 			if err := c.wal.Sync(); err != nil {
 				return err
 			}
+			// Semi-sync hook for the unbatched commit path: the result is
+			// externalized only after semi-sync replicas durably hold it.
+			c.waitShipped(c.wal.DurableLSN())
 		}
 		if lw := r.db.cfg.Costs.LogWrite; lw > 0 && c.wal == nil {
 			vclock.Spin(lw)

@@ -57,3 +57,67 @@ func TestHotReadZeroAlloc(t *testing.T) {
 	}
 	c.txn.Release()
 }
+
+// TestHotReadViewZeroAlloc pins the full read — key encoding, lookup, OCC
+// read AND column access — at 0 allocs/op through the lazy RowView, and pins
+// DecodeRowInto at boxing-only cost (one alloc per variable-width column, no
+// Row header). Together they hold the line the view refactor moved: before
+// it, every read paid the Row materialization on top of getRaw.
+func TestHotReadViewZeroAlloc(t *testing.T) {
+	schema := rel.MustSchema("accounts",
+		[]rel.Column{{Name: "id", Type: rel.Int64}, {Name: "val", Type: rel.Int64}}, "id")
+	tbl := rel.NewTable(schema)
+	const rows = 1024
+	for i := 0; i < rows; i++ {
+		tbl.MustLoadRow(rel.Row{int64(i), int64(i) * 3})
+	}
+	d := occ.NewDomain("zero-alloc-view")
+	c := &execContext{txn: d.Begin()}
+	defer c.txn.Release()
+
+	boxed := make([]any, rows)
+	for i := range boxed {
+		boxed[i] = int64(i)
+	}
+	vals := make([]any, 1)
+
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		k := i % rows
+		vals[0] = boxed[k]
+		i++
+		data, present, err := c.getRaw(tbl, vals)
+		if err != nil || !present {
+			t.Fatalf("getRaw: present=%v err=%v", present, err)
+		}
+		view := schema.ViewRow(data)
+		if got := view.Int64(1); got != int64(k)*3 {
+			t.Fatalf("view read %d, want %d", got, k*3)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("view read allocated %.1f allocs/op, want 0", allocs)
+	}
+
+	// DecodeRowInto reuses the Row's backing array: only the two int64
+	// boxings remain (values above the runtime's small-int cache).
+	scratch := make(rel.Row, 0, len(schema.Columns()))
+	i = 1000 // stay above the boxing fast path for small ints
+	allocs = testing.AllocsPerRun(2000, func() {
+		k := 1000 + i%24
+		vals[0] = boxed[k]
+		i++
+		data, _, err := c.getRaw(tbl, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := schema.DecodeRowInto(scratch, data)
+		if err != nil || row.Int64(1) != int64(k)*3 {
+			t.Fatalf("DecodeRowInto: row=%v err=%v", row, err)
+		}
+		scratch = row
+	})
+	if allocs > 2 {
+		t.Fatalf("DecodeRowInto allocated %.1f allocs/op, want <= 2 (boxing only)", allocs)
+	}
+}

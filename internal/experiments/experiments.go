@@ -142,30 +142,31 @@ type Runner func(Options) (*Table, error)
 // table number as used in DESIGN.md and EXPERIMENTS.md).
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"fig5":       Fig5,
-		"fig6":       Fig6,
-		"fig7":       Fig7,
-		"fig8":       Fig8,
-		"fig9":       Fig9,
-		"fig10":      Fig10,
-		"fig11":      Fig11,
-		"fig12":      Fig12,
-		"fig13":      Fig13,
-		"fig14":      Fig14,
-		"tab1":       Tab1,
-		"fig15":      Fig15,
-		"fig16":      Fig16,
-		"fig17":      Fig17,
-		"fig18":      Fig18,
-		"fig19":      Fig19,
-		"affinity":   Affinity,
-		"overhead":   Overhead,
-		"durability": Durability,
-		"twopc":      TwoPC,
-		"checkpoint": Checkpoint,
-		"scheduler":  Scheduler,
-		"query":      Query,
-		"storage":    Storage,
+		"fig5":        Fig5,
+		"fig6":        Fig6,
+		"fig7":        Fig7,
+		"fig8":        Fig8,
+		"fig9":        Fig9,
+		"fig10":       Fig10,
+		"fig11":       Fig11,
+		"fig12":       Fig12,
+		"fig13":       Fig13,
+		"fig14":       Fig14,
+		"tab1":        Tab1,
+		"fig15":       Fig15,
+		"fig16":       Fig16,
+		"fig17":       Fig17,
+		"fig18":       Fig18,
+		"fig19":       Fig19,
+		"affinity":    Affinity,
+		"overhead":    Overhead,
+		"durability":  Durability,
+		"twopc":       TwoPC,
+		"checkpoint":  Checkpoint,
+		"scheduler":   Scheduler,
+		"query":       Query,
+		"storage":     Storage,
+		"replication": Replication,
 	}
 }
 

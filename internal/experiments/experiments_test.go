@@ -21,7 +21,7 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"affinity", "overhead", "durability", "twopc", "checkpoint", "scheduler",
-		"query", "storage",
+		"query", "storage", "replication",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -343,5 +343,44 @@ func TestQuerySweepShowsPlannerAndIndexEffects(t *testing.T) {
 	if indexed.MicrosPerQ*2 > scan.MicrosPerQ {
 		t.Fatalf("indexed lookup (%.1fus) should be at least 2x faster than the scan (%.1fus)",
 			indexed.MicrosPerQ, scan.MicrosPerQ)
+	}
+}
+
+func TestReplicationSweepReportsAckModeAndLag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := Replication(tinyOptions())
+	if err != nil {
+		t.Fatalf("Replication: %v", err)
+	}
+	payload, ok := tbl.Machine.(*ReplicationBench)
+	if !ok || len(payload.Rows) == 0 {
+		t.Fatalf("machine payload missing or empty: %#v", tbl.Machine)
+	}
+	if len(payload.Rows) != len(replicationPoints(tinyOptions())) {
+		t.Fatalf("sweep produced %d rows, want %d",
+			len(payload.Rows), len(replicationPoints(tinyOptions())))
+	}
+	seen := map[string]bool{}
+	for _, r := range payload.Rows {
+		if seen[r.Name] {
+			t.Fatalf("duplicate row name %q (the bench-history gate matches by name)", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Throughput <= 0 {
+			t.Fatalf("%s: no committed transactions", r.Name)
+		}
+		if r.CommitP99Ms < r.CommitP50Ms {
+			t.Fatalf("%s: p99 %.3fms below p50 %.3fms", r.Name, r.CommitP99Ms, r.CommitP50Ms)
+		}
+		if r.Replicas == 0 && (r.MaxLagRecords != 0 || r.CatchupMs != 0) {
+			t.Fatalf("%s: baseline without replicas reported lag/catch-up", r.Name)
+		}
+		// Noise-proof structural check only: latency comparisons between ack
+		// modes are asserted by TestSemiSync* in internal/engine, not here.
+	}
+	if !seen["ack=async r=0"] || !seen["ack=semisync r=2"] {
+		t.Fatalf("expected sweep endpoints missing: %v", seen)
 	}
 }

@@ -21,6 +21,11 @@ import (
 // QueryBenchRow is the machine-readable record of one sweep point, written to
 // BENCH_query.json by `make bench-query`.
 type QueryBenchRow struct {
+	// Name and NsPerOp feed the shared bench-history regression gate
+	// (`make bench-query-check`): Name keys the row across runs and NsPerOp
+	// mirrors MicrosPerQ in the gate's unit.
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
 	Shape      string  `json:"shape"` // "join" | "point"
 	Fanout     int     `json:"fanout"`
 	Indexed    bool    `json:"indexed"`
@@ -139,21 +144,27 @@ func pointQuery(cust int64) *rel.Query {
 		Count("n")
 }
 
-// timeQuery runs the query repeatedly and returns the mean latency, the last
-// result, and the repetition count actually used.
+// timeQuery runs the query repeatedly and returns the mean latency and the
+// last result. It runs at least reps repetitions AND at least a fixed wall
+// budget: microsecond-scale queries would otherwise finish the rep count in a
+// jitter-dominated fraction of a scheduler quantum, making the bench-history
+// regression gate flaky.
 func timeQuery(db *engine.Database, q func() *rel.Query, reps int) (time.Duration, *rel.Result, error) {
+	const minDuration = 25 * time.Millisecond
 	// One warmup run outside the clock.
 	res, err := db.Query(q())
 	if err != nil {
 		return 0, nil, err
 	}
 	start := time.Now()
-	for i := 0; i < reps; i++ {
+	n := 0
+	for n < reps || time.Since(start) < minDuration {
 		if res, err = db.Query(q()); err != nil {
 			return 0, nil, err
 		}
+		n++
 	}
-	return time.Since(start) / time.Duration(reps), res, nil
+	return time.Since(start) / time.Duration(n), res, nil
 }
 
 // Query is the query-layer sweep: join fan-out × secondary index on/off ×
@@ -193,6 +204,8 @@ func Query(opts Options) (*Table, error) {
 		if r.Indexed {
 			idx = "on"
 		}
+		r.Name = fmt.Sprintf("%s f=%d idx=%s %s", r.Shape, r.Fanout, idx, r.Planner)
+		r.NsPerOp = r.MicrosPerQ * 1e3
 		table.AddRow(r.Shape, fmt.Sprintf("%d", r.Fanout), idx, r.Planner,
 			fmt.Sprintf("%d", r.RowsOut), fmt.Sprintf("%.1f", r.MicrosPerQ),
 			r.JoinOrder, r.AccessPath)

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reactdb/internal/engine"
+	"reactdb/internal/randutil"
+	"reactdb/internal/stats"
+	"reactdb/internal/wal"
+	"reactdb/internal/workload/smallbank"
+)
+
+// replicationPoint is one point of the ack mode × replica count sweep.
+type replicationPoint struct {
+	ack      engine.AckMode
+	replicas int
+}
+
+func (p replicationPoint) name() string {
+	return fmt.Sprintf("ack=%s r=%d", ackModeName(p.ack), p.replicas)
+}
+
+func ackModeName(m engine.AckMode) string {
+	if m == engine.AckSemiSync {
+		return "semisync"
+	}
+	return "async"
+}
+
+// replicationPoints enumerates the sweep. The r=0 baseline measures the
+// primary's commit path alone; semi-sync with zero replicas would be the same
+// configuration, so it is omitted.
+func replicationPoints(opts Options) []replicationPoint {
+	counts := []int{1, 2}
+	if opts.Full {
+		counts = []int{1, 2, 4}
+	}
+	pts := []replicationPoint{{ack: engine.AckAsync, replicas: 0}}
+	for _, m := range []engine.AckMode{engine.AckAsync, engine.AckSemiSync} {
+		for _, n := range counts {
+			pts = append(pts, replicationPoint{ack: m, replicas: n})
+		}
+	}
+	return pts
+}
+
+// ReplicationBenchRow is the machine-readable form of one sweep point. Name
+// and NsPerOp follow the bench-history gate contract (reactdb-bench
+// -compare): rows are matched by Name across runs and compared on NsPerOp.
+// NsPerOp stays 0 here — commit latency under semi-sync depends on the
+// replica's poll timing and is too noisy to gate; the sweep is recorded for
+// trend inspection, not regression arithmetic.
+type ReplicationBenchRow struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	Ack           string  `json:"ack"`
+	Replicas      int     `json:"replicas"`
+	Throughput    float64 `json:"txn_per_sec"`
+	CommitP50Ms   float64 `json:"commit_p50_ms"`
+	CommitP99Ms   float64 `json:"commit_p99_ms"`
+	CommitMeanMs  float64 `json:"commit_mean_ms"`
+	MaxLagRecords uint64  `json:"max_lag_records"`
+	CatchupMs     float64 `json:"catchup_ms"`
+}
+
+// ReplicationBench is the Machine payload for the replication sweep.
+type ReplicationBench struct {
+	Workers int                   `json:"workers"`
+	Rows    []ReplicationBenchRow `json:"rows"`
+}
+
+// Replication sweeps acknowledgment mode × replica count over a WAL primary
+// with group commit: single-container smallbank deposits while each attached
+// replica bootstraps from a checkpoint blob and tails the live log. Per-point
+// it reports commit latency quantiles (the price of the ack mode), steady-
+// state freshness lag sampled at the end of the timed window (records the
+// newest replica read can trail the primary by), and the catch-up time from
+// writer stop until every replica's applied watermark reaches the primary's
+// durable LSN.
+func Replication(opts Options) (*Table, error) {
+	customers := 64
+	workers := 8
+	if opts.Full {
+		customers = 512
+		workers = 16
+	}
+
+	table := &Table{
+		ID:    "replication",
+		Title: "Replication sweep: ack mode x replica count (WAL primary, group commit)",
+		Header: []string{"config", "throughput [txn/s]", "commit p50 [ms]", "commit p99 [ms]",
+			"max lag [recs]", "catch-up [ms]"},
+		Notes: []string{
+			"async acks after the primary's local fsync; semisync withholds acks until every replica durably mirrored the commit",
+			"max lag is the worst shard lag (primary durable LSN - replica applied LSN) across replicas, sampled at the end of the run",
+			"catch-up is writer-stop to every replica applied == primary durable; '-' where no replica is attached",
+		},
+	}
+	payload := &ReplicationBench{Workers: workers}
+
+	for _, pt := range replicationPoints(opts) {
+		row, err := runReplicationPoint(opts, pt, customers, workers)
+		if err != nil {
+			return nil, fmt.Errorf("replication point %s: %w", pt.name(), err)
+		}
+		payload.Rows = append(payload.Rows, row)
+		lag, catchup := "-", "-"
+		if pt.replicas > 0 {
+			lag = fmt.Sprintf("%d", row.MaxLagRecords)
+			catchup = fmt.Sprintf("%.1f", row.CatchupMs)
+		}
+		table.AddRow(pt.name(), formatThroughput(row.Throughput),
+			fmt.Sprintf("%.3f", row.CommitP50Ms), fmt.Sprintf("%.3f", row.CommitP99Ms),
+			lag, catchup)
+	}
+	table.Machine = payload
+	return table, nil
+}
+
+func runReplicationPoint(opts Options, pt replicationPoint, customers, workers int) (ReplicationBenchRow, error) {
+	row := ReplicationBenchRow{
+		Name: pt.name(), Ack: ackModeName(pt.ack), Replicas: pt.replicas,
+	}
+
+	cfg := engine.NewSharedEverythingWithAffinity(2)
+	cfg.Costs = opts.commCosts()
+	cfg.GroupCommit = engine.GroupCommitConfig{Enabled: true, Window: 200 * time.Microsecond, MaxBatch: 32}
+	cfg.Durability = engine.DurabilityConfig{Mode: engine.DurabilityWAL, Storage: wal.NewMemStorage()}
+
+	db, err := engine.Open(smallbank.NewDefinition(customers), cfg)
+	if err != nil {
+		return row, err
+	}
+	defer db.Close()
+	if err := smallbank.Load(db, customers, 1e9, 1e9); err != nil {
+		return row, err
+	}
+	// Checkpoint once so replicas exercise the blob-bootstrap path rather
+	// than replaying the load from the log's origin.
+	if err := db.Checkpoint(); err != nil {
+		return row, err
+	}
+
+	replicas := make([]*engine.Replica, 0, pt.replicas)
+	defer func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+	}()
+	for i := 0; i < pt.replicas; i++ {
+		r, err := engine.OpenReplica(db, engine.ReplicaOptions{
+			Ack:          pt.ack,
+			PollInterval: 100 * time.Microsecond,
+		})
+		if err != nil {
+			return row, err
+		}
+		replicas = append(replicas, r)
+		if err := r.WaitCaughtUp(10 * time.Second); err != nil {
+			return row, err
+		}
+	}
+
+	// Drive distinct-key deposits from a fixed worker pool, recording each
+	// committed transaction's wall latency. bench.Run is not used here: its
+	// RunResult folds latency into mean/stddev, and the point of the sweep is
+	// the tail the ack mode buys or costs.
+	hist := stats.NewHistogram(stats.DurationBounds())
+	var (
+		stop      atomic.Bool
+		recording atomic.Bool
+		committed atomic.Int64
+		runErr    atomic.Value
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := randutil.New(int64(worker) + 1)
+			for !stop.Load() {
+				id := worker + workers*randutil.UniformInt(rng, 0, customers/workers-1)
+				begin := time.Now()
+				_, err := db.Execute(smallbank.ReactorName(id), smallbank.ProcDepositChecking, 1.0)
+				if err != nil {
+					runErr.Store(err)
+					return
+				}
+				if recording.Load() {
+					hist.ObserveDuration(time.Since(begin))
+					committed.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	warmup := 50 * time.Millisecond
+	measure := time.Duration(opts.epochs()) * opts.epochDuration()
+	time.Sleep(warmup)
+	recording.Store(true)
+	measureStart := time.Now()
+	time.Sleep(measure)
+	// Sample freshness lag while writers are still running: this is the gap a
+	// read-scale-out client actually observes, not the drained end state.
+	for _, r := range replicas {
+		for _, sh := range r.Stats().Shards {
+			if sh.Lag > row.MaxLagRecords {
+				row.MaxLagRecords = sh.Lag
+			}
+		}
+	}
+	recording.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+	if err, _ := runErr.Load().(error); err != nil {
+		return row, err
+	}
+
+	catchupStart := time.Now()
+	for _, r := range replicas {
+		if err := r.WaitCaughtUp(10 * time.Second); err != nil {
+			return row, err
+		}
+	}
+	if len(replicas) > 0 {
+		row.CatchupMs = float64(time.Since(catchupStart)) / 1e6
+	}
+
+	snap := hist.Snapshot()
+	row.Throughput = float64(committed.Load()) / elapsed.Seconds()
+	row.CommitP50Ms = snap.Quantile(0.50) / 1e6
+	row.CommitP99Ms = snap.Quantile(0.99) / 1e6
+	row.CommitMeanMs = hist.Mean() / 1e6
+	return row, nil
+}

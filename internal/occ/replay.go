@@ -17,11 +17,24 @@ import (
 // the record latch and the structural guard anyway so it is safe by
 // construction.
 func (d *Domain) ApplyReplayedWrite(rec *kv.Record, guard ScanGuard, tid uint64, data []byte, deleted bool) {
+	d.ApplyShippedWrite(rec, guard, tid, data, deleted)
+}
+
+// ApplyShippedWrite installs one replicated committed write shipped from a
+// primary's log: the replica's apply hook, and the body ApplyReplayedWrite
+// delegates to. Unlike recovery, a replica applies against a live domain that
+// is concurrently serving read-only transactions — which is exactly what the
+// record latch and structural guard already make safe: a reader that observed
+// a version this install replaces fails its OCC validation and retries. It
+// reports whether the write was installed; false means the record already
+// held this version or a newer one (the re-shipped overlap after a replica
+// restart, or a group participant applied out of batch order).
+func (d *Domain) ApplyShippedWrite(rec *kv.Record, guard ScanGuard, tid uint64, data []byte, deleted bool) bool {
 	maintainer, maintain := guard.(IndexMaintainer)
 	rec.Lock()
 	if tid <= rec.TID() {
 		rec.Unlock()
-		return
+		return false
 	}
 	oldData := rec.Data()
 	oldPresent := !rec.Absent()
@@ -40,6 +53,7 @@ func (d *Domain) ApplyReplayedWrite(rec *kv.Record, guard ScanGuard, tid uint64,
 		}
 		guard.UnlockStructure()
 	}
+	return true
 }
 
 // InstallCheckpointRow installs one checkpoint-captured row into a record:

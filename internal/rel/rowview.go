@@ -1,0 +1,155 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// RowView is a lazy, allocation-free reader over an encoded row payload: it
+// references the payload bytes in place and decodes individual columns on
+// access instead of materializing a Row (whose slice header and per-column
+// boxing dominate the read path's allocations). Views are values — copying
+// one is free — and remain valid only as long as the underlying payload:
+// inside a procedure that is until the transaction ends, the same lifetime
+// the raw payload has.
+//
+// Accessors panic on type mismatches exactly like Row's, and on corrupt
+// payloads — a view is only constructed over payloads the engine already
+// CRC-checked, so corruption here is a bug, not an input error.
+type RowView struct {
+	schema *Schema
+	data   []byte
+}
+
+// ViewRow wraps an encoded payload (produced by EncodeRow) in a lazy view.
+// It performs no validation and never allocates.
+func (s *Schema) ViewRow(data []byte) RowView {
+	return RowView{schema: s, data: data}
+}
+
+// Valid reports whether the view wraps a payload (the zero RowView does not).
+func (v RowView) Valid() bool { return v.schema != nil }
+
+// Schema returns the schema the view decodes against.
+func (v RowView) Schema() *Schema { return v.schema }
+
+// Len returns the number of columns.
+func (v RowView) Len() int { return len(v.schema.columns) }
+
+// Materialize decodes the full payload into a freshly allocated Row.
+func (v RowView) Materialize() (Row, error) {
+	return v.schema.DecodeRow(v.data)
+}
+
+// skipValue returns the offset just past the value of the given type starting
+// at pos, and whether the payload was long enough.
+func skipValue(data []byte, pos int, t ColType) (int, bool) {
+	switch t {
+	case Int64:
+		_, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		return pos + n, true
+	case Float64:
+		if pos+8 > len(data) {
+			return 0, false
+		}
+		return pos + 8, true
+	case String, Bytes:
+		l, n := binary.Uvarint(data[pos:])
+		if n <= 0 || pos+n+int(l) > len(data) {
+			return 0, false
+		}
+		return pos + n + int(l), true
+	case Bool:
+		if pos+1 > len(data) {
+			return 0, false
+		}
+		return pos + 1, true
+	}
+	return 0, false
+}
+
+// offsetOf walks the payload to the start of column col. The walk is linear in
+// the column index; relation schemas are a handful of columns wide, so the
+// walk stays cheaper than the allocations it replaces.
+func (v RowView) offsetOf(col int) int {
+	if v.schema == nil {
+		panic("rel: access through a zero RowView")
+	}
+	if col < 0 || col >= len(v.schema.columns) {
+		panic(fmt.Sprintf("rel: %s: column %d out of range", v.schema.name, col))
+	}
+	pos := 0
+	for i := 0; i < col; i++ {
+		next, ok := skipValue(v.data, pos, v.schema.columns[i].Type)
+		if !ok {
+			panic(fmt.Sprintf("rel: %s: corrupt payload at column %q", v.schema.name, v.schema.columns[i].Name))
+		}
+		pos = next
+	}
+	return pos
+}
+
+func (v RowView) typeAt(col int, want ColType, verb string) int {
+	pos := v.offsetOf(col)
+	if t := v.schema.columns[col].Type; t != want {
+		panic(fmt.Sprintf("rel: %s: column %q is %v, not %s", v.schema.name, v.schema.columns[col].Name, t, verb))
+	}
+	return pos
+}
+
+// Int64 decodes column i as an int64 without allocating.
+func (v RowView) Int64(i int) int64 {
+	pos := v.typeAt(i, Int64, "int64")
+	val, n := binary.Varint(v.data[pos:])
+	if n <= 0 {
+		panic(fmt.Sprintf("rel: %s: corrupt int64 at column %q", v.schema.name, v.schema.columns[i].Name))
+	}
+	return val
+}
+
+// Float64 decodes column i as a float64 without allocating.
+func (v RowView) Float64(i int) float64 {
+	pos := v.typeAt(i, Float64, "float64")
+	if pos+8 > len(v.data) {
+		panic(fmt.Sprintf("rel: %s: corrupt float64 at column %q", v.schema.name, v.schema.columns[i].Name))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.data[pos:]))
+}
+
+// Bool decodes column i as a bool without allocating.
+func (v RowView) Bool(i int) bool {
+	pos := v.typeAt(i, Bool, "bool")
+	if pos+1 > len(v.data) {
+		panic(fmt.Sprintf("rel: %s: corrupt bool at column %q", v.schema.name, v.schema.columns[i].Name))
+	}
+	return v.data[pos] != 0
+}
+
+// Bytes returns column i as a subslice of the underlying payload — no copy,
+// no allocation. Callers must treat it as read-only and must not retain it
+// past the payload's lifetime; use String or Materialize for an owned copy.
+func (v RowView) Bytes(i int) []byte {
+	c := v.schema.columns[i]
+	if c.Type != String && c.Type != Bytes {
+		v.typeAt(i, Bytes, "bytes") // panics with the column's real type
+	}
+	pos := v.offsetOf(i)
+	l, n := binary.Uvarint(v.data[pos:])
+	if n <= 0 || pos+n+int(l) > len(v.data) {
+		panic(fmt.Sprintf("rel: %s: corrupt %v at column %q", v.schema.name, c.Type, c.Name))
+	}
+	return v.data[pos+n : pos+n+int(l)]
+}
+
+// String returns column i as an owned string (this is the one accessor that
+// allocates: string conversion copies).
+func (v RowView) String(i int) string {
+	if v.schema.columns[i].Type != String {
+		v.typeAt(i, String, "string")
+	}
+	return string(v.Bytes(i))
+}

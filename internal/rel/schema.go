@@ -370,7 +370,23 @@ func (s *Schema) MustEncodeRow(row Row) []byte {
 
 // DecodeRow deserializes a payload produced by EncodeRow.
 func (s *Schema) DecodeRow(data []byte) (Row, error) {
-	row := make(Row, len(s.columns))
+	return s.DecodeRowInto(nil, data)
+}
+
+// DecodeRowInto is DecodeRow decoding into dst's backing array when it has
+// the capacity (allocating a fresh Row otherwise), so loops that decode row
+// after row reuse one slice header instead of allocating per row. Boxing
+// variable-width values (the per-column interface conversions) still
+// allocates — callers that need a fully allocation-free read use ViewRow.
+// On success the returned Row must replace dst at the call site; on error
+// dst's contents are unspecified.
+func (s *Schema) DecodeRowInto(dst Row, data []byte) (Row, error) {
+	var row Row
+	if cap(dst) >= len(s.columns) {
+		row = dst[:len(s.columns)]
+	} else {
+		row = make(Row, len(s.columns))
+	}
 	pos := 0
 	for i, c := range s.columns {
 		switch c.Type {

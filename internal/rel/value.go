@@ -200,6 +200,31 @@ func AppendKeyBool(dst []byte, v bool) []byte {
 // AppendKeyValue appends the order-preserving encoding of v, interpreted as
 // column type t, to dst.
 func AppendKeyValue(dst []byte, v any, t ColType) ([]byte, error) {
+	// Fast paths for values already in canonical representation: routing them
+	// through normalize would re-box the value on return, costing one heap
+	// allocation per key column for anything outside the runtime's small-int
+	// cache — a tax every point read and scan bound would pay.
+	switch x := v.(type) {
+	case int64:
+		switch t {
+		case Int64:
+			return AppendKeyInt64(dst, x), nil
+		case Float64:
+			return AppendKeyFloat64(dst, float64(x)), nil
+		}
+	case float64:
+		if t == Float64 {
+			return AppendKeyFloat64(dst, x), nil
+		}
+	case string:
+		if t == String {
+			return AppendKeyString(dst, x), nil
+		}
+	case bool:
+		if t == Bool {
+			return AppendKeyBool(dst, x), nil
+		}
+	}
 	nv, err := normalize(v, t)
 	if err != nil {
 		return dst, err

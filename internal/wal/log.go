@@ -108,6 +108,16 @@ func Open(storage Storage, opts Options) (*Log, error) {
 			break
 		}
 	}
+	// A checkpoint may cover — and truncation may have deleted — every record
+	// the scan above could find, yet new LSNs must still ascend past whatever
+	// the newest durable checkpoint claims covered: recovery skips records at
+	// or below the checkpoint's low-water mark, so restarting the sequence
+	// underneath it would silently drop post-restart commits. Promoting a
+	// replica mirror hits exactly this shape — a transferred blob alongside a
+	// still-empty log.
+	if cp, _, err := LatestCheckpoint(storage); err == nil && cp != nil && cp.LowLSN > l.appended {
+		l.appended = cp.LowLSN
+	}
 	l.durable = l.appended // everything recovered from storage is durable
 	l.nextIdx = next
 	return l, nil

@@ -1,0 +1,318 @@
+package wal
+
+import "errors"
+
+// This file is the log-shipping side of replication: a ShipCursor tails a
+// primary log's segments read-only through the Storage interface, and a
+// MirrorWriter re-appends the shipped frames into the replica's own storage
+// with the same rotation and durability discipline a primary Log has. Both
+// deal in raw CRC-framed bytes, so the mirrored log is byte-for-byte a valid
+// log: a replica can be promoted by simply opening it with Open and running
+// ordinary recovery.
+
+// ShippedRecord is one record pulled off a primary log: the decoded record
+// plus the raw frame bytes exactly as they appear in the primary's segment,
+// ready to be re-appended verbatim by a MirrorWriter.
+type ShippedRecord struct {
+	Record
+	// Frame is the CRC-framed encoding of Record (header + payload). It
+	// aliases the segment snapshot the cursor read, which is never mutated.
+	Frame []byte
+}
+
+// ErrShipGap reports that log truncation on the primary deleted a segment the
+// cursor had not fully shipped: records are gone from the log forever, so the
+// replica must re-bootstrap from the newest checkpoint instead of tailing.
+// The engine avoids this in steady state by clamping truncation to the
+// replication floor (the minimum shipped LSN across attached replicas); the
+// error covers replicas that fall behind while detached.
+var ErrShipGap = errors.New("wal: shipping gap: segment truncated under cursor")
+
+// ShipCursor tails one log's segments through its Storage. It is a pure
+// reader: the primary's Log instance never knows the cursor exists, which is
+// exactly the property that lets shipping be retrofitted onto a running
+// system (and, later, move across a network boundary — the cursor only needs
+// List and ReadSegment).
+//
+// Poll is gated by the primary's durable LSN, which the caller snapshots from
+// Log.DurableLSN. Gating matters for correctness, not just politeness: the
+// failed-append salvage path leaves complete leading frames of an aborted
+// batch in a sealed segment, and those orphan frames become covered by the
+// durable watermark only in the same fsync that makes their abort records
+// durable. A durable-gated cursor therefore always ships an orphan frame and
+// its retraction in the same Poll, so an applier that registers a batch's
+// aborts before applying the batch can never install an aborted write.
+type ShipCursor struct {
+	storage Storage
+	seg     uint64 // current segment index
+	haveSeg bool   // false until the first segment is found
+	off     int    // byte offset of the next undecoded frame in seg
+	lastLSN uint64 // highest LSN shipped (or skipped as already-shipped)
+	gated   bool   // last stop was the durable gate, not end-of-prefix
+}
+
+// NewShipCursor returns a cursor that ships every record with LSN > afterLSN,
+// in LSN order. Pass 0 to ship the whole remaining log, or a replica's last
+// locally durable LSN to resume after a restart.
+func NewShipCursor(storage Storage, afterLSN uint64) *ShipCursor {
+	return &ShipCursor{storage: storage, lastLSN: afterLSN}
+}
+
+// LastLSN returns the highest LSN the cursor has shipped or skipped.
+func (c *ShipCursor) LastLSN() uint64 { return c.lastLSN }
+
+// Poll ships every not-yet-shipped record with LSN <= durable, appending to
+// dst (pass nil or a reused slice). It never blocks: when the log has no new
+// durable records the result is empty. A torn or undecodable frame ends a
+// segment's shipped prefix; the cursor moves past it only once a higher
+// segment index exists, which (by the log's rotation discipline) proves the
+// torn segment is sealed and its tail permanently dead.
+func (c *ShipCursor) Poll(durable uint64, dst []ShippedRecord) ([]ShippedRecord, error) {
+	out := dst[:0]
+	if durable <= c.lastLSN {
+		return out, nil
+	}
+	indexes, err := c.storage.List()
+	if err != nil {
+		return out, err
+	}
+	if len(indexes) == 0 {
+		return out, nil
+	}
+	pos := -1
+	if !c.haveSeg {
+		c.seg, c.haveSeg, c.off, pos = indexes[0], true, 0, 0
+	} else {
+		for i, idx := range indexes {
+			if idx == c.seg {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			// Our segment was truncated away. If the last stop drained the
+			// segment's decodable prefix, everything it held was shipped (the
+			// engine's truncation floor guarantees this in steady state) and
+			// the cursor can resume on the next surviving segment; if the
+			// durable gate stopped us mid-segment, records are lost.
+			if c.gated || indexes[0] < c.seg {
+				return out, ErrShipGap
+			}
+			for i, idx := range indexes {
+				if idx > c.seg {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				return out, nil
+			}
+			c.seg, c.off = indexes[pos], 0
+		}
+	}
+	for {
+		buf, err := c.storage.ReadSegment(c.seg)
+		if err != nil {
+			return out, err
+		}
+		for c.off < len(buf) {
+			rec, end, decErr := decodeRecord(buf, c.off)
+			if decErr != nil {
+				break // torn tail, or a frame still being written
+			}
+			if rec.LSN > durable {
+				c.gated = true
+				return out, nil
+			}
+			frame := buf[c.off:end]
+			c.off = end
+			if rec.LSN <= c.lastLSN {
+				continue // resume skip: already shipped before a restart
+			}
+			c.lastLSN = rec.LSN
+			out = append(out, ShippedRecord{Record: rec, Frame: frame})
+		}
+		c.gated = false
+		if pos+1 >= len(indexes) {
+			return out, nil // active segment: wait for more bytes or a rotation
+		}
+		pos++
+		c.seg, c.off = indexes[pos], 0
+	}
+}
+
+// MirrorWriter appends shipped frames into the replica's own storage, giving
+// the mirror the same shape as a primary log: CRC-framed records in
+// ascending-LSN order, segments sealed (fsynced, closed) before a successor
+// is created, so every segment below the newest is fully durable. The mirror
+// keeps its own segment indexes — they need not match the primary's, because
+// recovery and replay order by LSN, never by segment boundary.
+type MirrorWriter struct {
+	storage   Storage
+	segSize   int
+	active    SegmentFile // nil until the first append after open/rotate
+	activeLen int
+	nextIdx   uint64
+	lastLSN   uint64 // highest LSN written (durable or not)
+	durable   uint64 // highest LSN covered by a successful Sync
+	unsynced  bool
+}
+
+// OpenMirror opens (or creates) a mirror on storage. It scans existing
+// segments for the highest decodable LSN — the resume point a ShipCursor
+// should be created after — and always starts a fresh segment for new
+// appends, so a torn tail left by a crash is never appended into.
+func OpenMirror(storage Storage, segSize int) (*MirrorWriter, error) {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	m := &MirrorWriter{storage: storage, segSize: segSize}
+	indexes, err := storage.List()
+	if err != nil {
+		return nil, err
+	}
+	if len(indexes) > 0 {
+		m.nextIdx = indexes[len(indexes)-1] + 1
+		// Same tail-adoption rule as Log.Open: fsync the final segment before
+		// trusting its decodable records as durable.
+		if err := storage.SyncSegment(indexes[len(indexes)-1]); err != nil {
+			return nil, err
+		}
+	}
+	for i := len(indexes) - 1; i >= 0; i-- {
+		buf, err := storage.ReadSegment(indexes[i])
+		if err != nil {
+			return nil, err
+		}
+		off := 0
+		for off < len(buf) {
+			rec, n, decErr := decodeRecord(buf, off)
+			if decErr != nil {
+				break
+			}
+			if rec.LSN > m.lastLSN {
+				m.lastLSN = rec.LSN
+			}
+			off = n
+		}
+		if m.lastLSN > 0 {
+			break
+		}
+	}
+	m.durable = m.lastLSN
+	return m, nil
+}
+
+// LastLSN returns the highest LSN written to the mirror, durable or not.
+func (m *MirrorWriter) LastLSN() uint64 { return m.lastLSN }
+
+// DurableLSN returns the highest LSN the mirror has made durable. This is the
+// watermark a semi-sync primary waits on: everything at or below it survives
+// a replica crash.
+func (m *MirrorWriter) DurableLSN() uint64 { return m.durable }
+
+// Append writes one shipped frame. Frames must arrive in ascending LSN order;
+// a frame at or below the mirror's watermark is skipped silently (the resume
+// overlap after a restart). The frame is durable only after Sync.
+func (m *MirrorWriter) Append(lsn uint64, frame []byte) error {
+	if lsn <= m.lastLSN {
+		return nil
+	}
+	if m.active != nil && m.activeLen > 0 && m.activeLen+len(frame) > m.segSize {
+		if err := m.rotate(); err != nil {
+			return err
+		}
+	}
+	if m.active == nil {
+		active, err := m.storage.Create(m.nextIdx)
+		if err != nil {
+			return err
+		}
+		m.active = active
+		m.nextIdx++
+		m.activeLen = 0
+	}
+	if _, err := m.active.Write(frame); err != nil {
+		return err
+	}
+	m.activeLen += len(frame)
+	m.lastLSN = lsn
+	m.unsynced = true
+	return nil
+}
+
+// rotate seals the active segment — fsync then close, so sealed mirror
+// segments are always fully durable, as on a primary.
+func (m *MirrorWriter) rotate() error {
+	if err := m.syncActive(); err != nil {
+		return err
+	}
+	if err := m.active.Close(); err != nil {
+		return err
+	}
+	m.active = nil
+	return nil
+}
+
+func (m *MirrorWriter) syncActive() error {
+	if m.unsynced {
+		if err := m.active.Sync(); err != nil {
+			return err
+		}
+		m.unsynced = false
+	}
+	m.durable = m.lastLSN
+	return nil
+}
+
+// Sync makes every appended frame durable and advances the mirror watermark.
+func (m *MirrorWriter) Sync() error {
+	if m.active == nil {
+		m.durable = m.lastLSN
+		return nil
+	}
+	return m.syncActive()
+}
+
+// Close fsyncs and closes the active segment.
+func (m *MirrorWriter) Close() error {
+	if m.active == nil {
+		return nil
+	}
+	err := m.syncActive()
+	if cerr := m.active.Close(); err == nil {
+		err = cerr
+	}
+	m.active = nil
+	return err
+}
+
+// CopyLatestCheckpoint copies the newest decodable checkpoint blob from src
+// to dst byte-for-byte (same sequence number, so a promoted replica's
+// recovery finds it exactly where a primary's would), returning the decoded
+// checkpoint. (nil, nil) means src holds no usable checkpoint and the replica
+// must ship the log from the beginning. The primary may complete a checkpoint
+// round and prune older blobs between our listing and read; the copy retries
+// against the then-newest blob.
+func CopyLatestCheckpoint(src, dst Storage) (*Checkpoint, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		cp, _, err := LatestCheckpoint(src)
+		if err != nil {
+			return nil, err
+		}
+		if cp == nil {
+			return nil, nil
+		}
+		buf, err := src.ReadCheckpoint(cp.Seq)
+		if err != nil {
+			lastErr = err // pruned under us; retry against the newer round
+			continue
+		}
+		if err := dst.WriteCheckpoint(cp.Seq, buf); err != nil {
+			return nil, err
+		}
+		return cp, nil
+	}
+	return nil, lastErr
+}

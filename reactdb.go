@@ -64,6 +64,9 @@ type (
 	ColType = rel.ColType
 	// Row is a tuple.
 	Row = rel.Row
+	// RowView is a lazy, allocation-free reader over a stored row; see
+	// Context.GetView.
+	RowView = rel.RowView
 )
 
 // Re-exported declarative-query types. A Query is built fluently, then run
@@ -136,6 +139,39 @@ type (
 	CheckpointStats = engine.CheckpointStats
 )
 
+// Re-exported replication types: a Replica bootstraps from the primary's
+// newest checkpoint, tails its WAL segments, and serves snapshot-consistent
+// read-only transactions and queries (see OpenReplica).
+type (
+	// Replica is a read-only follower of a primary Database.
+	Replica = engine.Replica
+	// ReplicaOptions configures OpenReplica.
+	ReplicaOptions = engine.ReplicaOptions
+	// AckMode selects when the primary acknowledges commits relative to
+	// replication progress.
+	AckMode = engine.AckMode
+	// ReplicaStats is a snapshot of a replica's shipping and apply progress.
+	ReplicaStats = engine.ReplicaStats
+)
+
+// Replication acknowledgment modes.
+const (
+	// AckAsync acknowledges commits after the primary's local fsync.
+	AckAsync = engine.AckAsync
+	// AckSemiSync withholds commit acknowledgments until every attached
+	// semi-sync replica has durably mirrored the commit's log records.
+	AckSemiSync = engine.AckSemiSync
+)
+
+// OpenReplica attaches a read-only replica to a primary running under
+// DurabilityWAL. The replica bootstraps from the newest checkpoint blob,
+// tails the primary's live WAL segments, and applies them — base relations
+// and secondary indexes — at a snapshot watermark its Query and Execute
+// methods read from.
+func OpenReplica(primary *Database, opts ReplicaOptions) (*Replica, error) {
+	return engine.OpenReplica(primary, opts)
+}
+
 // Column types.
 const (
 	Int64   = rel.Int64
@@ -178,6 +214,8 @@ var (
 	// ErrDangerousStructure reports a violation of the intra-transaction
 	// safety condition (§2.2.4).
 	ErrDangerousStructure = core.ErrDangerousStructure
+	// ErrReplicaRead reports a write attempted on a read-only replica.
+	ErrReplicaRead = engine.ErrReplicaRead
 )
 
 // NewReactorType creates an empty reactor type.
