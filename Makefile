@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt crash-repl fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-sched-check bench-query bench-query-check bench-storage bench-storage-check bench-repl
+.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt crash-repl fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-sched-check bench-query bench-query-check bench-storage bench-storage-check bench-repl bench-repl-check bench-server
 
 all: fmt-check vet build test
 
@@ -114,8 +114,21 @@ bench-storage-check:
 
 # Run the replication sweep (ack mode x replica count: commit latency
 # quantiles, freshness lag, catch-up time) and append a dated entry to the
-# bench history. Recorded for trend inspection, not gated: semi-sync commit
-# latency depends on replica poll timing and is too noisy for a regression
-# band.
+# bench history.
 bench-repl:
 	$(GO) run ./cmd/reactdb-bench -experiment replication -json-history BENCH_repl.json
+
+# Gate on the replication bench history: fail if any sweep point's mean
+# per-transaction wall time regressed >50% against the previous entry. Only
+# the throughput-derived mean is gated — commit quantiles and catch-up ride
+# the replica's poll timing and stay trend-only — and the band is the widest
+# of the gated sweeps because semi-sync points still breathe with scheduling.
+bench-repl-check:
+	$(GO) run ./cmd/reactdb-bench -compare BENCH_repl.json -max-regression 0.50
+
+# Run the network front-end sweep (routing policy x key skew x client count
+# over a primary + fresh replica + lagging replica fleet) and append a dated
+# entry to the bench history. Trend-only: end-to-end latency over loopback TCP
+# rides kernel scheduling and replica poll timing.
+bench-server:
+	$(GO) run ./cmd/reactdb-bench -experiment server -json-history BENCH_server.json

@@ -108,6 +108,13 @@ func compareHistory(path string, maxRegression float64) error {
 
 	var regressions []string
 	check := func(name, metric string, prevV, lastV float64) {
+		if metric == "ns/op" && prevV == 0 && lastV > 0 {
+			// ns/op is never genuinely zero: a zero previous entry predates
+			// the row being measured (trend-only history promoted to a gated
+			// one). The new value is the baseline, not a regression.
+			fmt.Printf("  baseline %s %s: 0 -> %.2f (previous entry unmeasured)\n", name, metric, lastV)
+			return
+		}
 		limit := prevV * (1 + maxRegression)
 		if metric == "allocs/op" && limit < prevV+0.25 {
 			limit = prevV + 0.25

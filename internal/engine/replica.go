@@ -308,6 +308,16 @@ func (r *Replica) openShard(s *replicaShard) error {
 		}
 	}
 	s.lastShipped = resume
+	// Bootstrap itself ships a full prefix: the installed checkpoint covers
+	// every record at or below the floor and the replayed mirror every record
+	// at or below resume. Record that coverage so a freshly bootstrapped
+	// shard with no newer primary traffic is caught up before its first poll
+	// (both LSNs are durable on the primary, so the polledDurable invariant —
+	// a durable LSN whose full prefix has been shipped — holds).
+	s.polledDurable = s.floor
+	if resume > s.polledDurable {
+		s.polledDurable = resume
+	}
 	s.cursor = wal.NewShipCursor(s.primary.walStorage, resume)
 	return nil
 }
@@ -484,10 +494,16 @@ func (r *Replica) mirrorPass() {
 				err = s.mirror.Sync()
 			}
 			if err != nil {
-				// The mirror is broken: stop promising durability. Detaching
+				// The mirror is broken: stop promising durability. Seal what is
+				// already durable, keeping the close error too — Stats().Err is
+				// how an operator learns *why* the replica degraded. Detaching
 				// releases semi-sync waiters (degrade to async, MySQL-style)
 				// and unfreezes primary truncation; the replica keeps applying
 				// for read availability and re-ships after a restart.
+				err = fmt.Errorf("engine: replica: mirror container %d failed, degraded to async: %w", s.id, err)
+				if cerr := s.mirror.Close(); cerr != nil {
+					err = errors.Join(err, fmt.Errorf("engine: replica: seal degraded mirror container %d: %w", s.id, cerr))
+				}
 				r.degraded = true
 				r.lastErr = err
 				r.primary.repl.detach(r)
@@ -757,6 +773,13 @@ func (r *Replica) rebootstrapShard(s *replicaShard) error {
 	if err == nil && cp.LowLSN > s.floor {
 		s.floor = cp.LowLSN
 	}
+	if err == nil && s.appliedTo < s.floor {
+		// The installed checkpoint covers everything at or below the new
+		// floor. Without this the applied watermark stays stale until the next
+		// apply round with pending work, and Stats would overstate Lag by the
+		// width of the truncation hole.
+		s.appliedTo = s.floor
+	}
 	r.db.commitGate.Unlock()
 	if err != nil {
 		return err
@@ -798,7 +821,11 @@ func (r *Replica) Close() {
 	<-r.doneCh
 	for _, s := range r.shards {
 		if s.mirror != nil {
-			_ = s.mirror.Close()
+			if err := s.mirror.Close(); err != nil {
+				r.mu.Lock()
+				r.lastErr = fmt.Errorf("engine: replica: close mirror container %d: %w", s.id, err)
+				r.mu.Unlock()
+			}
 		}
 	}
 	r.db.Close()
@@ -842,6 +869,13 @@ func (r *Replica) Mode() AckMode { return r.mode }
 // otherwise the target moves.
 func (r *Replica) WaitCaughtUp(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	// Re-check faster than the shipping poll when that poll is slow: the
+	// sleep bounds how far past the deadline this can run, and a long
+	// PollInterval must not turn a short timeout into an hour-long wait.
+	step := r.poll
+	if max := 5 * time.Millisecond; step > max {
+		step = max
+	}
 	for {
 		if r.caughtUp() {
 			return nil
@@ -850,7 +884,7 @@ func (r *Replica) WaitCaughtUp(timeout time.Duration) error {
 			st := r.Stats()
 			return fmt.Errorf("engine: replica not caught up after %v: %+v", timeout, st.Shards)
 		}
-		time.Sleep(r.poll)
+		time.Sleep(step)
 	}
 }
 
@@ -895,16 +929,57 @@ type ReplicaShardStats struct {
 	Container int
 	// PrimaryDurable is the primary log's durable LSN at snapshot time;
 	// Shipped, Mirrored and Applied are the replica's corresponding
-	// watermarks. Lag is PrimaryDurable - Applied: the freshness gap a read
-	// on this shard can observe.
+	// watermarks. Shipped and Mirrored are reported no lower than Floor: a
+	// checkpoint fast-forward covers everything at or below the floor without
+	// re-shipping it, and a raw cursor position below the floor would read as
+	// the replica regressing. Lag is PrimaryDurable - Applied saturated at
+	// zero: the freshness gap a read on this shard can observe.
 	PrimaryDurable uint64
 	Shipped        uint64
 	Mirrored       uint64
 	Applied        uint64
 	Lag            uint64
-	// Pending is the apply queue depth; Floor the checkpoint low-water mark.
+	// Pending is the number of queued records that can still apply (entries
+	// at or below the floor or voided by a retraction are excluded — they pop
+	// without applying); Floor is the checkpoint low-water mark.
 	Pending int
 	Floor   uint64
+}
+
+// lagRecords is the freshness gap durable - applied, saturated at zero. The
+// applied watermark can legitimately pass a sampled durable LSN: a checkpoint
+// fast-forward raises it to the checkpoint floor in one step, and a mirror
+// re-attached to a promoted (or otherwise restarted) primary can resume above
+// that primary's durable LSN until it catches back up. The unguarded uint64
+// subtraction wraps those cases to ~2^64, and a lag-aware router consuming
+// Stats would route around a healthy replica forever.
+func lagRecords(durable, applied uint64) uint64 {
+	if durable <= applied {
+		return 0
+	}
+	return durable - applied
+}
+
+// floorClamp reports a shipping watermark no lower than the checkpoint floor.
+func floorClamp(lsn, floor uint64) uint64 {
+	if lsn < floor {
+		return floor
+	}
+	return lsn
+}
+
+// pendingCount is the number of queued records that will actually install:
+// sub-floor and retracted entries drain without applying, so counting them
+// would overstate the backlog after a fast-forward.
+func (s *replicaShard) pendingCount() int {
+	n := 0
+	for i := range s.queue {
+		rec := &s.queue[i]
+		if rec.LSN > s.floor && s.retracted[rec.TID] <= rec.LSN {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns a consistent snapshot of the replica's progress.
@@ -926,16 +1001,14 @@ func (r *Replica) Stats() ReplicaStats {
 		sh := ReplicaShardStats{
 			Container:      s.id,
 			PrimaryDurable: durable,
-			Shipped:        s.lastShipped,
+			Shipped:        floorClamp(s.lastShipped, s.floor),
 			Applied:        s.appliedTo,
-			Pending:        len(s.queue),
+			Lag:            lagRecords(durable, s.appliedTo),
+			Pending:        s.pendingCount(),
 			Floor:          s.floor,
 		}
 		if s.mirror != nil {
-			sh.Mirrored = s.mirror.DurableLSN()
-		}
-		if durable > s.appliedTo {
-			sh.Lag = durable - s.appliedTo
+			sh.Mirrored = floorClamp(s.mirror.DurableLSN(), s.floor)
 		}
 		st.Shards = append(st.Shards, sh)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -371,6 +372,241 @@ func TestSemiSyncDegradesWhenReplicaMirrorFails(t *testing.T) {
 		t.Fatal("primary commit path wedged by failed semi-sync replica")
 	}
 	waitFor(t, replicaWait, func() bool { return rep.Stats().Degraded })
+}
+
+// --- Regression: ReplicaStats watermark sanity ------------------------------
+
+// statsSane fails the test if any shard watermark wrapped or regressed below
+// the checkpoint floor: Lag must never exceed the primary's durable LSN (an
+// unguarded uint64 `durable - applied` wraps to ~2^64 the moment the applied
+// watermark passes the sampled durable LSN), and Shipped/Mirrored/Applied must
+// never read below Floor after a checkpoint fast-forward.
+func statsSane(t *testing.T, st ReplicaStats) {
+	t.Helper()
+	for _, sh := range st.Shards {
+		if sh.Lag > sh.PrimaryDurable {
+			t.Fatalf("shard %d Lag wrapped: %+v", sh.Container, sh)
+		}
+		if sh.Shipped < sh.Floor || sh.Mirrored < sh.Floor || sh.Applied < sh.Floor {
+			t.Fatalf("shard %d watermark below floor: %+v", sh.Container, sh)
+		}
+	}
+}
+
+// TestReplicaLagSaneAfterCheckpointFastForward restarts a replica on its old
+// mirror after the primary checkpointed and truncated past it: openShard
+// fast-forwards through the primary's newest checkpoint, which moves the
+// applied watermark to the checkpoint floor in one step. Every Stats snapshot
+// from reopen to caught-up must stay sane — this is the signal the wire
+// router steers by, so a wrapped Lag or a below-floor Shipped would make it
+// route around a healthy replica.
+func TestReplicaLagSaneAfterCheckpointFastForward(t *testing.T) {
+	storage := wal.NewMemStorage()
+	cfg := walCfg(storage)
+	cfg.Durability.SegmentSize = 1 << 10 // rotate often so truncation bites
+	db := MustOpen(kvDef("kv0"), cfg)
+	t.Cleanup(db.Close)
+
+	mirror := wal.NewMemStorage()
+	rep, err := OpenReplica(db, ReplicaOptions{Storage: mirror})
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := db.Execute("kv0", "put", int64(i), int64(100+i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := rep.WaitCaughtUp(replicaWait); err != nil {
+		t.Fatal(err)
+	}
+	// Close the replica, then let the primary checkpoint twice and truncate
+	// the segments the mirror would need to resume from.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	rep.Close()
+	for i := 20; i < 120; i++ {
+		if _, err := db.Execute("kv0", "put", int64(i), int64(100+i)); err != nil {
+			t.Fatalf("put while replica down %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+	}
+
+	rep2, err := OpenReplica(db, ReplicaOptions{Storage: mirror})
+	if err != nil {
+		t.Fatalf("reopen replica: %v", err)
+	}
+	t.Cleanup(rep2.Close)
+	statsSane(t, rep2.Stats())
+	if err := rep2.WaitCaughtUp(replicaWait); err != nil {
+		t.Fatal(err)
+	}
+	st := rep2.Stats()
+	statsSane(t, st)
+	for _, sh := range st.Shards {
+		if sh.Lag != 0 {
+			t.Fatalf("caught-up shard still lags: %+v", sh)
+		}
+	}
+	for i := 0; i < 120; i++ {
+		if v, present := readReplicaV(t, rep2, "kv0", int64(i)); !present || v != int64(100+i) {
+			t.Fatalf("key %d = (%d, %v), want %d", i, v, present, 100+i)
+		}
+	}
+}
+
+// TestReplicaLagClampWhenMirrorAheadOfPrimary is the underflow regression in
+// its purest form: a mirror whose durable history is AHEAD of the primary it
+// is attached to (the post-promotion shape — a surviving mirror re-pointed at
+// a new primary that has not caught up to the old timeline). The applied
+// watermark resumes above the primary's durable LSN, so the unguarded
+// subtraction at the old internal/engine/replica.go:938 would report a Lag of
+// ~2^64; the clamp must report zero.
+func TestReplicaLagClampWhenMirrorAheadOfPrimary(t *testing.T) {
+	mirror := wal.NewMemStorage()
+	{
+		storage := wal.NewMemStorage()
+		db := MustOpen(kvDef("kv0"), walCfg(storage))
+		rep, err := OpenReplica(db, ReplicaOptions{Storage: mirror})
+		if err != nil {
+			t.Fatalf("OpenReplica: %v", err)
+		}
+		for i := 0; i < 40; i++ {
+			if _, err := db.Execute("kv0", "put", int64(i), int64(100+i)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		if err := rep.WaitCaughtUp(replicaWait); err != nil {
+			t.Fatal(err)
+		}
+		rep.Close()
+		db.Close()
+	}
+
+	// A new primary on the same definition with a much shorter history: its
+	// durable LSN is far below the mirror's resume point.
+	db2 := MustOpen(kvDef("kv0"), walCfg(wal.NewMemStorage()))
+	t.Cleanup(db2.Close)
+	for i := 0; i < 3; i++ {
+		if _, err := db2.Execute("kv0", "put", int64(i), int64(i)); err != nil {
+			t.Fatalf("new-primary put %d: %v", i, err)
+		}
+	}
+	rep2, err := OpenReplica(db2, ReplicaOptions{Storage: mirror})
+	if err != nil {
+		t.Fatalf("reattach replica: %v", err)
+	}
+	t.Cleanup(rep2.Close)
+	st := rep2.Stats()
+	for _, sh := range st.Shards {
+		if sh.Applied <= sh.PrimaryDurable {
+			t.Fatalf("scenario failed to put the applied watermark ahead of the primary: %+v", sh)
+		}
+		if sh.Lag != 0 {
+			t.Fatalf("shard %d Lag = %d with applied %d ahead of durable %d, want 0",
+				sh.Container, sh.Lag, sh.Applied, sh.PrimaryDurable)
+		}
+	}
+}
+
+// TestDegradedReplicaSurfacesMirrorFailureCause: when the mirror device dies,
+// Stats().Err must explain WHY the replica degraded — before the fix the
+// degrade path recorded only the append/sync error and dropped the close
+// error, and Replica.Close discarded mirror close failures entirely. The
+// replica must also keep applying for read availability after degrading.
+func TestDegradedReplicaSurfacesMirrorFailureCause(t *testing.T) {
+	storage := wal.NewMemStorage()
+	db := MustOpen(kvDef("kv0"), walCfg(storage))
+	t.Cleanup(db.Close)
+
+	mirror := wal.NewMemStorage()
+	rep, err := OpenReplica(db, ReplicaOptions{Ack: AckSemiSync, Storage: mirror})
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	t.Cleanup(rep.Close)
+	for i := 0; i < 10; i++ {
+		if _, err := db.Execute("kv0", "put", int64(i), int64(100+i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := rep.WaitCaughtUp(replicaWait); err != nil {
+		t.Fatal(err)
+	}
+
+	cause := errors.New("injected mirror device failure")
+	mirror.FailSyncs(cause)
+	for i := 10; i < 20; i++ {
+		if _, err := db.Execute("kv0", "put", int64(i), int64(100+i)); err != nil {
+			t.Fatalf("put after mirror failure %d: %v", i, err)
+		}
+	}
+	waitFor(t, replicaWait, func() bool { return rep.Stats().Degraded })
+	if st := rep.Stats(); st.Err == "" ||
+		!strings.Contains(st.Err, "degraded to async") ||
+		!strings.Contains(st.Err, cause.Error()) {
+		t.Fatalf("degraded replica Err = %q, want the mirror failure cause", st.Err)
+	}
+	// Degraded means no durability promise, not no reads: the apply loop keeps
+	// tailing, so the writes made after the failure become visible.
+	waitFor(t, replicaWait, func() bool {
+		row, err := rep.ReadRow("kv0", "store", int64(19))
+		return err == nil && row != nil && row.Int64(1) == 119
+	})
+	statsSane(t, rep.Stats())
+}
+
+// TestRebootstrapAdvancesAppliedWatermark pins the fast-forward half of the
+// Lag fix at the unit level: rebootstrapShard installs a checkpoint whose
+// floor is beyond everything the shard has applied, and must move the applied
+// watermark up with the floor. Before the fix the watermark stayed stale until
+// the next apply round with pending work, so Stats overstated Lag by the
+// width of the truncation hole the checkpoint covered.
+func TestRebootstrapAdvancesAppliedWatermark(t *testing.T) {
+	storage := wal.NewMemStorage()
+	db := MustOpen(kvDef("kv0"), walCfg(storage))
+	t.Cleanup(db.Close)
+
+	// A replica that never polls: its cursor and applied watermark stay at
+	// zero while the primary's history grows.
+	rep, err := OpenReplica(db, ReplicaOptions{PollInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	t.Cleanup(rep.Close)
+	for i := 0; i < 40; i++ {
+		if _, err := db.Execute("kv0", "put", int64(i), int64(100+i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	rep.mu.Lock()
+	s := rep.shards[0]
+	if s.appliedTo != 0 {
+		rep.mu.Unlock()
+		t.Fatalf("shard applied %d before any poll, want 0", s.appliedTo)
+	}
+	if err := rep.rebootstrapShard(s); err != nil {
+		rep.mu.Unlock()
+		t.Fatalf("rebootstrapShard: %v", err)
+	}
+	floor, applied := s.floor, s.appliedTo
+	rep.mu.Unlock()
+	if floor == 0 {
+		t.Fatal("checkpoint installed a zero floor; the scenario proves nothing")
+	}
+	if applied != floor {
+		t.Fatalf("applied watermark %d after rebootstrap, want the new floor %d", applied, floor)
+	}
+	statsSane(t, rep.Stats())
 }
 
 // --- Satellite: differential primary-vs-replica query workload -------------

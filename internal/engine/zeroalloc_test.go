@@ -121,3 +121,79 @@ func TestHotReadViewZeroAlloc(t *testing.T) {
 		t.Fatalf("DecodeRowInto allocated %.1f allocs/op, want <= 2 (boxing only)", allocs)
 	}
 }
+
+// TestProcedureReadPatternZeroAlloc pins the exact read sequence the
+// converted read-only workload procedures execute — smallbank balance's
+// string-keyed account lookup followed by two numeric-keyed balance reads,
+// all through Context.GetView — at 0 allocs/op against a real execContext.
+// The workload packages cannot be imported here (they depend on engine), so
+// the pattern is replicated structurally: same schemas, same access shape,
+// same view accessors. If GetView or the key-scratch path regresses into
+// materializing rows, this fails.
+func TestProcedureReadPatternZeroAlloc(t *testing.T) {
+	account := rel.MustSchema("account",
+		[]rel.Column{{Name: "name", Type: rel.String}, {Name: "custid", Type: rel.Int64}}, "name")
+	savings := rel.MustSchema("savings",
+		[]rel.Column{{Name: "custid", Type: rel.Int64}, {Name: "bal", Type: rel.Float64}}, "custid")
+	checking := rel.MustSchema("checking",
+		[]rel.Column{{Name: "custid", Type: rel.Int64}, {Name: "bal", Type: rel.Float64}}, "custid")
+
+	catalog := rel.NewCatalog()
+	accTbl := catalog.MustCreateTable(account)
+	savTbl := catalog.MustCreateTable(savings)
+	chkTbl := catalog.MustCreateTable(checking)
+	const custs = 64
+	names := make([]any, custs)
+	ids := make([]any, custs)
+	for i := 0; i < custs; i++ {
+		name := "cust-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		names[i] = name
+		ids[i] = int64(i)
+		accTbl.MustLoadRow(rel.Row{name, int64(i)})
+		savTbl.MustLoadRow(rel.Row{int64(i), float64(i) * 2})
+		chkTbl.MustLoadRow(rel.Row{int64(i), float64(i) * 3})
+	}
+
+	d := occ.NewDomain("zero-alloc-proc")
+	c := &execContext{txn: d.Begin(), catalog: catalog}
+	defer c.txn.Release()
+
+	// Key arguments are pre-boxed and passed through a reused slice: the
+	// variadic expansion of an existing []any does not allocate.
+	nameArg := make([]any, 1)
+	idArg := make([]any, 1)
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		k := i % custs
+		i++
+		// The balance procedure's body: resolve the account row, then read
+		// both balances, summing through the views.
+		nameArg[0] = names[k]
+		acc, ok, err := c.GetView("account", nameArg...)
+		if err != nil || !ok {
+			t.Fatalf("account view: ok=%v err=%v", ok, err)
+		}
+		idArg[0] = ids[acc.Int64(1)]
+		sav, savOK, err := c.GetView("savings", idArg...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk, chkOK, err := c.GetView("checking", idArg...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		if savOK {
+			total += sav.Float64(1)
+		}
+		if chkOK {
+			total += chk.Float64(1)
+		}
+		if total != float64(k)*5 {
+			t.Fatalf("balance(%d) = %v, want %v", k, total, float64(k)*5)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("procedure read pattern allocated %.1f allocs/op, want 0", allocs)
+	}
+}

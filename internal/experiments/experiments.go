@@ -167,6 +167,7 @@ func Registry() map[string]Runner {
 		"query":       Query,
 		"storage":     Storage,
 		"replication": Replication,
+		"server":      Server,
 	}
 }
 

@@ -21,7 +21,7 @@ func TestRegistryCoversAllExperimentIDs(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"affinity", "overhead", "durability", "twopc", "checkpoint", "scheduler",
-		"query", "storage", "replication",
+		"query", "storage", "replication", "server",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -382,5 +382,46 @@ func TestReplicationSweepReportsAckModeAndLag(t *testing.T) {
 	}
 	if !seen["ack=async r=0"] || !seen["ack=semisync r=2"] {
 		t.Fatalf("expected sweep endpoints missing: %v", seen)
+	}
+}
+
+func TestServerSweepReportsRoutingModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := Server(tinyOptions())
+	if err != nil {
+		t.Fatalf("Server: %v", err)
+	}
+	payload, ok := tbl.Machine.(*ServerBench)
+	if !ok || len(payload.Rows) == 0 {
+		t.Fatalf("machine payload missing or empty: %#v", tbl.Machine)
+	}
+	if len(payload.Rows) != len(serverPoints(tinyOptions())) {
+		t.Fatalf("sweep produced %d rows, want %d",
+			len(payload.Rows), len(serverPoints(tinyOptions())))
+	}
+	seen := map[string]bool{}
+	modes := map[string]bool{}
+	for _, r := range payload.Rows {
+		if seen[r.Name] {
+			t.Fatalf("duplicate row name %q (the bench-history gate matches by name)", r.Name)
+		}
+		seen[r.Name] = true
+		modes[r.Mode] = true
+		if r.Throughput <= 0 {
+			t.Fatalf("%s: no completed operations", r.Name)
+		}
+		if r.ReadP99Ms < r.ReadP50Ms {
+			t.Fatalf("%s: read p99 %.3fms below p50 %.3fms", r.Name, r.ReadP99Ms, r.ReadP50Ms)
+		}
+		// Latency comparisons between routing policies are asserted by the
+		// router unit tests and observed in the full sweep, not gated here:
+		// tiny loopback-TCP runs are too noisy.
+	}
+	for _, m := range []string{"inproc", "roundrobin", "aware"} {
+		if !modes[m] {
+			t.Fatalf("mode %s missing from sweep", m)
+		}
 	}
 }

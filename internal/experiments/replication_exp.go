@@ -50,9 +50,10 @@ func replicationPoints(opts Options) []replicationPoint {
 // ReplicationBenchRow is the machine-readable form of one sweep point. Name
 // and NsPerOp follow the bench-history gate contract (reactdb-bench
 // -compare): rows are matched by Name across runs and compared on NsPerOp.
-// NsPerOp stays 0 here — commit latency under semi-sync depends on the
-// replica's poll timing and is too noisy to gate; the sweep is recorded for
-// trend inspection, not regression arithmetic.
+// NsPerOp is the mean wall time per committed transaction (1e9 / throughput)
+// — the one number in this sweep stable enough to gate. Commit latency
+// quantiles and catch-up stay ungated: under semi-sync they ride the
+// replica's poll timing and are too noisy for a regression band.
 type ReplicationBenchRow struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op"`
@@ -232,6 +233,9 @@ func runReplicationPoint(opts Options, pt replicationPoint, customers, workers i
 
 	snap := hist.Snapshot()
 	row.Throughput = float64(committed.Load()) / elapsed.Seconds()
+	if row.Throughput > 0 {
+		row.NsPerOp = 1e9 / row.Throughput
+	}
 	row.CommitP50Ms = snap.Quantile(0.50) / 1e6
 	row.CommitP99Ms = snap.Quantile(0.99) / 1e6
 	row.CommitMeanMs = hist.Mean() / 1e6

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reactdb/internal/engine"
+	"reactdb/internal/randutil"
+	"reactdb/internal/server"
+	"reactdb/internal/stats"
+	"reactdb/internal/wal"
+	"reactdb/internal/workload/smallbank"
+)
+
+// serverPoint is one point of the clients × skew × routing mode sweep.
+type serverPoint struct {
+	mode    string // "inproc", "roundrobin", "aware"
+	zipf    bool
+	clients int
+}
+
+func (p serverPoint) name() string {
+	skew := "uniform"
+	if p.zipf {
+		skew = "zipf"
+	}
+	return fmt.Sprintf("mode=%s skew=%s c=%d", p.mode, skew, p.clients)
+}
+
+// serverPoints enumerates the sweep: the in-process baseline prices the wire
+// protocol itself, and the two wire policies price routing blindness against
+// the lag/load hints.
+func serverPoints(opts Options) []serverPoint {
+	clients := []int{8}
+	if opts.Full {
+		clients = []int{8, 32}
+	}
+	var pts []serverPoint
+	for _, c := range clients {
+		for _, zipf := range []bool{false, true} {
+			for _, mode := range []string{"inproc", "roundrobin", "aware"} {
+				pts = append(pts, serverPoint{mode: mode, zipf: zipf, clients: c})
+			}
+		}
+	}
+	return pts
+}
+
+// ServerBenchRow is the machine-readable form of one sweep point. Name and
+// NsPerOp follow the bench-history gate contract; NsPerOp stays 0 — end-to-end
+// latency over loopback TCP depends on kernel scheduling and replica poll
+// timing, so the sweep is recorded for trend inspection, not regression
+// arithmetic.
+type ServerBenchRow struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	Mode          string  `json:"mode"`
+	Skew          string  `json:"skew"`
+	Clients       int     `json:"clients"`
+	Throughput    float64 `json:"op_per_sec"`
+	ReadP50Ms     float64 `json:"read_p50_ms"`
+	ReadP99Ms     float64 `json:"read_p99_ms"`
+	WriteP99Ms    float64 `json:"write_p99_ms"`
+	MaxLagRecords uint64  `json:"max_lag_records"`
+}
+
+// ServerBench is the Machine payload for the network front-end sweep.
+type ServerBench struct {
+	Customers int              `json:"customers"`
+	Rows      []ServerBenchRow `json:"rows"`
+}
+
+// Server sweeps the network front-end: a WAL primary with one fresh and one
+// deliberately slow-polling replica, driven by a 90/10 read/write smallbank
+// mix under uniform and zipfian key skew. The in-process mode executes the
+// same mix directly on the primary (the floor every wire mode pays protocol
+// overhead against); roundrobin rotates bounded reads blindly over all three
+// endpoints, paying a Stale-retry round trip whenever the slow replica is
+// picked while behind the freshness bound; aware consumes the piggybacked lag
+// and queue hints to skip it. Under zipf skew the hot keys concentrate writes,
+// the slow replica stays behind the bound nearly always, and the gap between
+// the two policies' read p99 is the value of the hints.
+func Server(opts Options) (*Table, error) {
+	customers := 128
+	if opts.Full {
+		customers = 512
+	}
+
+	table := &Table{
+		ID:    "server",
+		Title: "Network front-end: wire vs in-process, routing policy x skew x clients",
+		Header: []string{"config", "throughput [op/s]", "read p50 [ms]", "read p99 [ms]",
+			"write p99 [ms]", "max lag [recs]"},
+		Notes: []string{
+			"topology: WAL primary + 1 fresh replica (100us poll) + 1 slow replica (250ms poll); 90/10 read/write mix, freshness bound 16 records",
+			"inproc runs the same mix directly on the primary database: the wire modes' latency floor",
+			"roundrobin pays an extra round trip to the primary whenever the slow replica answers Stale; aware routes around it using the piggybacked lag/load hints",
+		},
+	}
+	payload := &ServerBench{Customers: customers}
+
+	for _, pt := range serverPoints(opts) {
+		row, err := runServerPoint(opts, pt, customers)
+		if err != nil {
+			return nil, fmt.Errorf("server point %s: %w", pt.name(), err)
+		}
+		payload.Rows = append(payload.Rows, row)
+		table.AddRow(pt.name(), formatThroughput(row.Throughput),
+			fmt.Sprintf("%.3f", row.ReadP50Ms), fmt.Sprintf("%.3f", row.ReadP99Ms),
+			fmt.Sprintf("%.3f", row.WriteP99Ms), fmt.Sprintf("%d", row.MaxLagRecords))
+	}
+	table.Machine = payload
+	return table, nil
+}
+
+// freshnessBound is the read freshness bound in records: far below the slow
+// replica's between-poll backlog under load, comfortably above the fresh
+// replica's.
+const freshnessBound = 16
+
+func runServerPoint(opts Options, pt serverPoint, customers int) (ServerBenchRow, error) {
+	skew := "uniform"
+	if pt.zipf {
+		skew = "zipf"
+	}
+	row := ServerBenchRow{Name: pt.name(), Mode: pt.mode, Skew: skew, Clients: pt.clients}
+
+	cfg := engine.NewSharedEverythingWithAffinity(2)
+	cfg.Costs = opts.commCosts()
+	cfg.GroupCommit = engine.GroupCommitConfig{Enabled: true, Window: 200 * time.Microsecond, MaxBatch: 32}
+	cfg.Durability = engine.DurabilityConfig{Mode: engine.DurabilityWAL, Storage: wal.NewMemStorage()}
+
+	db, err := engine.Open(smallbank.NewDefinition(customers), cfg)
+	if err != nil {
+		return row, err
+	}
+	defer db.Close()
+	if err := smallbank.Load(db, customers, 1e9, 1e9); err != nil {
+		return row, err
+	}
+	if err := db.Checkpoint(); err != nil {
+		return row, err
+	}
+
+	freshRep, err := engine.OpenReplica(db, engine.ReplicaOptions{PollInterval: 100 * time.Microsecond})
+	if err != nil {
+		return row, err
+	}
+	defer freshRep.Close()
+	slowRep, err := engine.OpenReplica(db, engine.ReplicaOptions{PollInterval: 250 * time.Millisecond})
+	if err != nil {
+		return row, err
+	}
+	defer slowRep.Close()
+	for _, r := range []*engine.Replica{freshRep, slowRep} {
+		if err := r.WaitCaughtUp(10 * time.Second); err != nil {
+			return row, err
+		}
+	}
+
+	// The wire modes stand up the full fleet and a shared router; inproc
+	// executes directly on the primary (replicas stay attached so the write
+	// path is identical across modes).
+	type execFns struct {
+		write func(reactor string) error
+		read  func(reactor string) error
+	}
+	var fns execFns
+	switch pt.mode {
+	case "inproc":
+		fns.write = func(reactor string) error {
+			_, err := db.Execute(reactor, smallbank.ProcDepositChecking, 1.0)
+			return err
+		}
+		fns.read = func(reactor string) error {
+			_, err := db.Execute(reactor, smallbank.ProcBalance)
+			return err
+		}
+	default:
+		srvOpts := server.Options{HintRefresh: 500 * time.Microsecond}
+		primary := server.NewPrimary(db, srvOpts)
+		defer primary.Close()
+		pAddr, err := primary.Start("127.0.0.1:0")
+		if err != nil {
+			return row, err
+		}
+		endpoints := []string{pAddr.String()}
+		for _, rep := range []*engine.Replica{freshRep, slowRep} {
+			rs := server.NewReplica(rep, srvOpts)
+			defer rs.Close()
+			rAddr, err := rs.Start("127.0.0.1:0")
+			if err != nil {
+				return row, err
+			}
+			endpoints = append(endpoints, rAddr.String())
+		}
+		policy := server.PolicyRoundRobin
+		if pt.mode == "aware" {
+			policy = server.PolicyAware
+		}
+		router, err := server.NewRouter(endpoints, server.RouterOptions{
+			Policy:        policy,
+			MaxLagRecords: freshnessBound,
+		})
+		if err != nil {
+			return row, err
+		}
+		defer router.Close()
+		fns.write = func(reactor string) error {
+			_, err := router.Execute(reactor, smallbank.ProcDepositChecking, 1.0)
+			return err
+		}
+		fns.read = func(reactor string) error {
+			_, err := router.ExecuteRead(reactor, smallbank.ProcBalance)
+			return err
+		}
+	}
+
+	readHist := stats.NewHistogram(stats.DurationBounds())
+	writeHist := stats.NewHistogram(stats.DurationBounds())
+	var (
+		stop      atomic.Bool
+		recording atomic.Bool
+		ops       atomic.Int64
+		runErr    atomic.Value
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < pt.clients; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := randutil.New(int64(worker) + 1)
+			zipf := randutil.NewZipfian(customers, 0.99)
+			for i := 0; !stop.Load(); i++ {
+				var id int
+				if pt.zipf {
+					id = zipf.Next(rng)
+				} else {
+					id = randutil.UniformInt(rng, 0, customers-1)
+				}
+				reactor := smallbank.ReactorName(id)
+				isWrite := i%10 == 0
+				begin := time.Now()
+				var err error
+				if isWrite {
+					err = fns.write(reactor)
+				} else {
+					err = fns.read(reactor)
+				}
+				if err != nil {
+					runErr.Store(err)
+					return
+				}
+				if recording.Load() {
+					if isWrite {
+						writeHist.ObserveDuration(time.Since(begin))
+					} else {
+						readHist.ObserveDuration(time.Since(begin))
+					}
+					ops.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	recording.Store(true)
+	measureStart := time.Now()
+	time.Sleep(time.Duration(opts.epochs()) * opts.epochDuration())
+	// Sample the slow replica's lag while writers still run — the steady-state
+	// gap the freshness bound is protecting readers from.
+	for _, sh := range slowRep.Stats().Shards {
+		if sh.Lag > row.MaxLagRecords {
+			row.MaxLagRecords = sh.Lag
+		}
+	}
+	recording.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+	if err, _ := runErr.Load().(error); err != nil {
+		return row, err
+	}
+
+	readSnap := readHist.Snapshot()
+	row.Throughput = float64(ops.Load()) / elapsed.Seconds()
+	row.ReadP50Ms = readSnap.Quantile(0.50) / 1e6
+	row.ReadP99Ms = readSnap.Quantile(0.99) / 1e6
+	row.WriteP99Ms = writeHist.Snapshot().Quantile(0.99) / 1e6
+	return row, nil
+}

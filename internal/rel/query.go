@@ -259,6 +259,35 @@ func (q *Query) Filters(alias string) []Filter {
 	return out
 }
 
+// The remaining accessors expose the built query component-by-component, in
+// declaration order, so a wire front-end can serialize a query and rebuild it
+// with the same builder calls on the other side (see internal/server).
+// Callers must not modify the returned slices.
+
+// AllFilters returns every declared predicate.
+func (q *Query) AllFilters() []Filter { return q.filters }
+
+// Joins returns the declared equi-join predicates.
+func (q *Query) Joins() []JoinPred { return q.joins }
+
+// GroupCols returns the GroupBy columns.
+func (q *Query) GroupCols() []string { return q.groupBy }
+
+// Aggregates returns the aggregate output specs.
+func (q *Query) Aggregates() []AggSpec { return q.aggs }
+
+// Projection returns the Select columns.
+func (q *Query) Projection() []string { return q.project }
+
+// Ordering returns the OrderBy specs.
+func (q *Query) Ordering() []OrderSpec { return q.order }
+
+// LimitCount returns the output row cap (zero means unlimited).
+func (q *Query) LimitCount() int { return q.limit }
+
+// IsNaive reports whether the greedy join planner is disabled.
+func (q *Query) IsNaive() bool { return q.naive }
+
 // Result is the materialized output of a query.
 type Result struct {
 	// Columns are the output column names: qualified "alias.col" names, or

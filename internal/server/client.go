@@ -1,0 +1,256 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"reactdb/internal/engine"
+	"reactdb/internal/rel"
+)
+
+// ErrConnClosed is returned by requests on a closed or failed connection.
+var ErrConnClosed = errors.New("server: connection closed")
+
+// Conn is one client connection to a server. It is safe for concurrent use:
+// requests are pipelined on the single socket and matched to responses by
+// request id, so many goroutines can share one Conn without head-of-line
+// round-trips. Every response refreshes the connection's load hints.
+type Conn struct {
+	addr string
+	c    net.Conn
+	role Role
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan resultMsg
+	dead    error
+
+	nextID atomic.Uint64
+	hints  atomic.Pointer[LoadHints]
+}
+
+// Dial connects to a server, performs the connect/hello handshake and starts
+// the response reader.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(nc, frameConnect, appendUvarint(nil, protocolVersion)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	typ, body, err := readFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if typ != frameHello || len(body) < 1 {
+		nc.Close()
+		return nil, errCorruptFrame
+	}
+	c := &Conn{
+		addr:    addr,
+		c:       nc,
+		role:    Role(body[0]),
+		pending: make(map[uint64]chan resultMsg),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Role reports the server's role from the hello frame.
+func (c *Conn) Role() Role { return c.role }
+
+// Addr reports the dialed address.
+func (c *Conn) Addr() string { return c.addr }
+
+// Hints returns the load hints piggybacked on the most recent response, or a
+// zero value if none has arrived yet.
+func (c *Conn) Hints() LoadHints {
+	if h := c.hints.Load(); h != nil {
+		return *h
+	}
+	return LoadHints{Role: c.role}
+}
+
+// Close tears down the connection; in-flight requests fail with ErrConnClosed.
+func (c *Conn) Close() error {
+	err := c.c.Close()
+	c.failAll(ErrConnClosed)
+	return err
+}
+
+func (c *Conn) readLoop() {
+	for {
+		typ, body, err := readFrame(c.c)
+		if err != nil {
+			c.c.Close()
+			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		if typ != frameResult {
+			continue
+		}
+		m, err := decodeResultMsg(body)
+		if err != nil {
+			c.c.Close()
+			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		h := m.Hints
+		c.hints.Store(&h)
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+func (c *Conn) failAll(err error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan resultMsg)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (c *Conn) roundTrip(typ uint8, id uint64, body []byte) (resultMsg, error) {
+	ch := make(chan resultMsg, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return resultMsg{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.c, typ, body)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return resultMsg{}, fmt.Errorf("%w: %v", ErrConnClosed, err)
+	}
+	m, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.dead
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return resultMsg{}, err
+	}
+	return m, nil
+}
+
+// Execute runs a procedure on the server and returns its result, exactly as
+// engine.Database.Execute would in process.
+func (c *Conn) Execute(reactor, procedure string, args ...any) (any, error) {
+	return c.ExecuteFresh(0, reactor, procedure, args...)
+}
+
+// ExecuteFresh is Execute with a freshness bound: when the server is a replica
+// whose lag exceeds maxLag records (or is degraded), it answers Stale without
+// running and the call returns ErrStale. maxLag 0 means unbounded.
+func (c *Conn) ExecuteFresh(maxLag uint64, reactor, procedure string, args ...any) (any, error) {
+	req := executeReq{
+		ID:            c.nextID.Add(1),
+		MaxLagRecords: maxLag,
+		Reactor:       reactor,
+		Procedure:     procedure,
+		Args:          args,
+	}
+	body, err := req.encode(make([]byte, 0, 128))
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.roundTrip(frameExecute, req.ID, body)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(&m); err != nil {
+		return nil, err
+	}
+	return m.Value, nil
+}
+
+// Query runs a declarative query on the server, exactly as
+// engine.Database.Query would in process.
+func (c *Conn) Query(q *rel.Query) (*rel.Result, error) {
+	return c.QueryFresh(0, q)
+}
+
+// QueryFresh is Query with a freshness bound (see ExecuteFresh).
+func (c *Conn) QueryFresh(maxLag uint64, q *rel.Query) (*rel.Result, error) {
+	req := queryReq{ID: c.nextID.Add(1), MaxLagRecords: maxLag, Query: q}
+	body, err := req.encode(make([]byte, 0, 128))
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.roundTrip(frameQuery, req.ID, body)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(&m); err != nil {
+		return nil, err
+	}
+	return m.Result, nil
+}
+
+// Stats fetches fresh load hints with an explicit stats frame (normal traffic
+// gets them for free on every response).
+func (c *Conn) Stats() (LoadHints, error) {
+	id := c.nextID.Add(1)
+	m, err := c.roundTrip(frameStats, id, appendUvarint(nil, id))
+	if err != nil {
+		return LoadHints{}, err
+	}
+	return m.Hints, nil
+}
+
+// statusErr maps a result's wire status back to an error. Statuses carrying a
+// known sentinel reconstruct it so errors.Is works across the wire; when the
+// server's message is exactly the sentinel's, the sentinel itself is returned
+// so remote and in-process error text match.
+func statusErr(m *resultMsg) error {
+	switch m.Status {
+	case statusOK:
+		return nil
+	case statusOverloaded:
+		return sentinelOr(engine.ErrOverloaded, m.ErrMsg)
+	case statusConflict:
+		return sentinelOr(engine.ErrConflict, m.ErrMsg)
+	case statusReplicaWrite:
+		return sentinelOr(engine.ErrReplicaRead, m.ErrMsg)
+	case statusStale:
+		return sentinelOr(ErrStale, m.ErrMsg)
+	default:
+		return errors.New(m.ErrMsg)
+	}
+}
+
+func sentinelOr(sentinel error, msg string) error {
+	if msg == "" || msg == sentinel.Error() {
+		return sentinel
+	}
+	return fmt.Errorf("%w: %s", sentinel, msg)
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"reactdb/internal/engine"
+	"reactdb/internal/rel"
+)
+
+// Policy selects how the Router spreads reads and paces writes.
+type Policy uint8
+
+const (
+	// PolicyRoundRobin rotates reads over every endpoint blindly and retries
+	// Stale answers on the primary — each stale hit costs an extra round trip.
+	PolicyRoundRobin Policy = iota
+	// PolicyAware consumes the piggybacked load hints: reads skip replicas
+	// that are degraded or lagging past the freshness bound and go to the
+	// least-loaded eligible endpoint; writes briefly defer when the primary's
+	// admission gate is saturated instead of slamming it into ErrOverloaded.
+	PolicyAware
+)
+
+func (p Policy) String() string {
+	if p == PolicyAware {
+		return "aware"
+	}
+	return "roundrobin"
+}
+
+// RouterOptions tune a Router. The zero value is usable.
+type RouterOptions struct {
+	Policy Policy
+	// MaxLagRecords is the freshness bound for replica reads: a replica more
+	// than this many records behind the primary's durable LSN is not served a
+	// read (0 = any replica will do).
+	MaxLagRecords uint64
+	// MaxRetries bounds retries of retryable statuses (default 4).
+	MaxRetries int
+	// RetryBackoff is the initial backoff between retries, doubling each
+	// attempt (default 100µs).
+	RetryBackoff time.Duration
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 4
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Microsecond
+	}
+	return o
+}
+
+// Router is a client-side request router over one primary and any number of
+// replicas. Writes always go to the primary; read-only traffic fans out to
+// replicas with the primary as fallback. It is safe for concurrent use.
+type Router struct {
+	opts     RouterOptions
+	primary  *Conn
+	replicas []*Conn
+	rr       atomic.Uint64
+}
+
+// NewRouter dials every endpoint, classifies each by its hello role, and
+// primes load hints with a stats round trip. Exactly one endpoint must be a
+// primary.
+func NewRouter(endpoints []string, opts RouterOptions) (*Router, error) {
+	r := &Router{opts: opts.withDefaults()}
+	for _, addr := range endpoints {
+		c, err := Dial(addr)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("server: router dial %s: %w", addr, err)
+		}
+		if _, err := c.Stats(); err != nil {
+			c.Close()
+			r.Close()
+			return nil, fmt.Errorf("server: router stats %s: %w", addr, err)
+		}
+		if c.Role() == RolePrimary {
+			if r.primary != nil {
+				c.Close()
+				r.Close()
+				return nil, errors.New("server: router configured with two primaries")
+			}
+			r.primary = c
+		} else {
+			r.replicas = append(r.replicas, c)
+		}
+	}
+	if r.primary == nil {
+		r.Close()
+		return nil, errors.New("server: router has no primary endpoint")
+	}
+	return r, nil
+}
+
+// Primary returns the primary connection.
+func (r *Router) Primary() *Conn { return r.primary }
+
+// Replicas returns the replica connections.
+func (r *Router) Replicas() []*Conn { return r.replicas }
+
+// Close closes every connection.
+func (r *Router) Close() {
+	if r.primary != nil {
+		r.primary.Close()
+	}
+	for _, c := range r.replicas {
+		c.Close()
+	}
+}
+
+// Execute routes a read-write procedure to the primary, retrying Overloaded
+// and Conflict answers with exponential backoff. Under PolicyAware it first
+// checks the primary's last-seen hints and defers one backoff when the
+// admission gate is already saturated — backing off before the rejection
+// instead of after it.
+func (r *Router) Execute(reactor, procedure string, args ...any) (any, error) {
+	backoff := r.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
+		if r.opts.Policy == PolicyAware {
+			if h := r.primary.Hints(); h.GateSaturated() {
+				time.Sleep(backoff)
+			}
+		}
+		v, err := r.primary.Execute(reactor, procedure, args...)
+		if err == nil || !retryableOnPrimary(err) {
+			return v, err
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return nil, lastErr
+}
+
+func retryableOnPrimary(err error) bool {
+	return errors.Is(err, engine.ErrOverloaded) || errors.Is(err, engine.ErrConflict)
+}
+
+// ExecuteRead routes a read-only procedure across replicas and primary (see
+// Query for the policy).
+func (r *Router) ExecuteRead(reactor, procedure string, args ...any) (any, error) {
+	return r.readPath(func(c *Conn, maxLag uint64) (any, error) {
+		return c.ExecuteFresh(maxLag, reactor, procedure, args...)
+	})
+}
+
+// Query routes a declarative query. Round-robin rotates over replicas and
+// primary, paying an extra round trip to the primary whenever a replica
+// answers Stale or refuses a write. Aware scores every endpoint by its hinted
+// queue depth and wait p99, drops replicas that are degraded or past the
+// freshness bound, and sends the read to the cheapest eligible endpoint —
+// falling back to the primary when no replica qualifies.
+func (r *Router) Query(q *rel.Query) (*rel.Result, error) {
+	v, err := r.readPath(func(c *Conn, maxLag uint64) (any, error) {
+		return c.QueryFresh(maxLag, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, _ := v.(*rel.Result)
+	return res, nil
+}
+
+func (r *Router) readPath(do func(c *Conn, maxLag uint64) (any, error)) (any, error) {
+	backoff := r.opts.RetryBackoff
+	forcePrimary := false
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
+		c := r.primary
+		maxLag := r.opts.MaxLagRecords
+		if !forcePrimary {
+			c = r.pickRead()
+		}
+		if c == r.primary {
+			maxLag = 0 // the primary is always fresh; no bound to enforce
+		}
+		v, err := do(c, maxLag)
+		switch {
+		case err == nil:
+			return v, nil
+		case errors.Is(err, ErrStale) || errors.Is(err, engine.ErrReplicaRead):
+			// This replica cannot serve the read; the primary always can.
+			// No backoff — the retry is redirection, not congestion control.
+			forcePrimary = true
+			lastErr = err
+		case errors.Is(err, engine.ErrOverloaded) || errors.Is(err, engine.ErrConflict):
+			lastErr = err
+			time.Sleep(backoff)
+			backoff *= 2
+		default:
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// pickRead chooses the endpoint for one read attempt.
+func (r *Router) pickRead() *Conn {
+	if len(r.replicas) == 0 {
+		return r.primary
+	}
+	if r.opts.Policy == PolicyRoundRobin {
+		n := r.rr.Add(1)
+		candidates := len(r.replicas) + 1
+		if i := int(n % uint64(candidates)); i < len(r.replicas) {
+			return r.replicas[i]
+		}
+		return r.primary
+	}
+	n := r.rr.Add(1)
+	// A replica's cached hints only refresh when a response arrives from it,
+	// so a replica that looks lagging or expensive on stale hints would stay
+	// avoided forever. Every probeEvery-th read is routed to a replica in
+	// rotation regardless of its hints: if it is genuinely behind, the server
+	// answers Stale (freshness is enforced there regardless), the retry lands
+	// on the primary, and the refused response carries fresh hints — one
+	// extra round trip buys the hint cache its truth.
+	const probeEvery = 16
+	if n%probeEvery == 0 {
+		return r.replicas[int(n/probeEvery)%len(r.replicas)]
+	}
+	candidates := make([]*Conn, 0, len(r.replicas)+1)
+	candidates = append(candidates, r.primary)
+	for _, c := range r.replicas {
+		h := c.Hints()
+		if h.Degraded {
+			continue
+		}
+		if r.opts.MaxLagRecords > 0 && h.LagRecords > r.opts.MaxLagRecords {
+			continue
+		}
+		candidates = append(candidates, c)
+	}
+	// Scan from a rotating offset so equal scores spread over the eligible
+	// endpoints instead of herding onto the first one (hints only refresh on
+	// responses, so an idle endpoint's score is sticky).
+	start := int(n) % len(candidates)
+	best := candidates[start]
+	bestScore := hintScore(best.Hints())
+	for i := 1; i < len(candidates); i++ {
+		c := candidates[(start+i)%len(candidates)]
+		if s := hintScore(c.Hints()); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// hintScore prices an endpoint for a read: its worst windowed queue-wait p99
+// in microseconds, plus a per-queued-transaction penalty so a deep queue costs
+// even before its wait histogram catches up.
+func hintScore(h LoadHints) uint64 {
+	score := h.MaxWaitP99Micros()
+	for _, e := range h.Executors {
+		score += 25 * uint64(e.Depth+e.InFlight)
+	}
+	return score
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"reactdb/internal/engine"
+	"reactdb/internal/rel"
+)
+
+// Options tune a Server. The zero value is usable.
+type Options struct {
+	// MaxInFlight is the per-session pipelining window: how many requests a
+	// connection may have outstanding before the server stops reading its
+	// socket (default 64). Stalling the read is the transport-level
+	// backpressure; the engine's admission gate is the transaction-level one,
+	// surfaced as the Overloaded status rather than a dropped connection.
+	MaxInFlight int
+	// HintRefresh is the minimum interval between load-hint collections
+	// (default 2ms): hints are piggybacked on every response but collected at
+	// most this often, so a hot server does not pay a stats snapshot per
+	// request.
+	HintRefresh time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.HintRefresh <= 0 {
+		o.HintRefresh = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Server exposes one engine node — a primary Database or a Replica — on the
+// wire protocol. A process typically runs one Server per node it hosts, each
+// on its own listener.
+type Server struct {
+	role  Role
+	exec  func(reactor, procedure string, args ...any) (any, error)
+	query func(q *rel.Query) (*rel.Result, error)
+	loads func() []engine.ExecutorLoad
+	lag   func() (lag uint64, degraded bool)
+	opts  Options
+
+	hintMu sync.Mutex
+	hintAt time.Time
+	hint   LoadHints
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewPrimary wraps a primary database.
+func NewPrimary(db *engine.Database, opts Options) *Server {
+	return &Server{
+		role:  RolePrimary,
+		exec:  db.Execute,
+		query: db.Query,
+		loads: db.ExecutorLoads,
+		opts:  opts.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// NewReplica wraps a read-only replica. Its hints carry the replica's
+// corrected lag and degraded flag; execute and query frames with a freshness
+// bound the replica cannot meet are answered with the Stale status without
+// running.
+func NewReplica(rep *engine.Replica, opts Options) *Server {
+	return &Server{
+		role:  RoleReplica,
+		exec:  rep.Execute,
+		query: rep.Query,
+		loads: rep.Database().ExecutorLoads,
+		lag: func() (uint64, bool) {
+			st := rep.Stats()
+			var lag uint64
+			for _, sh := range st.Shards {
+				if sh.Lag > lag {
+					lag = sh.Lag
+				}
+			}
+			return lag, st.Degraded
+		},
+		opts:  opts.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Start listens on addr ("host:port", ":0" for an ephemeral port) and serves
+// in the background, returning the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = s.Serve(lis) }()
+	return lis.Addr(), nil
+}
+
+// Serve accepts sessions on lis until the listener fails or the server is
+// closed. It returns nil on Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("server: closed")
+	}
+	s.listeners = append(s.listeners, lis)
+	s.mu.Unlock()
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.session(c)
+	}
+}
+
+// Close stops the listeners, closes every session and waits for their
+// in-flight requests to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, lis := range s.listeners {
+		lis.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) forget(c net.Conn) {
+	c.Close()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// session is one connection's lifecycle: the connect/hello handshake, then a
+// read loop that dispatches each pipelined request on its own goroutine.
+// Responses may complete out of order; the client matches them by request id.
+// The slots channel is the pipelining window — when it is full the loop stops
+// reading the socket, which propagates as TCP backpressure to the client.
+func (s *Server) session(c net.Conn) {
+	defer s.wg.Done()
+	defer s.forget(c)
+	typ, body, err := readFrame(c)
+	if err != nil || typ != frameConnect {
+		return
+	}
+	r := &reader{buf: body}
+	if v := r.uvarint(); r.err != nil || v != protocolVersion {
+		return
+	}
+	hello := appendUvarint([]byte{uint8(s.role)}, protocolVersion)
+	if err := writeFrame(c, frameHello, hello); err != nil {
+		return
+	}
+
+	var wmu sync.Mutex
+	slots := make(chan struct{}, s.opts.MaxInFlight)
+	var pending sync.WaitGroup
+	defer pending.Wait()
+	for {
+		typ, body, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		slots <- struct{}{}
+		pending.Add(1)
+		go func(typ uint8, body []byte) {
+			defer pending.Done()
+			defer func() { <-slots }()
+			m := s.handle(typ, body)
+			buf, err := m.encode(make([]byte, 0, 256))
+			if err != nil {
+				// The payload was not wire-encodable (e.g. a procedure returned
+				// an unsupported type); degrade to an error result so the
+				// session — and the requests pipelined behind this one — live.
+				fallback := resultMsg{ID: m.ID, Status: statusError, ErrMsg: err.Error(), Hints: m.Hints}
+				buf, _ = fallback.encode(nil)
+			}
+			wmu.Lock()
+			_ = writeFrame(c, frameResult, buf)
+			wmu.Unlock()
+		}(typ, body)
+	}
+}
+
+func (s *Server) handle(typ uint8, body []byte) resultMsg {
+	switch typ {
+	case frameExecute:
+		req, err := decodeExecuteReq(body)
+		if err != nil {
+			return resultMsg{Status: statusError, ErrMsg: err.Error(), Hints: s.currentHints()}
+		}
+		m := resultMsg{ID: req.ID}
+		if s.tooStale(req.MaxLagRecords) {
+			m.Status, m.ErrMsg = statusStale, ErrStale.Error()
+		} else {
+			v, err := s.exec(req.Reactor, req.Procedure, req.Args...)
+			m.Status, m.ErrMsg = statusOf(err)
+			if m.Status == statusOK {
+				m.Kind, m.Value = payloadValue, v
+			}
+		}
+		m.Hints = s.currentHints()
+		return m
+	case frameQuery:
+		req, err := decodeQueryReq(body)
+		if err != nil {
+			return resultMsg{Status: statusError, ErrMsg: err.Error(), Hints: s.currentHints()}
+		}
+		m := resultMsg{ID: req.ID}
+		if s.tooStale(req.MaxLagRecords) {
+			m.Status, m.ErrMsg = statusStale, ErrStale.Error()
+		} else {
+			res, err := s.query(req.Query)
+			m.Status, m.ErrMsg = statusOf(err)
+			if m.Status == statusOK {
+				m.Kind, m.Result = payloadQuery, res
+			}
+		}
+		m.Hints = s.currentHints()
+		return m
+	case frameStats:
+		r := &reader{buf: body}
+		return resultMsg{ID: r.uvarint(), Status: statusOK, Hints: s.currentHints()}
+	default:
+		return resultMsg{Status: statusError, ErrMsg: "server: unknown frame type", Hints: s.currentHints()}
+	}
+}
+
+// tooStale reports whether a replica cannot meet the request's freshness
+// bound (0 = unbounded). A degraded replica fails any bound: its mirror is
+// gone, so its lag is no longer being promised to anyone. The lag is read
+// live, not from the HintRefresh cache — the bound is a promise to the
+// client, and a cached value lets a write land and be read back stale
+// within one refresh window. Piggybacked hints stay cached: advisory
+// routing data tolerates the staleness that an enforced bound cannot.
+func (s *Server) tooStale(maxLag uint64) bool {
+	if s.role != RoleReplica || maxLag == 0 || s.lag == nil {
+		return false
+	}
+	lag, degraded := s.lag()
+	return degraded || lag > maxLag
+}
+
+// statusOf maps an engine error to a wire status. Overloaded and Conflict are
+// distinct from plain errors so a client can retry them without parsing
+// strings.
+func statusOf(err error) (uint8, string) {
+	switch {
+	case err == nil:
+		return statusOK, ""
+	case errors.Is(err, engine.ErrOverloaded):
+		return statusOverloaded, err.Error()
+	case errors.Is(err, engine.ErrConflict):
+		return statusConflict, err.Error()
+	case errors.Is(err, engine.ErrReplicaRead):
+		return statusReplicaWrite, err.Error()
+	default:
+		return statusError, err.Error()
+	}
+}
+
+// currentHints returns the load hints, recollected at most every HintRefresh.
+func (s *Server) currentHints() LoadHints {
+	s.hintMu.Lock()
+	defer s.hintMu.Unlock()
+	if !s.hintAt.IsZero() && time.Since(s.hintAt) < s.opts.HintRefresh {
+		return s.hint
+	}
+	h := LoadHints{Role: s.role}
+	for _, l := range s.loads() {
+		h.Executors = append(h.Executors, ExecutorHint{
+			Container:      l.Container,
+			Executor:       l.Executor,
+			Depth:          l.Depth,
+			InFlight:       l.InFlight,
+			EffectiveDepth: l.EffectiveDepth,
+			WaitP99Micros:  uint64(l.WaitP99 / time.Microsecond),
+		})
+	}
+	if s.lag != nil {
+		h.LagRecords, h.Degraded = s.lag()
+	}
+	s.hint, s.hintAt = h, time.Now()
+	return h
+}

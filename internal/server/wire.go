@@ -1,0 +1,631 @@
+// Package server is the network front-end: a dependency-free length-prefixed
+// binary wire protocol over TCP (or any net.Conn) exposing an engine primary
+// and its replicas to remote clients, with per-connection sessions, request
+// pipelining, and backpressure that surfaces engine admission rejections as a
+// retryable wire status instead of dropping the connection.
+//
+// Every frame is CRC-framed exactly like a WAL record — a 4-byte little-endian
+// payload length, a 4-byte CRC32 (IEEE) of the payload, then the payload — so
+// a torn or corrupted stream is detected, never mis-decoded. The payload's
+// first byte is the frame type.
+//
+// Every response piggybacks load hints: the per-executor queue depth,
+// in-flight admission tokens and windowed queue-wait p99 from the engine's
+// scheduler, plus — on replicas — the corrected replication lag
+// (ReplicaStats.Lag) and degraded flag. The client-side Router consumes them
+// to steer writes around a saturated admission gate and reads around lagging
+// or overloaded replicas (see router.go).
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"reactdb/internal/rel"
+)
+
+// Frame types. Connect/hello perform the session handshake; execute, query
+// and stats are pipelined requests matched to result frames by request id.
+const (
+	frameConnect uint8 = 1
+	frameHello   uint8 = 2
+	frameExecute uint8 = 3
+	frameQuery   uint8 = 4
+	frameStats   uint8 = 5
+	frameResult  uint8 = 6
+)
+
+// protocolVersion is echoed in the hello frame; a server refuses a connect
+// frame carrying a version it does not speak.
+const protocolVersion = 1
+
+// maxFrameSize bounds a frame's payload so a corrupted length prefix cannot
+// make a session allocate unboundedly.
+const maxFrameSize = 16 << 20
+
+// Wire-level statuses of a result frame. Overloaded and Conflict are
+// retryable on the same node; Stale and ReplicaWrite are retryable on a
+// different node (the primary is always eligible).
+const (
+	statusOK           uint8 = 0
+	statusOverloaded   uint8 = 1 // engine admission rejected the transaction
+	statusConflict     uint8 = 2 // serialization conflict
+	statusStale        uint8 = 3 // replica lag exceeds the request's freshness bound
+	statusReplicaWrite uint8 = 4 // write attempted on a replica
+	statusError        uint8 = 5 // application or internal error
+)
+
+// ErrStale is returned by a client read whose freshness bound the serving
+// replica could not meet; the router retries it on the primary.
+var ErrStale = errors.New("server: replica lag exceeds the freshness bound")
+
+// errCorruptFrame reports a CRC or framing violation; the connection is dead.
+var errCorruptFrame = errors.New("server: corrupt wire frame")
+
+// Role is the deployment role a server (and hence a connection) speaks for.
+type Role uint8
+
+// Roles.
+const (
+	RolePrimary Role = 0
+	RoleReplica Role = 1
+)
+
+func (r Role) String() string {
+	if r == RoleReplica {
+		return "replica"
+	}
+	return "primary"
+}
+
+// writeFrame writes one frame: header (payload length, CRC32 of payload) then
+// the payload, whose first byte is the frame type.
+func writeFrame(w io.Writer, typ uint8, body []byte) error {
+	header := make([]byte, 8, 8+1+len(body))
+	payload := append(append(header, typ), body...)
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(1+len(body)))
+	binary.LittleEndian.PutUint32(payload[4:8], crc32.ChecksumIEEE(payload[8:]))
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, verifying length and CRC. The returned body
+// excludes the type byte and is freshly allocated (safe to retain).
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var header [8]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(header[0:4])
+	if n < 1 || n > maxFrameSize {
+		return 0, nil, errCorruptFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(header[4:8]) {
+		return 0, nil, errCorruptFrame
+	}
+	return payload[0], payload[1:], nil
+}
+
+// --- primitive codec --------------------------------------------------------
+
+// reader is a cursor over a frame body. Decode errors are sticky.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errCorruptFrame
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) byte() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) string() string { return string(r.bytes()) }
+
+func (r *reader) bool() bool { return r.byte() != 0 }
+
+func (r *reader) float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+func appendVarint(dst []byte, v int64) []byte   { return binary.AppendVarint(dst, v) }
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// --- value codec ------------------------------------------------------------
+
+// Value tags cover everything procedure arguments and results are made of:
+// the canonical row value types, plus the small composites procedures pass
+// around (string lists, rows, row lists, and heterogeneous lists).
+const (
+	valNil uint8 = iota
+	valInt64
+	valInt
+	valFloat64
+	valString
+	valBool
+	valBytes
+	valStrings
+	valRow
+	valRows
+	valList
+)
+
+func appendValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, valNil), nil
+	case int64:
+		return appendVarint(append(dst, valInt64), x), nil
+	case int:
+		return appendVarint(append(dst, valInt), int64(x)), nil
+	case float64:
+		return appendFloat64(append(dst, valFloat64), x), nil
+	case string:
+		return appendString(append(dst, valString), x), nil
+	case bool:
+		return appendBool(append(dst, valBool), x), nil
+	case []byte:
+		return appendBytes(append(dst, valBytes), x), nil
+	case []string:
+		dst = appendUvarint(append(dst, valStrings), uint64(len(x)))
+		for _, s := range x {
+			dst = appendString(dst, s)
+		}
+		return dst, nil
+	case rel.Row:
+		return appendValueList(append(dst, valRow), x)
+	case []rel.Row:
+		dst = appendUvarint(append(dst, valRows), uint64(len(x)))
+		var err error
+		for _, row := range x {
+			if dst, err = appendValueList(dst, row); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case []any:
+		return appendValueList(append(dst, valList), x)
+	default:
+		return nil, fmt.Errorf("server: cannot encode %T on the wire", v)
+	}
+}
+
+func appendValueList(dst []byte, vs []any) ([]byte, error) {
+	dst = appendUvarint(dst, uint64(len(vs)))
+	var err error
+	for _, v := range vs {
+		if dst, err = appendValue(dst, v); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func (r *reader) value() any {
+	switch r.byte() {
+	case valNil:
+		return nil
+	case valInt64:
+		return r.varint()
+	case valInt:
+		return int(r.varint())
+	case valFloat64:
+		return r.float64()
+	case valString:
+		return r.string()
+	case valBool:
+		return r.bool()
+	case valBytes:
+		return append([]byte(nil), r.bytes()...)
+	case valStrings:
+		n := int(r.uvarint())
+		if r.err != nil || n > len(r.buf) {
+			r.fail()
+			return nil
+		}
+		out := make([]string, n)
+		for i := range out {
+			out[i] = r.string()
+		}
+		return out
+	case valRow:
+		return rel.Row(r.valueList())
+	case valRows:
+		n := int(r.uvarint())
+		if r.err != nil || n > len(r.buf) {
+			r.fail()
+			return nil
+		}
+		out := make([]rel.Row, n)
+		for i := range out {
+			out[i] = rel.Row(r.valueList())
+		}
+		return out
+	case valList:
+		return r.valueList()
+	default:
+		r.fail()
+		return nil
+	}
+}
+
+func (r *reader) valueList() []any {
+	n := int(r.uvarint())
+	if r.err != nil || n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]any, n)
+	for i := range out {
+		out[i] = r.value()
+	}
+	return out
+}
+
+// --- load hints -------------------------------------------------------------
+
+// ExecutorHint is one executor's queue signal as piggybacked on responses: a
+// compact projection of engine.ExecutorLoad.
+type ExecutorHint struct {
+	Container      int
+	Executor       int
+	Depth          int
+	InFlight       int
+	EffectiveDepth int
+	WaitP99Micros  uint64
+}
+
+// LoadHints is the load signal piggybacked on every result frame. Replicas
+// additionally report their corrected replication lag (saturating, never
+// wrapped — see engine.ReplicaShardStats) and degraded flag, which is what
+// lets a router route around an unhealthy replica instead of guessing.
+type LoadHints struct {
+	Role       Role
+	Degraded   bool
+	LagRecords uint64 // max shard lag on a replica; always 0 on a primary
+	Executors  []ExecutorHint
+}
+
+// MaxDepth returns the deepest executor queue in the hint set.
+func (h *LoadHints) MaxDepth() int {
+	m := 0
+	for _, e := range h.Executors {
+		if e.Depth > m {
+			m = e.Depth
+		}
+	}
+	return m
+}
+
+// MaxWaitP99Micros returns the worst windowed queue-wait p99 in the hint set.
+func (h *LoadHints) MaxWaitP99Micros() uint64 {
+	var m uint64
+	for _, e := range h.Executors {
+		if e.WaitP99Micros > m {
+			m = e.WaitP99Micros
+		}
+	}
+	return m
+}
+
+// GateSaturated reports whether every executor's admission gate is at its
+// token limit — the signal that one more submission would be rejected with
+// ErrOverloaded rather than queued.
+func (h *LoadHints) GateSaturated() bool {
+	if len(h.Executors) == 0 {
+		return false
+	}
+	for _, e := range h.Executors {
+		if e.EffectiveDepth == 0 || e.InFlight < e.EffectiveDepth {
+			return false
+		}
+	}
+	return true
+}
+
+func appendHints(dst []byte, h *LoadHints) []byte {
+	dst = append(dst, uint8(h.Role))
+	dst = appendBool(dst, h.Degraded)
+	dst = appendUvarint(dst, h.LagRecords)
+	dst = appendUvarint(dst, uint64(len(h.Executors)))
+	for _, e := range h.Executors {
+		dst = appendUvarint(dst, uint64(e.Container))
+		dst = appendUvarint(dst, uint64(e.Executor))
+		dst = appendUvarint(dst, uint64(e.Depth))
+		dst = appendUvarint(dst, uint64(e.InFlight))
+		dst = appendUvarint(dst, uint64(e.EffectiveDepth))
+		dst = appendUvarint(dst, e.WaitP99Micros)
+	}
+	return dst
+}
+
+func (r *reader) hints() LoadHints {
+	h := LoadHints{Role: Role(r.byte()), Degraded: r.bool(), LagRecords: r.uvarint()}
+	n := int(r.uvarint())
+	if r.err != nil || n > len(r.buf) {
+		r.fail()
+		return h
+	}
+	h.Executors = make([]ExecutorHint, n)
+	for i := range h.Executors {
+		h.Executors[i] = ExecutorHint{
+			Container:      int(r.uvarint()),
+			Executor:       int(r.uvarint()),
+			Depth:          int(r.uvarint()),
+			InFlight:       int(r.uvarint()),
+			EffectiveDepth: int(r.uvarint()),
+			WaitP99Micros:  r.uvarint(),
+		}
+	}
+	return h
+}
+
+// --- request / response bodies ----------------------------------------------
+
+// executeReq is the body of an execute frame. MaxLagRecords is the freshness
+// bound for read-only execution on a replica (0 = no bound); primaries are
+// always fresh and ignore it.
+type executeReq struct {
+	ID            uint64
+	MaxLagRecords uint64
+	Reactor       string
+	Procedure     string
+	Args          []any
+}
+
+func (q *executeReq) encode(dst []byte) ([]byte, error) {
+	dst = appendUvarint(dst, q.ID)
+	dst = appendUvarint(dst, q.MaxLagRecords)
+	dst = appendString(dst, q.Reactor)
+	dst = appendString(dst, q.Procedure)
+	return appendValueList(dst, q.Args)
+}
+
+func decodeExecuteReq(body []byte) (executeReq, error) {
+	r := &reader{buf: body}
+	q := executeReq{
+		ID:            r.uvarint(),
+		MaxLagRecords: r.uvarint(),
+		Reactor:       r.string(),
+		Procedure:     r.string(),
+		Args:          r.valueList(),
+	}
+	return q, r.err
+}
+
+// queryReq is the body of a query frame: a serialized rel.Query plus the
+// freshness bound.
+type queryReq struct {
+	ID            uint64
+	MaxLagRecords uint64
+	Query         *rel.Query
+}
+
+func (q *queryReq) encode(dst []byte) ([]byte, error) {
+	dst = appendUvarint(dst, q.ID)
+	dst = appendUvarint(dst, q.MaxLagRecords)
+	return appendQuery(dst, q.Query)
+}
+
+func decodeQueryReq(body []byte) (queryReq, error) {
+	r := &reader{buf: body}
+	q := queryReq{ID: r.uvarint(), MaxLagRecords: r.uvarint()}
+	q.Query = r.query()
+	return q, r.err
+}
+
+// Result payload kinds.
+const (
+	payloadNone  uint8 = 0
+	payloadValue uint8 = 1
+	payloadQuery uint8 = 2
+)
+
+// resultMsg is the body of a result frame: the request id it answers, a
+// status, an error message for non-OK statuses, the piggybacked load hints,
+// and the payload (an execute value or a query result).
+type resultMsg struct {
+	ID     uint64
+	Status uint8
+	ErrMsg string
+	Hints  LoadHints
+	Kind   uint8
+	Value  any
+	Result *rel.Result
+}
+
+func (m *resultMsg) encode(dst []byte) ([]byte, error) {
+	dst = appendUvarint(dst, m.ID)
+	dst = append(dst, m.Status)
+	dst = appendString(dst, m.ErrMsg)
+	dst = appendHints(dst, &m.Hints)
+	dst = append(dst, m.Kind)
+	switch m.Kind {
+	case payloadValue:
+		return appendValue(dst, m.Value)
+	case payloadQuery:
+		return appendQueryResult(dst, m.Result)
+	}
+	return dst, nil
+}
+
+func decodeResultMsg(body []byte) (resultMsg, error) {
+	r := &reader{buf: body}
+	m := resultMsg{
+		ID:     r.uvarint(),
+		Status: r.byte(),
+		ErrMsg: r.string(),
+		Hints:  r.hints(),
+		Kind:   r.byte(),
+	}
+	switch m.Kind {
+	case payloadValue:
+		m.Value = r.value()
+	case payloadQuery:
+		m.Result = r.queryResult()
+	}
+	return m, r.err
+}
+
+// appendQueryResult serializes a rel.Result. AccessPaths is encoded as pairs;
+// order does not matter to the map on the far side.
+func appendQueryResult(dst []byte, res *rel.Result) ([]byte, error) {
+	dst = appendUvarint(dst, uint64(len(res.Columns)))
+	for _, c := range res.Columns {
+		dst = appendString(dst, c)
+	}
+	dst = appendUvarint(dst, uint64(len(res.Rows)))
+	var err error
+	for _, row := range res.Rows {
+		if dst, err = appendValueList(dst, row); err != nil {
+			return nil, err
+		}
+	}
+	dst = appendUvarint(dst, uint64(len(res.JoinOrder)))
+	for _, a := range res.JoinOrder {
+		dst = appendString(dst, a)
+	}
+	dst = appendUvarint(dst, uint64(len(res.AccessPaths)))
+	for alias, path := range res.AccessPaths {
+		dst = appendString(dst, alias)
+		dst = appendString(dst, path)
+	}
+	return dst, nil
+}
+
+func (r *reader) queryResult() *rel.Result {
+	res := &rel.Result{}
+	if n := int(r.uvarint()); r.err == nil && n <= len(r.buf) {
+		res.Columns = make([]string, n)
+		for i := range res.Columns {
+			res.Columns[i] = r.string()
+		}
+	} else {
+		r.fail()
+		return res
+	}
+	n := int(r.uvarint())
+	if r.err != nil || n > len(r.buf) {
+		r.fail()
+		return res
+	}
+	if n > 0 {
+		res.Rows = make([]rel.Row, n)
+		for i := range res.Rows {
+			res.Rows[i] = rel.Row(r.valueList())
+		}
+	}
+	if n := int(r.uvarint()); r.err == nil && n <= len(r.buf) {
+		if n > 0 {
+			res.JoinOrder = make([]string, n)
+			for i := range res.JoinOrder {
+				res.JoinOrder[i] = r.string()
+			}
+		}
+	} else {
+		r.fail()
+		return res
+	}
+	if n := int(r.uvarint()); r.err == nil && n <= len(r.buf) {
+		res.AccessPaths = make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			alias := r.string()
+			res.AccessPaths[alias] = r.string()
+		}
+	} else {
+		r.fail()
+	}
+	return res
+}

@@ -77,14 +77,16 @@ func Schemas() []*rel.Schema {
 // custID resolves the customer id through the account relation, preserving the
 // benchmark's query footprint (lookup on account, then access by id).
 func custID(ctx core.Context) (int64, error) {
-	row, err := ctx.Get(RelAccount, ctx.Reactor())
+	// Every procedure resolves the account row first; a view keeps this
+	// read off the allocator on the hot path.
+	v, ok, err := ctx.GetView(RelAccount, ctx.Reactor())
 	if err != nil {
 		return 0, err
 	}
-	if row == nil {
+	if !ok {
 		return 0, core.Abortf("unknown account %s", ctx.Reactor())
 	}
-	return row.Int64(1), nil
+	return v.Int64(1), nil
 }
 
 // Type builds the Customer reactor type with all Smallbank procedures.
@@ -100,19 +102,19 @@ func Type() *core.Type {
 		if err != nil {
 			return nil, err
 		}
-		sav, err := ctx.Get(RelSavings, id)
+		sav, savOK, err := ctx.GetView(RelSavings, id)
 		if err != nil {
 			return nil, err
 		}
-		chk, err := ctx.Get(RelChecking, id)
+		chk, chkOK, err := ctx.GetView(RelChecking, id)
 		if err != nil {
 			return nil, err
 		}
 		total := 0.0
-		if sav != nil {
+		if savOK {
 			total += sav.Float64(1)
 		}
-		if chk != nil {
+		if chkOK {
 			total += chk.Float64(1)
 		}
 		return total, nil

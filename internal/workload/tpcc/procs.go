@@ -497,11 +497,11 @@ func stockLevel(ctx core.Context, args core.Args) (any, error) {
 	dID := args.Int64(0)
 	threshold := args.Int64(1)
 
-	district, err := ctx.Get(RelDistrict, dID)
+	district, ok, err := ctx.GetView(RelDistrict, dID)
 	if err != nil {
 		return nil, err
 	}
-	if district == nil {
+	if !ok {
 		return nil, core.Abortf("district %d missing", dID)
 	}
 	nextOID := district.Int64(4)
@@ -521,11 +521,13 @@ func stockLevel(ctx core.Context, args core.Args) (any, error) {
 	}
 	low := int64(0)
 	for itemID := range itemSet {
-		stock, err := ctx.Get(RelStock, itemID)
+		// One probe per distinct recently-ordered item: views keep this
+		// read-only loop from materializing a row per stock entry.
+		stock, ok, err := ctx.GetView(RelStock, itemID)
 		if err != nil {
 			return nil, err
 		}
-		if stock != nil && stock.Int64(1) < threshold {
+		if ok && stock.Int64(1) < threshold {
 			low++
 		}
 	}

@@ -73,14 +73,16 @@ func Type() *core.Type {
 
 	// read returns the record's version.
 	t.AddProcedure(ProcRead, func(ctx core.Context, args core.Args) (any, error) {
-		row, err := ctx.Get(RelUserTable, int64(0))
+		// Read-only single-row lookup: a view returns the version without
+		// materializing the 100-byte payload column.
+		v, ok, err := ctx.GetView(RelUserTable, int64(0))
 		if err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if !ok {
 			return nil, core.Abortf("key %s not loaded", ctx.Reactor())
 		}
-		return row.Int64(1), nil
+		return v.Int64(1), nil
 	})
 
 	// read_modify_write increments the version and rewrites the payload.

@@ -35,6 +35,7 @@ import (
 	"reactdb/internal/core"
 	"reactdb/internal/engine"
 	"reactdb/internal/rel"
+	"reactdb/internal/server"
 	"reactdb/internal/vclock"
 )
 
@@ -170,6 +171,58 @@ const (
 // methods read from.
 func OpenReplica(primary *Database, opts ReplicaOptions) (*Replica, error) {
 	return engine.OpenReplica(primary, opts)
+}
+
+// Re-exported network front-end types: a NodeServer exposes a primary or
+// replica on the wire protocol (length-prefixed CRC-framed binary frames with
+// piggybacked load hints), a Client is one pipelined connection to it, and a
+// Router fans a client's traffic across a primary and its replicas.
+type (
+	// NodeServer serves one engine node over the wire protocol.
+	NodeServer = server.Server
+	// ServerOptions tune a NodeServer (pipelining window, hint refresh).
+	ServerOptions = server.Options
+	// Client is one pipelined client connection to a NodeServer.
+	Client = server.Conn
+	// Router is a lag- and load-aware client-side request router.
+	Router = server.Router
+	// RouterOptions tune a Router (policy, freshness bound, retries).
+	RouterOptions = server.RouterOptions
+	// RoutingPolicy selects round-robin or hint-aware routing.
+	RoutingPolicy = server.Policy
+	// LoadHints is the load signal piggybacked on every server response.
+	LoadHints = server.LoadHints
+)
+
+// Routing policies and the stale-read error.
+const (
+	// PolicyRoundRobin rotates reads blindly over every endpoint.
+	PolicyRoundRobin = server.PolicyRoundRobin
+	// PolicyAware steers by piggybacked queue and lag hints.
+	PolicyAware = server.PolicyAware
+)
+
+// ErrStale reports a read whose freshness bound the serving replica could not
+// meet; the Router retries it on the primary.
+var ErrStale = server.ErrStale
+
+// ServePrimary exposes a primary database on the wire protocol.
+func ServePrimary(db *Database, opts ServerOptions) *NodeServer {
+	return server.NewPrimary(db, opts)
+}
+
+// ServeReplica exposes a read-only replica on the wire protocol.
+func ServeReplica(rep *Replica, opts ServerOptions) *NodeServer {
+	return server.NewReplica(rep, opts)
+}
+
+// DialNode connects to a NodeServer.
+func DialNode(addr string) (*Client, error) { return server.Dial(addr) }
+
+// NewRouter dials a set of NodeServer endpoints (exactly one primary) and
+// routes writes to the primary and reads across replicas per the policy.
+func NewRouter(endpoints []string, opts RouterOptions) (*Router, error) {
+	return server.NewRouter(endpoints, opts)
 }
 
 // Column types.
