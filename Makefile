@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt crash-repl fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-sched-check bench-query bench-query-check bench-storage bench-storage-check bench-repl bench-repl-check bench-server
+.PHONY: all fmt fmt-check vet build test race race-sched crash crash-ckpt crash-repl crash-failover fuzz bench bench-wal bench-2pc bench-ckpt bench-sched bench-sched-check bench-query bench-query-check bench-storage bench-storage-check bench-repl bench-repl-check bench-server bench-server-check
 
 all: fmt-check vet build test
 
@@ -55,6 +55,16 @@ crash-ckpt:
 # replica lost.
 crash-repl:
 	$(GO) test -race -run CrashRepl -count=1 ./internal/engine/...
+
+# Supervised-failover crash matrix under the race detector: kill the primary
+# at every commit/ship boundary, let the supervisor detect + fence + promote
+# the freshest semi-sync mirror + re-point the survivor, then double-restart
+# the promoted node. The black-box history checker rides along: no
+# acknowledged commit lost, no committed read un-happens, and the fenced
+# zombie's writes are rejected at both the WAL and wire layers (proven by the
+# fence-ablation arm, which shows the lost-update the fence prevents).
+crash-failover:
+	$(GO) test -race -run CrashFailover -count=1 ./internal/engine/...
 
 # Fuzz smoke for WAL record and checkpoint decoding (corrupt frames must be
 # ErrCorrupt — forcing checkpoint fallback to full replay — never a panic or
@@ -128,7 +138,14 @@ bench-repl-check:
 
 # Run the network front-end sweep (routing policy x key skew x client count
 # over a primary + fresh replica + lagging replica fleet) and append a dated
-# entry to the bench history. Trend-only: end-to-end latency over loopback TCP
-# rides kernel scheduling and replica poll timing.
+# entry to the bench history.
 bench-server:
 	$(GO) run ./cmd/reactdb-bench -experiment server -json-history BENCH_server.json
+
+# Gate on the server bench history: fail if any sweep point's mean per-op
+# latency regressed >60% against the previous dated entry. The band is the
+# widest of the gates — end-to-end latency over loopback TCP rides kernel
+# scheduling and replica poll timing. Entries from the trend-only era carry
+# ns_per_op 0 and re-baseline instead of failing.
+bench-server-check:
+	$(GO) run ./cmd/reactdb-bench -compare BENCH_server.json -max-regression 0.60

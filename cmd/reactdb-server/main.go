@@ -29,6 +29,7 @@ func main() {
 	executors := flag.Int("executors", 4, "executors in the primary's container")
 	ack := flag.String("ack", "async", "replication ack mode: async or semisync")
 	maxInFlight := flag.Int("max-inflight", 64, "per-session pipelining window")
+	supervise := flag.Bool("supervise", false, "run a failover supervisor: heartbeat the primary and, on persistent failure, fence it and promote the freshest semi-sync replica (requires -ack=semisync and -replicas >= 1)")
 	flag.Parse()
 
 	ackMode := engine.AckAsync
@@ -65,6 +66,8 @@ func main() {
 	}
 	fmt.Printf("listening role=primary addr=%s customers=%d executors=%d\n", pAddr, *customers, *executors)
 
+	var engineReps []*engine.Replica
+	repServers := make(map[*engine.Replica]*server.Server)
 	for i := 0; i < *replicas; i++ {
 		rep, err := engine.OpenReplica(db, engine.ReplicaOptions{
 			Ack:          ackMode,
@@ -84,6 +87,39 @@ func main() {
 			log.Fatalf("listen replica %d: %v", i, err)
 		}
 		fmt.Printf("listening role=replica addr=%s ack=%s\n", rAddr, strings.ToLower(*ack))
+		engineReps = append(engineReps, rep)
+		repServers[rep] = rs
+	}
+
+	if *supervise {
+		if ackMode != engine.AckSemiSync || len(engineReps) == 0 {
+			log.Fatalf("-supervise requires -ack=semisync and -replicas >= 1 (failover is lossless only for semi-sync acks)")
+		}
+		// On failover every listener stays up and follows its node: the
+		// primary listener and the promoted replica's listener both swap to
+		// the new primary, surviving replica listeners swap to their
+		// re-pointed successors. Clients keep their addresses; the router
+		// re-points writes by epoch.
+		sup := engine.NewSupervisor(db, engineReps, engine.SupervisorOptions{
+			OnPromote: func(promoted *engine.Database, from *engine.Replica) {
+				primary.Promote(promoted)
+				if rs := repServers[from]; rs != nil {
+					rs.Promote(promoted)
+					delete(repServers, from)
+				}
+				fmt.Printf("failover: promoted replica to primary at epoch %d\n", promoted.Epoch())
+			},
+			OnRepoint: func(old, next *engine.Replica) {
+				if rs := repServers[old]; rs != nil {
+					rs.Swap(next)
+					delete(repServers, old)
+					repServers[next] = rs
+				}
+			},
+		})
+		sup.Start()
+		defer sup.Stop()
+		fmt.Println("supervisor running: heartbeating primary")
 	}
 
 	sig := make(chan os.Signal, 1)

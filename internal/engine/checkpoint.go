@@ -125,6 +125,12 @@ func (c *Container) writeCheckpoint(lowLSN, maxTID, maxGid uint64) error {
 		MaxGlobalID: maxGid,
 		Rows:        c.snapshotRows(),
 	}
+	// The capture horizon: snapshotRows ran concurrently with commits, so
+	// Rows may carry effects of any record up to the log's LSN at this point
+	// — and of nothing newer. Failover divergence repair needs the bound to
+	// decide whether truncating the log above some LSN invalidates this
+	// checkpoint (see wal.Checkpoint.HighLSN).
+	cp.HighLSN = c.wal.LastLSN()
 	buf := wal.EncodeCheckpoint(cp)
 	if err := c.walStorage.WriteCheckpoint(seq, buf); err != nil {
 		return err

@@ -64,6 +64,13 @@ func newContainer(db *Database, id int) (*Container, error) {
 		}
 		c.wal = log
 		c.walStorage = storage
+		// Stamp the log with the node's failover term: records append under
+		// the current epoch, and a fence recorded by a supervisor (this node
+		// was deposed) rejects appends before the first transaction runs.
+		log.SetEpoch(db.walEpoch.Load())
+		if fence := db.walFence.Load(); fence > 0 {
+			log.Fence(fence)
+		}
 		// Seed the checkpoint sequence past anything already on storage so a
 		// fresh incarnation never overwrites a predecessor's checkpoint, even
 		// when Recover is skipped. A listing failure must fail Open: silently

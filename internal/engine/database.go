@@ -8,6 +8,7 @@ import (
 
 	"reactdb/internal/core"
 	"reactdb/internal/rel"
+	"reactdb/internal/wal"
 )
 
 // Database is a running ReactDB instance: a reactor database (logical
@@ -43,6 +44,23 @@ type Database struct {
 	epochStop chan struct{}
 	epochWG   sync.WaitGroup
 
+	// walEpoch and walFence mirror the durable failover EpochState loaded at
+	// Open (wal.ReadEpochState): the primary term this node's logs append
+	// under, and the term below which appends are fenced. Distinct from the
+	// storage-reclamation epochs of epochLoop. See failover.go.
+	walEpoch atomic.Uint64
+	walFence atomic.Uint64
+
+	// promoCut, set only on databases created by PromoteReplica, is the
+	// per-container physical log tail at the instant of promotion — the last
+	// LSN of the old timeline this node holds. Records it appends above the
+	// cut (recovery tombstones, new-epoch commits) belong to the new timeline
+	// and may differ in content from what a surviving replica holds at the
+	// same LSNs, so repairStorage must reconcile survivors against the cut,
+	// not against the current durable LSN. Zero means "no safe cut known for
+	// this shard" and forces a wipe + fresh bootstrap.
+	promoCut []uint64
+
 	adaptStop chan struct{}
 	adaptWG   sync.WaitGroup
 
@@ -72,6 +90,17 @@ func Open(def *core.DatabaseDef, cfg Config) (*Database, error) {
 		ckptStop:  make(chan struct{}),
 		adaptStop: make(chan struct{}),
 		repl:      newReplicationHub(),
+	}
+	if cfg.Durability.Mode == DurabilityWAL {
+		// Load the node's failover term before any container log opens so the
+		// very first append already carries the right epoch — and a fenced
+		// deposed primary refuses writes from the moment it restarts.
+		st, err := wal.ReadEpochState(cfg.Durability.Storage)
+		if err != nil {
+			return nil, fmt.Errorf("engine: read epoch state: %w", err)
+		}
+		db.walEpoch.Store(st.Epoch)
+		db.walFence.Store(st.FenceBelow)
 	}
 	for i := 0; i < cfg.Containers; i++ {
 		c, err := newContainer(db, i)

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"reactdb/internal/engine"
 	"reactdb/internal/rel"
@@ -14,60 +15,125 @@ import (
 // ErrConnClosed is returned by requests on a closed or failed connection.
 var ErrConnClosed = errors.New("server: connection closed")
 
+// RedialPolicy bounds a Conn's automatic reconnection. The zero value
+// disables it — a failed connection stays failed, matching plain Dial.
+type RedialPolicy struct {
+	// Attempts is how many consecutive dial failures are tolerated before the
+	// Conn is declared permanently dead. Successful redials reset the count.
+	Attempts int
+	// Backoff is the wait before the first redial attempt, doubling per
+	// failure (default 2ms when Attempts > 0).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 250ms).
+	MaxBackoff time.Duration
+}
+
+func (p RedialPolicy) withDefaults() RedialPolicy {
+	if p.Attempts > 0 {
+		if p.Backoff <= 0 {
+			p.Backoff = 2 * time.Millisecond
+		}
+		if p.MaxBackoff <= 0 {
+			p.MaxBackoff = 250 * time.Millisecond
+		}
+	}
+	return p
+}
+
 // Conn is one client connection to a server. It is safe for concurrent use:
 // requests are pipelined on the single socket and matched to responses by
 // request id, so many goroutines can share one Conn without head-of-line
 // round-trips. Every response refreshes the connection's load hints.
+//
+// With a RedialPolicy (DialRedial), a broken socket is redialed in the
+// background with bounded exponential backoff: requests in flight when the
+// socket died still fail with ErrConnClosed (their outcome is unknowable —
+// the server may or may not have executed them), but later requests block
+// until the redial succeeds or the policy's attempt budget is exhausted, at
+// which point the Conn is permanently dead.
 type Conn struct {
-	addr string
-	c    net.Conn
-	role Role
+	addr   string
+	role   Role
+	redial RedialPolicy
 
 	wmu sync.Mutex // serializes frame writes
 
 	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when c changes or the Conn dies
+	c       net.Conn   // nil while disconnected
+	gen     uint64     // socket generation; guards double-teardown
+	dialing bool
 	pending map[uint64]chan resultMsg
 	dead    error
 
-	nextID atomic.Uint64
-	hints  atomic.Pointer[LoadHints]
+	nextID  atomic.Uint64
+	redials atomic.Uint64
+	hints   atomic.Pointer[LoadHints]
 }
 
 // Dial connects to a server, performs the connect/hello handshake and starts
-// the response reader.
+// the response reader. The connection does not recover from failures; see
+// DialRedial.
 func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialRedial(addr, RedialPolicy{})
+}
+
+// DialRedial is Dial with automatic reconnection under the given policy.
+func DialRedial(addr string, policy RedialPolicy) (*Conn, error) {
+	nc, role, err := dialSocket(addr)
 	if err != nil {
 		return nil, err
 	}
+	c := &Conn{
+		addr:    addr,
+		role:    role,
+		redial:  policy.withDefaults(),
+		c:       nc,
+		pending: make(map[uint64]chan resultMsg),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.readLoop(nc, c.gen)
+	return c, nil
+}
+
+// dialSocket establishes one socket: TCP dial plus the connect/hello
+// handshake.
+func dialSocket(addr string) (net.Conn, Role, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, 0, err
+	}
 	if err := writeFrame(nc, frameConnect, appendUvarint(nil, protocolVersion)); err != nil {
 		nc.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	typ, body, err := readFrame(nc)
 	if err != nil {
 		nc.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	if typ != frameHello || len(body) < 1 {
 		nc.Close()
-		return nil, errCorruptFrame
+		return nil, 0, errCorruptFrame
 	}
-	c := &Conn{
-		addr:    addr,
-		c:       nc,
-		role:    Role(body[0]),
-		pending: make(map[uint64]chan resultMsg),
-	}
-	go c.readLoop()
-	return c, nil
+	return nc, Role(body[0]), nil
 }
 
-// Role reports the server's role from the hello frame.
-func (c *Conn) Role() Role { return c.role }
+// Role reports the server's role from the most recent hello frame. After a
+// failover the far end may have been promoted; the role in the piggybacked
+// hints is the live signal, this is the handshake's snapshot.
+func (c *Conn) Role() Role {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.role
+}
 
 // Addr reports the dialed address.
 func (c *Conn) Addr() string { return c.addr }
+
+// Redials reports how many times the connection has been successfully
+// re-established.
+func (c *Conn) Redials() uint64 { return c.redials.Load() }
 
 // Hints returns the load hints piggybacked on the most recent response, or a
 // zero value if none has arrived yet.
@@ -75,22 +141,38 @@ func (c *Conn) Hints() LoadHints {
 	if h := c.hints.Load(); h != nil {
 		return *h
 	}
-	return LoadHints{Role: c.role}
+	return LoadHints{Role: c.Role()}
 }
 
-// Close tears down the connection; in-flight requests fail with ErrConnClosed.
+// Close tears down the connection permanently; in-flight requests fail with
+// ErrConnClosed and no redial is attempted.
 func (c *Conn) Close() error {
-	err := c.c.Close()
-	c.failAll(ErrConnClosed)
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = ErrConnClosed
+	}
+	nc := c.c
+	c.c = nil
+	c.gen++
+	pending := c.pending
+	c.pending = make(map[uint64]chan resultMsg)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	var err error
+	if nc != nil {
+		err = nc.Close()
+	}
+	for _, ch := range pending {
+		close(ch)
+	}
 	return err
 }
 
-func (c *Conn) readLoop() {
+func (c *Conn) readLoop(nc net.Conn, gen uint64) {
 	for {
-		typ, body, err := readFrame(c.c)
+		typ, body, err := readFrame(nc)
 		if err != nil {
-			c.c.Close()
-			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			c.dropSocket(nc, gen, fmt.Errorf("%w: %v", ErrConnClosed, err))
 			return
 		}
 		if typ != frameResult {
@@ -98,8 +180,7 @@ func (c *Conn) readLoop() {
 		}
 		m, err := decodeResultMsg(body)
 		if err != nil {
-			c.c.Close()
-			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			c.dropSocket(nc, gen, fmt.Errorf("%w: %v", ErrConnClosed, err))
 			return
 		}
 		h := m.Hints
@@ -116,37 +197,114 @@ func (c *Conn) readLoop() {
 	}
 }
 
-func (c *Conn) failAll(err error) {
+// dropSocket tears down one broken socket generation: requests in flight on
+// it fail (their frames are lost with it), and — under a redial policy — a
+// background dial loop starts unless one is already running or the Conn is
+// dead. A stale generation (the socket was already replaced or Close ran) is
+// a no-op.
+func (c *Conn) dropSocket(nc net.Conn, gen uint64, err error) {
+	nc.Close()
 	c.mu.Lock()
-	if c.dead == nil {
-		c.dead = err
+	if c.gen != gen || c.dead != nil {
+		c.mu.Unlock()
+		return
 	}
+	c.c = nil
+	c.gen++
 	pending := c.pending
 	c.pending = make(map[uint64]chan resultMsg)
+	if c.redial.Attempts <= 0 {
+		c.dead = err
+	} else if !c.dialing {
+		c.dialing = true
+		go c.redialLoop()
+	}
+	c.cond.Broadcast()
 	c.mu.Unlock()
 	for _, ch := range pending {
 		close(ch)
 	}
 }
 
+// redialLoop re-establishes the socket with bounded exponential backoff.
+func (c *Conn) redialLoop() {
+	backoff := c.redial.Backoff
+	for attempt := 1; ; attempt++ {
+		time.Sleep(backoff)
+		c.mu.Lock()
+		if c.dead != nil {
+			c.dialing = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		nc, role, err := dialSocket(c.addr)
+		if err == nil {
+			c.mu.Lock()
+			if c.dead != nil {
+				c.mu.Unlock()
+				nc.Close()
+				return
+			}
+			c.role = role
+			c.c = nc
+			gen := c.gen
+			c.dialing = false
+			c.redials.Add(1)
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			go c.readLoop(nc, gen)
+			return
+		}
+		if attempt >= c.redial.Attempts {
+			c.mu.Lock()
+			if c.dead == nil {
+				c.dead = fmt.Errorf("%w: redial gave up after %d attempts: %v", ErrConnClosed, attempt, err)
+			}
+			c.dialing = false
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		if backoff *= 2; backoff > c.redial.MaxBackoff {
+			backoff = c.redial.MaxBackoff
+		}
+	}
+}
+
+// socket blocks until a live socket is available (or returns the Conn's
+// permanent error). Without a redial policy this never blocks: the socket is
+// either live or the Conn is dead.
+func (c *Conn) socket(id uint64, ch chan resultMsg) (net.Conn, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.dead != nil {
+			return nil, 0, c.dead
+		}
+		if c.c != nil {
+			c.pending[id] = ch
+			return c.c, c.gen, nil
+		}
+		c.cond.Wait()
+	}
+}
+
 func (c *Conn) roundTrip(typ uint8, id uint64, body []byte) (resultMsg, error) {
 	ch := make(chan resultMsg, 1)
-	c.mu.Lock()
-	if c.dead != nil {
-		err := c.dead
-		c.mu.Unlock()
+	nc, gen, err := c.socket(id, ch)
+	if err != nil {
 		return resultMsg{}, err
 	}
-	c.pending[id] = ch
-	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := writeFrame(c.c, typ, body)
+	err = writeFrame(nc, typ, body)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.dropSocket(nc, gen, fmt.Errorf("%w: %v", ErrConnClosed, err))
 		return resultMsg{}, fmt.Errorf("%w: %v", ErrConnClosed, err)
 	}
 	m, ok := <-ch
@@ -243,6 +401,8 @@ func statusErr(m *resultMsg) error {
 		return sentinelOr(engine.ErrReplicaRead, m.ErrMsg)
 	case statusStale:
 		return sentinelOr(ErrStale, m.ErrMsg)
+	case statusNotPrimary:
+		return sentinelOr(ErrNotPrimary, m.ErrMsg)
 	default:
 		return errors.New(m.ErrMsg)
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +44,12 @@ type RouterOptions struct {
 	// RetryBackoff is the initial backoff between retries, doubling each
 	// attempt (default 100µs).
 	RetryBackoff time.Duration
+	// Redial is the reconnection policy applied to every endpoint connection.
+	// The zero value keeps plain-Dial semantics: a lost connection stays lost.
+	// A failover deployment wants attempts here — the crashed primary's
+	// address comes back as a re-attached replica, and the connection's
+	// redial is what picks it up without rebuilding the router.
+	Redial RedialPolicy
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -58,32 +65,40 @@ func (o RouterOptions) withDefaults() RouterOptions {
 // Router is a client-side request router over one primary and any number of
 // replicas. Writes always go to the primary; read-only traffic fans out to
 // replicas with the primary as fallback. It is safe for concurrent use.
+//
+// The primary assignment is not fixed: when a write is answered NotPrimary
+// (the node was fenced by a supervised failover) or the primary connection is
+// lost, the router polls every endpoint's hints and re-points writes at the
+// one reporting the primary role at the highest epoch — the epoch, not the
+// answer order, arbitrates when the deposed node still claims the role.
 type Router struct {
-	opts     RouterOptions
+	opts RouterOptions
+	rr   atomic.Uint64
+
+	mu       sync.RWMutex
+	conns    []*Conn // every dialed endpoint, fixed at construction
 	primary  *Conn
 	replicas []*Conn
-	rr       atomic.Uint64
 }
 
-// NewRouter dials every endpoint, classifies each by its hello role, and
-// primes load hints with a stats round trip. Exactly one endpoint must be a
-// primary.
+// NewRouter dials every endpoint (with the router's redial policy so a
+// crashed node can rejoin), classifies each by its hello role, and primes
+// load hints with a stats round trip. Exactly one endpoint must be a primary.
 func NewRouter(endpoints []string, opts RouterOptions) (*Router, error) {
 	r := &Router{opts: opts.withDefaults()}
 	for _, addr := range endpoints {
-		c, err := Dial(addr)
+		c, err := DialRedial(addr, r.opts.Redial)
 		if err != nil {
 			r.Close()
 			return nil, fmt.Errorf("server: router dial %s: %w", addr, err)
 		}
+		r.conns = append(r.conns, c)
 		if _, err := c.Stats(); err != nil {
-			c.Close()
 			r.Close()
 			return nil, fmt.Errorf("server: router stats %s: %w", addr, err)
 		}
 		if c.Role() == RolePrimary {
 			if r.primary != nil {
-				c.Close()
 				r.Close()
 				return nil, errors.New("server: router configured with two primaries")
 			}
@@ -99,43 +114,107 @@ func NewRouter(endpoints []string, opts RouterOptions) (*Router, error) {
 	return r, nil
 }
 
-// Primary returns the primary connection.
-func (r *Router) Primary() *Conn { return r.primary }
+// Primary returns the current primary connection.
+func (r *Router) Primary() *Conn {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.primary
+}
 
-// Replicas returns the replica connections.
-func (r *Router) Replicas() []*Conn { return r.replicas }
+// Replicas returns the current replica connections.
+func (r *Router) Replicas() []*Conn {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Conn(nil), r.replicas...)
+}
 
 // Close closes every connection.
 func (r *Router) Close() {
-	if r.primary != nil {
-		r.primary.Close()
-	}
-	for _, c := range r.replicas {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.conns {
 		c.Close()
 	}
+}
+
+// rediscover re-classifies every endpoint after a failover signal: each is
+// asked for fresh hints, and the endpoint reporting the primary role at the
+// highest epoch becomes the write target. The deposed primary typically still
+// answers — role primary, old epoch, every request NotPrimary — which is
+// exactly why the epoch decides. Endpoints that do not answer (crashed,
+// mid-redial) are left as replicas; a failed sweep (no primary found) keeps
+// the previous assignment so the caller's retry loop can sweep again.
+func (r *Router) rediscover() {
+	r.mu.RLock()
+	conns := append([]*Conn(nil), r.conns...)
+	r.mu.RUnlock()
+
+	var best *Conn
+	var bestEpoch uint64
+	for _, c := range conns {
+		h, err := c.Stats()
+		if err != nil {
+			continue
+		}
+		if h.Role == RolePrimary && (best == nil || h.Epoch > bestEpoch) {
+			best, bestEpoch = c, h.Epoch
+		}
+	}
+	if best == nil {
+		return
+	}
+	r.mu.Lock()
+	r.primary = best
+	r.replicas = r.replicas[:0]
+	for _, c := range r.conns {
+		if c == best {
+			continue
+		}
+		// A non-best endpoint still claiming the primary role is the deposed
+		// primary: it answers every request NotPrimary, so it serves no reads
+		// either. Keep it out of the read set until a later sweep sees it
+		// re-attached (hints role replica).
+		if h := c.Hints(); h.Role == RolePrimary {
+			continue
+		}
+		r.replicas = append(r.replicas, c)
+	}
+	r.mu.Unlock()
 }
 
 // Execute routes a read-write procedure to the primary, retrying Overloaded
 // and Conflict answers with exponential backoff. Under PolicyAware it first
 // checks the primary's last-seen hints and defers one backoff when the
 // admission gate is already saturated — backing off before the rejection
-// instead of after it.
+// instead of after it. A NotPrimary answer or a lost primary connection
+// triggers endpoint rediscovery before the retry: after a supervised
+// failover the very same call lands on the promoted node.
 func (r *Router) Execute(reactor, procedure string, args ...any) (any, error) {
 	backoff := r.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
+		p := r.Primary()
 		if r.opts.Policy == PolicyAware {
-			if h := r.primary.Hints(); h.GateSaturated() {
+			if h := p.Hints(); h.GateSaturated() {
 				time.Sleep(backoff)
 			}
 		}
-		v, err := r.primary.Execute(reactor, procedure, args...)
-		if err == nil || !retryableOnPrimary(err) {
+		v, err := p.Execute(reactor, procedure, args...)
+		switch {
+		case err == nil:
+			return v, nil
+		case errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrConnClosed):
+			lastErr = err
+			r.rediscover()
+			time.Sleep(backoff)
+			backoff *= 2
+		case retryableOnPrimary(err):
+			lastErr = err
+			time.Sleep(backoff)
+			backoff *= 2
+		default:
 			return v, err
 		}
-		lastErr = err
-		time.Sleep(backoff)
-		backoff *= 2
 	}
 	return nil, lastErr
 }
@@ -174,12 +253,13 @@ func (r *Router) readPath(do func(c *Conn, maxLag uint64) (any, error)) (any, er
 	forcePrimary := false
 	var lastErr error
 	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
-		c := r.primary
+		primary := r.Primary()
+		c := primary
 		maxLag := r.opts.MaxLagRecords
 		if !forcePrimary {
 			c = r.pickRead()
 		}
-		if c == r.primary {
+		if c == primary {
 			maxLag = 0 // the primary is always fresh; no bound to enforce
 		}
 		v, err := do(c, maxLag)
@@ -191,6 +271,14 @@ func (r *Router) readPath(do func(c *Conn, maxLag uint64) (any, error)) (any, er
 			// No backoff — the retry is redirection, not congestion control.
 			forcePrimary = true
 			lastErr = err
+		case errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrConnClosed):
+			// The node was deposed mid-request or its connection died;
+			// re-point at whoever holds the highest epoch and try again.
+			lastErr = err
+			r.rediscover()
+			forcePrimary = false
+			time.Sleep(backoff)
+			backoff *= 2
 		case errors.Is(err, engine.ErrOverloaded) || errors.Is(err, engine.ErrConflict):
 			lastErr = err
 			time.Sleep(backoff)
@@ -204,16 +292,20 @@ func (r *Router) readPath(do func(c *Conn, maxLag uint64) (any, error)) (any, er
 
 // pickRead chooses the endpoint for one read attempt.
 func (r *Router) pickRead() *Conn {
-	if len(r.replicas) == 0 {
-		return r.primary
+	r.mu.RLock()
+	primary := r.primary
+	replicas := append([]*Conn(nil), r.replicas...)
+	r.mu.RUnlock()
+	if len(replicas) == 0 {
+		return primary
 	}
 	if r.opts.Policy == PolicyRoundRobin {
 		n := r.rr.Add(1)
-		candidates := len(r.replicas) + 1
-		if i := int(n % uint64(candidates)); i < len(r.replicas) {
-			return r.replicas[i]
+		candidates := len(replicas) + 1
+		if i := int(n % uint64(candidates)); i < len(replicas) {
+			return replicas[i]
 		}
-		return r.primary
+		return primary
 	}
 	n := r.rr.Add(1)
 	// A replica's cached hints only refresh when a response arrives from it,
@@ -225,11 +317,11 @@ func (r *Router) pickRead() *Conn {
 	// extra round trip buys the hint cache its truth.
 	const probeEvery = 16
 	if n%probeEvery == 0 {
-		return r.replicas[int(n/probeEvery)%len(r.replicas)]
+		return replicas[int(n/probeEvery)%len(replicas)]
 	}
-	candidates := make([]*Conn, 0, len(r.replicas)+1)
-	candidates = append(candidates, r.primary)
-	for _, c := range r.replicas {
+	candidates := make([]*Conn, 0, len(replicas)+1)
+	candidates = append(candidates, primary)
+	for _, c := range replicas {
 		h := c.Hints()
 		if h.Degraded {
 			continue

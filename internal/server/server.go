@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"reactdb/internal/engine"
@@ -35,16 +36,38 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// backend is the engine node a Server currently speaks for. It is immutable
+// once built; a failover swaps the whole backend atomically (Promote), so a
+// request observes one coherent node, never a half-switched one.
+type backend struct {
+	role    Role
+	exec    func(reactor, procedure string, args ...any) (any, error)
+	query   func(q *rel.Query) (*rel.Result, error)
+	loads   func() []engine.ExecutorLoad
+	lag     func() (lag uint64, degraded bool)
+	epoch   func() uint64
+	fenced  func() bool
+	lastErr func() string
+}
+
+// deposed reports that this node claims the primary role but has been fenced
+// by a newer epoch: a supervisor promoted a replica over it. It must not serve
+// anything — writes would be rejected by the WAL fence anyway (losing the
+// race is not an option, the fence is the guarantee), and reads could miss
+// every commit acknowledged by its successor. Both are answered NotPrimary so
+// the router re-points.
+func (b *backend) deposed() bool {
+	return b.role == RolePrimary && b.fenced != nil && b.fenced()
+}
+
 // Server exposes one engine node — a primary Database or a Replica — on the
 // wire protocol. A process typically runs one Server per node it hosts, each
-// on its own listener.
+// on its own listener. The node behind a Server can be swapped at runtime
+// (Promote): after a supervised failover the listener and its client
+// connections survive, only the engine underneath changes.
 type Server struct {
-	role  Role
-	exec  func(reactor, procedure string, args ...any) (any, error)
-	query func(q *rel.Query) (*rel.Result, error)
-	loads func() []engine.ExecutorLoad
-	lag   func() (lag uint64, degraded bool)
-	opts  Options
+	backend atomic.Pointer[backend]
+	opts    Options
 
 	hintMu sync.Mutex
 	hintAt time.Time
@@ -57,28 +80,24 @@ type Server struct {
 	wg        sync.WaitGroup
 }
 
-// NewPrimary wraps a primary database.
-func NewPrimary(db *engine.Database, opts Options) *Server {
-	return &Server{
-		role:  RolePrimary,
-		exec:  db.Execute,
-		query: db.Query,
-		loads: db.ExecutorLoads,
-		opts:  opts.withDefaults(),
-		conns: make(map[net.Conn]struct{}),
+func primaryBackend(db *engine.Database) *backend {
+	return &backend{
+		role:   RolePrimary,
+		exec:   db.Execute,
+		query:  db.Query,
+		loads:  db.ExecutorLoads,
+		epoch:  db.Epoch,
+		fenced: db.Fenced,
 	}
 }
 
-// NewReplica wraps a read-only replica. Its hints carry the replica's
-// corrected lag and degraded flag; execute and query frames with a freshness
-// bound the replica cannot meet are answered with the Stale status without
-// running.
-func NewReplica(rep *engine.Replica, opts Options) *Server {
-	return &Server{
+func replicaBackend(rep *engine.Replica) *backend {
+	return &backend{
 		role:  RoleReplica,
 		exec:  rep.Execute,
 		query: rep.Query,
 		loads: rep.Database().ExecutorLoads,
+		epoch: rep.Database().Epoch,
 		lag: func() (uint64, bool) {
 			st := rep.Stats()
 			var lag uint64
@@ -89,9 +108,48 @@ func NewReplica(rep *engine.Replica, opts Options) *Server {
 			}
 			return lag, st.Degraded
 		},
-		opts:  opts.withDefaults(),
-		conns: make(map[net.Conn]struct{}),
+		lastErr: func() string { return rep.Stats().Err },
 	}
+}
+
+// NewPrimary wraps a primary database.
+func NewPrimary(db *engine.Database, opts Options) *Server {
+	s := &Server{opts: opts.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s.backend.Store(primaryBackend(db))
+	return s
+}
+
+// NewReplica wraps a read-only replica. Its hints carry the replica's
+// corrected lag, degraded flag and last replication error; execute and query
+// frames with a freshness bound the replica cannot meet are answered with the
+// Stale status without running.
+func NewReplica(rep *engine.Replica, opts Options) *Server {
+	s := &Server{opts: opts.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s.backend.Store(replicaBackend(rep))
+	return s
+}
+
+// Promote swaps the server's backend to a (newly promoted) primary database.
+// Existing sessions keep their sockets: in-flight requests finish against
+// whichever backend they started on, later ones run against the new primary.
+// This is the supervisor's OnPromote hook — the replica this server used to
+// wrap was consumed by the promotion, and the listener now fronts its
+// successor.
+func (s *Server) Promote(db *engine.Database) {
+	s.backend.Store(primaryBackend(db))
+	s.hintMu.Lock()
+	s.hintAt = time.Time{} // the cached hints describe the deposed backend
+	s.hintMu.Unlock()
+}
+
+// Swap points the server at a different replica, the re-point analog of
+// Promote for replica-role servers whose engine replica was re-attached to a
+// new primary (re-attachment closes the old Replica and returns a new one).
+func (s *Server) Swap(rep *engine.Replica) {
+	s.backend.Store(replicaBackend(rep))
+	s.hintMu.Lock()
+	s.hintAt = time.Time{}
+	s.hintMu.Unlock()
 }
 
 // Start listens on addr ("host:port", ":0" for an ephemeral port) and serves
@@ -182,7 +240,7 @@ func (s *Server) session(c net.Conn) {
 	if v := r.uvarint(); r.err != nil || v != protocolVersion {
 		return
 	}
-	hello := appendUvarint([]byte{uint8(s.role)}, protocolVersion)
+	hello := appendUvarint([]byte{uint8(s.backend.Load().role)}, protocolVersion)
 	if err := writeFrame(c, frameHello, hello); err != nil {
 		return
 	}
@@ -218,6 +276,7 @@ func (s *Server) session(c net.Conn) {
 }
 
 func (s *Server) handle(typ uint8, body []byte) resultMsg {
+	b := s.backend.Load()
 	switch typ {
 	case frameExecute:
 		req, err := decodeExecuteReq(body)
@@ -225,10 +284,13 @@ func (s *Server) handle(typ uint8, body []byte) resultMsg {
 			return resultMsg{Status: statusError, ErrMsg: err.Error(), Hints: s.currentHints()}
 		}
 		m := resultMsg{ID: req.ID}
-		if s.tooStale(req.MaxLagRecords) {
+		switch {
+		case b.deposed():
+			m.Status, m.ErrMsg = statusNotPrimary, ErrNotPrimary.Error()
+		case s.tooStale(b, req.MaxLagRecords):
 			m.Status, m.ErrMsg = statusStale, ErrStale.Error()
-		} else {
-			v, err := s.exec(req.Reactor, req.Procedure, req.Args...)
+		default:
+			v, err := b.exec(req.Reactor, req.Procedure, req.Args...)
 			m.Status, m.ErrMsg = statusOf(err)
 			if m.Status == statusOK {
 				m.Kind, m.Value = payloadValue, v
@@ -242,10 +304,13 @@ func (s *Server) handle(typ uint8, body []byte) resultMsg {
 			return resultMsg{Status: statusError, ErrMsg: err.Error(), Hints: s.currentHints()}
 		}
 		m := resultMsg{ID: req.ID}
-		if s.tooStale(req.MaxLagRecords) {
+		switch {
+		case b.deposed():
+			m.Status, m.ErrMsg = statusNotPrimary, ErrNotPrimary.Error()
+		case s.tooStale(b, req.MaxLagRecords):
 			m.Status, m.ErrMsg = statusStale, ErrStale.Error()
-		} else {
-			res, err := s.query(req.Query)
+		default:
+			res, err := b.query(req.Query)
 			m.Status, m.ErrMsg = statusOf(err)
 			if m.Status == statusOK {
 				m.Kind, m.Result = payloadQuery, res
@@ -268,11 +333,11 @@ func (s *Server) handle(typ uint8, body []byte) resultMsg {
 // client, and a cached value lets a write land and be read back stale
 // within one refresh window. Piggybacked hints stay cached: advisory
 // routing data tolerates the staleness that an enforced bound cannot.
-func (s *Server) tooStale(maxLag uint64) bool {
-	if s.role != RoleReplica || maxLag == 0 || s.lag == nil {
+func (s *Server) tooStale(b *backend, maxLag uint64) bool {
+	if b.role != RoleReplica || maxLag == 0 || b.lag == nil {
 		return false
 	}
-	lag, degraded := s.lag()
+	lag, degraded := b.lag()
 	return degraded || lag > maxLag
 }
 
@@ -301,8 +366,9 @@ func (s *Server) currentHints() LoadHints {
 	if !s.hintAt.IsZero() && time.Since(s.hintAt) < s.opts.HintRefresh {
 		return s.hint
 	}
-	h := LoadHints{Role: s.role}
-	for _, l := range s.loads() {
+	b := s.backend.Load()
+	h := LoadHints{Role: b.role}
+	for _, l := range b.loads() {
 		h.Executors = append(h.Executors, ExecutorHint{
 			Container:      l.Container,
 			Executor:       l.Executor,
@@ -312,8 +378,14 @@ func (s *Server) currentHints() LoadHints {
 			WaitP99Micros:  uint64(l.WaitP99 / time.Microsecond),
 		})
 	}
-	if s.lag != nil {
-		h.LagRecords, h.Degraded = s.lag()
+	if b.lag != nil {
+		h.LagRecords, h.Degraded = b.lag()
+	}
+	if b.epoch != nil {
+		h.Epoch = b.epoch()
+	}
+	if b.lastErr != nil {
+		h.Err = b.lastErr()
 	}
 	s.hint, s.hintAt = h, time.Now()
 	return h

@@ -220,6 +220,8 @@ func TestResultMsgRoundTrip(t *testing.T) {
 			Role:       RoleReplica,
 			Degraded:   true,
 			LagRecords: 17,
+			Epoch:      3,
+			Err:        "engine: replica: mirror write: disk on fire",
 			Executors: []ExecutorHint{
 				{Container: 0, Executor: 1, Depth: 3, InFlight: 2, EffectiveDepth: 8, WaitP99Micros: 950},
 			},

@@ -57,11 +57,18 @@ const (
 	statusStale        uint8 = 3 // replica lag exceeds the request's freshness bound
 	statusReplicaWrite uint8 = 4 // write attempted on a replica
 	statusError        uint8 = 5 // application or internal error
+	statusNotPrimary   uint8 = 6 // node was deposed: fenced by a newer epoch
 )
 
 // ErrStale is returned by a client read whose freshness bound the serving
 // replica could not meet; the router retries it on the primary.
 var ErrStale = errors.New("server: replica lag exceeds the freshness bound")
+
+// ErrNotPrimary is returned by a request served by a node that is no longer
+// the primary — its epoch has been fenced by a supervisor promoting a replica.
+// The router reacts by rediscovering which endpoint now reports the primary
+// role at the highest epoch and re-pointing writes there.
+var ErrNotPrimary = errors.New("server: node is not the primary (fenced by a newer epoch)")
 
 // errCorruptFrame reports a CRC or framing violation; the connection is dead.
 var errCorruptFrame = errors.New("server: corrupt wire frame")
@@ -375,7 +382,16 @@ type LoadHints struct {
 	Role       Role
 	Degraded   bool
 	LagRecords uint64 // max shard lag on a replica; always 0 on a primary
-	Executors  []ExecutorHint
+	// Epoch is the node's failover term (engine.Database.Epoch, via the
+	// replica's primary for replica servers). After a failover two endpoints
+	// may both claim the primary role — the deposed node until its process is
+	// recycled, and the promoted one; the highest epoch wins discovery.
+	Epoch uint64
+	// Err is the node's last replication error (engine.ReplicaStats.Err),
+	// empty when healthy or on a primary. It rides along so operators and
+	// routers see why a replica is degraded without a side channel.
+	Err       string
+	Executors []ExecutorHint
 }
 
 // MaxDepth returns the deepest executor queue in the hint set.
@@ -419,6 +435,8 @@ func appendHints(dst []byte, h *LoadHints) []byte {
 	dst = append(dst, uint8(h.Role))
 	dst = appendBool(dst, h.Degraded)
 	dst = appendUvarint(dst, h.LagRecords)
+	dst = appendUvarint(dst, h.Epoch)
+	dst = appendString(dst, h.Err)
 	dst = appendUvarint(dst, uint64(len(h.Executors)))
 	for _, e := range h.Executors {
 		dst = appendUvarint(dst, uint64(e.Container))
@@ -433,6 +451,8 @@ func appendHints(dst []byte, h *LoadHints) []byte {
 
 func (r *reader) hints() LoadHints {
 	h := LoadHints{Role: Role(r.byte()), Degraded: r.bool(), LagRecords: r.uvarint()}
+	h.Epoch = r.uvarint()
+	h.Err = r.string()
 	n := int(r.uvarint())
 	if r.err != nil || n > len(r.buf) {
 		r.fail()

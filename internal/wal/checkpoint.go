@@ -40,6 +40,15 @@ type Checkpoint struct {
 	// recovery scan previously reseeded the id sequence from, so the
 	// checkpoint must carry the watermark itself.
 	MaxGlobalID uint64
+	// HighLSN is the fuzzy-capture horizon: the log's last assigned LSN when
+	// the Rows snapshot finished. Rows may have absorbed effects of any
+	// record up to HighLSN (the fuzzy leak that suffix replay normally
+	// corrects), and of nothing above it. Failover divergence repair uses it:
+	// truncating the log above some LSN T is sound against this checkpoint
+	// only when T >= HighLSN, otherwise the blob may carry an effect whose
+	// record was just cut. 0 means the checkpoint predates this field and its
+	// horizon is unknown (treat as unbounded).
+	HighLSN uint64
 	// Rows is the snapshot: one entry per indexed row, carrying the engine's
 	// fully-qualified key, the row's committed version, and either its
 	// payload or a deletion tombstone. Tombstones matter for the documented
@@ -59,15 +68,20 @@ type CheckpointRow struct {
 	Deleted bool
 }
 
-// checkpointVersion is the format version byte leading the payload; decoding
-// rejects anything else as corruption (there is exactly one version so far).
-const checkpointVersion = 1
+// Checkpoint format versions. Version 1 predates the HighLSN capture
+// horizon; version 2 appends it after MaxGlobalID. Decoding accepts both —
+// a v1 blob simply has an unknown (zero) horizon — and encoding always
+// writes the newest version.
+const (
+	checkpointVersion1 = 1
+	checkpointVersion  = 2
+)
 
 // EncodeCheckpoint encodes cp as a single CRC-framed blob: the same 4-byte
 // length + 4-byte CRC32 header the log's record frames use, then
 //
 //	1 version byte | uvarint Seq | uvarint LowLSN | uvarint MaxTID |
-//	uvarint MaxGlobalID | uvarint #rows |
+//	uvarint MaxGlobalID | uvarint HighLSN (version >= 2) | uvarint #rows |
 //	  per row: 1 flag byte (bit0 = deleted) | uvarint keyLen | key |
 //	           uvarint TID | uvarint dataLen | data
 //
@@ -79,6 +93,7 @@ func EncodeCheckpoint(cp *Checkpoint) []byte {
 	buf = binary.AppendUvarint(buf, cp.LowLSN)
 	buf = binary.AppendUvarint(buf, cp.MaxTID)
 	buf = binary.AppendUvarint(buf, cp.MaxGlobalID)
+	buf = binary.AppendUvarint(buf, cp.HighLSN)
 	buf = binary.AppendUvarint(buf, uint64(len(cp.Rows)))
 	for _, r := range cp.Rows {
 		var flags byte
@@ -123,9 +138,10 @@ func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
 	}
 
 	p := payload
-	if len(p) == 0 || p[0] != checkpointVersion {
+	if len(p) == 0 || (p[0] != checkpointVersion1 && p[0] != checkpointVersion) {
 		return nil, fmt.Errorf("%w: unknown checkpoint version", ErrCorrupt)
 	}
+	version := p[0]
 	p = p[1:]
 	var cp Checkpoint
 	var err error
@@ -140,6 +156,11 @@ func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
 	}
 	if cp.MaxGlobalID, p, err = readUvarint(p); err != nil {
 		return nil, err
+	}
+	if version >= 2 {
+		if cp.HighLSN, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
 	}
 	var n uint64
 	if n, p, err = readUvarint(p); err != nil {

@@ -42,6 +42,14 @@ type Log struct {
 	closed    bool
 	broken    error // set on a failed segment write: the tail may be torn
 
+	// epoch is the primary term stamped on every appended record; fenceBelow
+	// is the lowest epoch still allowed to append. When fenceBelow exceeds
+	// epoch the log is fenced: a newer primary exists, and accepting (or
+	// fsyncing) more records here would let a zombie acknowledge writes the
+	// cluster has already moved past. See SetEpoch and Fence.
+	epoch      uint64
+	fenceBelow uint64
+
 	// stats (guarded by mu except the histograms, which are internally atomic)
 	appends         uint64
 	appendedBytes   uint64
@@ -162,6 +170,9 @@ func (l *Log) AppendBatch(recs []Record) (uint64, error) {
 	if l.broken != nil {
 		return 0, fmt.Errorf("wal: log wedged after failed write: %w", l.broken)
 	}
+	if l.fenceBelow > l.epoch {
+		return 0, fmt.Errorf("%w (appending at epoch %d, fenced below %d)", ErrFenced, l.epoch, l.fenceBelow)
+	}
 	if err := l.ensureActiveLocked(); err != nil {
 		return 0, err
 	}
@@ -175,6 +186,7 @@ func (l *Log) AppendBatch(recs []Record) (uint64, error) {
 	for i := range recs {
 		lsn++
 		recs[i].LSN = lsn
+		recs[i].Epoch = l.epoch
 		buf = appendFrame(buf, &recs[i])
 	}
 	if l.activeLen > 0 && l.activeLen+len(buf) > l.segSize {
@@ -240,7 +252,7 @@ func (l *Log) retractBatchLocked(recs []Record) error {
 	var buf []byte
 	for _, r := range recs {
 		l.appended++
-		ab := Record{LSN: l.appended, TID: r.TID, Kind: KindAbort}
+		ab := Record{LSN: l.appended, TID: r.TID, Kind: KindAbort, Epoch: l.epoch}
 		buf = appendFrame(buf, &ab)
 	}
 	if _, err := l.active.Write(buf); err != nil {
@@ -263,6 +275,13 @@ func (l *Log) Sync() error {
 	}
 	if l.broken != nil {
 		return fmt.Errorf("wal: log wedged after failed write: %w", l.broken)
+	}
+	if l.fenceBelow > l.epoch {
+		// A fenced log refuses to make its tail durable: the unsynced suffix
+		// was never acknowledged, the cluster has promoted past it, and
+		// fsyncing it now would only widen the divergence a re-attach must
+		// truncate.
+		return fmt.Errorf("%w (syncing at epoch %d, fenced below %d)", ErrFenced, l.epoch, l.fenceBelow)
 	}
 	if l.durable >= l.appended {
 		l.absorbed++
@@ -293,6 +312,47 @@ func (l *Log) fsyncLocked() error {
 	l.unsynced = 0
 	l.durable = l.appended
 	return nil
+}
+
+// SetEpoch sets the primary term stamped on every subsequent append. It only
+// raises: a log never returns to an older regime's epoch, so a fence laid at
+// epoch N stays effective against every term below N.
+func (l *Log) SetEpoch(epoch uint64) {
+	l.mu.Lock()
+	if epoch > l.epoch {
+		l.epoch = epoch
+	}
+	l.mu.Unlock()
+}
+
+// Epoch returns the term currently stamped on appends.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// Fence rejects every further Append and Sync while the log's own epoch stays
+// below the given term (ErrFenced). It is the WAL-append half of failover
+// fencing: a supervisor that promoted a replica at term N fences the old
+// primary's log below N, so a zombie that is still alive — merely presumed
+// dead — can no longer make writes durable, let alone acknowledge them.
+// Fencing is monotonic; a later SetEpoch at or above the fence (re-promotion
+// of this node) lifts it.
+func (l *Log) Fence(belowEpoch uint64) {
+	l.mu.Lock()
+	if belowEpoch > l.fenceBelow {
+		l.fenceBelow = belowEpoch
+	}
+	l.mu.Unlock()
+}
+
+// Fenced reports whether the log is currently rejecting appends because a
+// newer primary term exists.
+func (l *Log) Fenced() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fenceBelow > l.epoch
 }
 
 // LastLSN returns the highest LSN assigned (appended), durable or not.

@@ -51,6 +51,12 @@ type Record struct {
 	LSN  uint64
 	TID  uint64
 	Kind Kind
+	// Epoch is the primary term under which the record was appended (0 for
+	// logs that predate supervised failover). A promoted primary appends at a
+	// strictly higher epoch than its predecessor, so a record's epoch tells
+	// re-attach tooling which regime produced it; fencing rejects appends at
+	// the Log layer before a record with a stale epoch can form.
+	Epoch uint64
 	// GlobalID is the root transaction's database-wide id (prepare and
 	// decision records only). Recovery resolves a prepare record by looking
 	// for a decision record with the same GlobalID.
@@ -70,7 +76,9 @@ type Record struct {
 //
 //	uvarint LSN | uvarint TID |
 //	1 record flag byte (bit0 = abort, bit1 = prepare, bit2 = decision;
-//	                    at most one set, commit otherwise) |
+//	                    at most one kind bit set, commit otherwise;
+//	                    bit3 = an epoch uvarint follows) |
+//	bit3 only:     uvarint Epoch |
 //	prepare only:  uvarint GlobalID | uvarint Coordinator |
 //	decision only: uvarint GlobalID | uvarint #participants | participants |
 //	uvarint #writes |
@@ -98,7 +106,12 @@ const (
 	flagAbort    = 1 << 0
 	flagPrepare  = 1 << 1
 	flagDecision = 1 << 2
-	flagKnown    = flagAbort | flagPrepare | flagDecision
+	// flagEpoch marks a record stamped with a non-zero primary epoch: an
+	// epoch uvarint follows the flag byte. Epoch-zero records omit both the
+	// bit and the field, so pre-failover logs stay byte-identical.
+	flagEpoch = 1 << 3
+	flagKind  = flagAbort | flagPrepare | flagDecision
+	flagKnown = flagKind | flagEpoch
 )
 
 // appendFrame encodes rec as one CRC-framed record appended to buf.
@@ -117,7 +130,13 @@ func appendFrame(buf []byte, rec *Record) []byte {
 	case KindDecision:
 		recFlags |= flagDecision
 	}
+	if rec.Epoch != 0 {
+		recFlags |= flagEpoch
+	}
 	buf = append(buf, recFlags)
+	if rec.Epoch != 0 {
+		buf = binary.AppendUvarint(buf, rec.Epoch)
+	}
 	switch rec.Kind {
 	case KindPrepare:
 		buf = binary.AppendUvarint(buf, rec.GlobalID)
@@ -187,7 +206,7 @@ func decodeRecord(buf []byte, off int) (Record, int, error) {
 	if recFlags&^byte(flagKnown) != 0 {
 		return Record{}, 0, fmt.Errorf("%w: unknown record flags %#x", ErrCorrupt, recFlags)
 	}
-	switch recFlags {
+	switch recFlags & flagKind {
 	case 0:
 		rec.Kind = KindCommit
 	case flagAbort:
@@ -198,6 +217,16 @@ func decodeRecord(buf []byte, off int) (Record, int, error) {
 		rec.Kind = KindDecision
 	default:
 		return Record{}, 0, fmt.Errorf("%w: conflicting record flags %#x", ErrCorrupt, recFlags)
+	}
+	if recFlags&flagEpoch != 0 {
+		if rec.Epoch, p, err = readUvarint(p); err != nil {
+			return Record{}, 0, err
+		}
+		if rec.Epoch == 0 {
+			// A zero epoch is encoded by omitting the bit; an explicit zero is
+			// a non-canonical frame no writer produces.
+			return Record{}, 0, fmt.Errorf("%w: explicit zero epoch", ErrCorrupt)
+		}
 	}
 	switch rec.Kind {
 	case KindPrepare:
